@@ -1,0 +1,67 @@
+// Ablation for the section 3 translation study: linearized arrays vs
+// dimension-preserving nested arrays, in both language modes, over the
+// stencil/matvec basic operations.  The paper measured the dimension-
+// preserving translation 2.3-4.5x slower on the Origin2000 and the SUN
+// E10000, which is why NPB3.0-JAV linearizes everything.
+//
+// google-benchmark binary; pass --benchmark_filter=... to narrow.
+
+#include <benchmark/benchmark.h>
+
+#include "cfdops/cfdops.hpp"
+
+namespace {
+
+// A reduced grid keeps each google-benchmark iteration ~tens of ms.
+npb::CfdConfig cfg(npb::Mode mode, npb::ArrayShape shape) {
+  npb::CfdConfig c;
+  c.n1 = 41;
+  c.n2 = 41;
+  c.n3 = 50;
+  c.reps = 1;
+  c.mode = mode;
+  c.shape = shape;
+  c.threads = 0;
+  return c;
+}
+
+void run_case(benchmark::State& state, npb::CfdOp op, npb::Mode mode,
+              npb::ArrayShape shape) {
+  const npb::CfdConfig c = cfg(mode, shape);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const npb::CfdResult r = npb::run_cfd_op(op, c);
+    checksum = r.checksum;
+    // Report kernel time only: construction/fill is translation-independent.
+    state.SetIterationTime(r.seconds);
+  }
+  benchmark::DoNotOptimize(checksum);
+}
+
+#define ABLATION(op_name, op)                                                     \
+  void BM_##op_name##_lin_native(benchmark::State& s) {                          \
+    run_case(s, op, npb::Mode::Native, npb::ArrayShape::Linearized);             \
+  }                                                                              \
+  void BM_##op_name##_lin_java(benchmark::State& s) {                           \
+    run_case(s, op, npb::Mode::Java, npb::ArrayShape::Linearized);               \
+  }                                                                              \
+  void BM_##op_name##_md_native(benchmark::State& s) {                          \
+    run_case(s, op, npb::Mode::Native, npb::ArrayShape::Dimensioned);            \
+  }                                                                              \
+  void BM_##op_name##_md_java(benchmark::State& s) {                            \
+    run_case(s, op, npb::Mode::Java, npb::ArrayShape::Dimensioned);              \
+  }                                                                              \
+  BENCHMARK(BM_##op_name##_lin_native)->UseManualTime()->Unit(benchmark::kMillisecond); \
+  BENCHMARK(BM_##op_name##_lin_java)->UseManualTime()->Unit(benchmark::kMillisecond);   \
+  BENCHMARK(BM_##op_name##_md_native)->UseManualTime()->Unit(benchmark::kMillisecond);  \
+  BENCHMARK(BM_##op_name##_md_java)->UseManualTime()->Unit(benchmark::kMillisecond)
+
+ABLATION(Assignment, npb::CfdOp::Assignment);
+ABLATION(Stencil1, npb::CfdOp::FirstOrderStencil);
+ABLATION(Stencil2, npb::CfdOp::SecondOrderStencil);
+ABLATION(MatVec, npb::CfdOp::MatVec);
+ABLATION(Reduction, npb::CfdOp::ReductionSum);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace npb::benchutil {
+namespace {
+
+std::vector<int> parse_threads(const char* spec) {
+  std::vector<int> out;
+  const char* p = spec;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p) break;
+    out.push_back(static_cast<int>(v));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+}  // namespace
+
+Args parse(int argc, char** argv, Args defaults) {
+  Args a = defaults;
+  if (const char* env = std::getenv("NPB_CLASS")) {
+    if (const auto c = parse_class(env)) a.cls = *c;
+  }
+  if (const char* env = std::getenv("NPB_THREADS")) {
+    const auto t = parse_threads(env);
+    if (!t.empty()) a.threads = t;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--class=", 8) == 0) {
+      if (const auto c = parse_class(arg + 8)) {
+        a.cls = *c;
+      } else {
+        std::fprintf(stderr, "unknown class '%s'\n", arg + 8);
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const auto t = parse_threads(arg + 10);
+      if (!t.empty()) a.threads = t;
+    } else if (std::strcmp(arg, "--warmup") == 0) {
+      a.warmup = true;
+    } else {
+      std::fprintf(stderr, "ignoring unknown argument '%s'\n", arg);
+    }
+  }
+  return a;
+}
+
+std::string label(const std::string& name, ProblemClass cls) {
+  return name + "." + to_string(cls);
+}
+
+double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg) {
+  const RunResult r = fn(cfg);
+  if (!r.verified) {
+    std::fprintf(stderr, "VERIFICATION FAILED: %s.%s %s threads=%d\n%s\n",
+                 r.name.c_str(), to_string(r.cls), to_string(r.mode), r.threads,
+                 r.verify_detail.c_str());
+    return -1.0;
+  }
+  return r.seconds;
+}
+
+}  // namespace npb::benchutil

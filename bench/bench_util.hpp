@@ -1,0 +1,36 @@
+#pragma once
+
+// Shared argument handling for the paper-table bench binaries.  Every table
+// bench accepts:
+//   --class=S|W|A|B|C        problem class (default S so the whole bench
+//                            directory runs in minutes on a laptop; the
+//                            paper reports class A — pass --class=A to
+//                            regenerate at full size)
+//   --threads=0,1,2,4        thread counts; 0 means the serial code path
+//   --warmup                 enable the paper's CG thread warm-up fix
+// plus NPB_CLASS / NPB_THREADS environment variables as fallbacks.
+
+#include <string>
+#include <vector>
+
+#include "common/classes.hpp"
+#include "npb/run.hpp"
+
+namespace npb::benchutil {
+
+struct Args {
+  ProblemClass cls = ProblemClass::S;
+  std::vector<int> threads{0, 1, 2};
+  bool warmup = false;
+};
+
+Args parse(int argc, char** argv, Args defaults = {});
+
+/// "BT.A" style row label.
+std::string label(const std::string& name, ProblemClass cls);
+
+/// Runs one config and returns seconds, or -1 with a stderr note when the
+/// run fails verification (so tables show "-" rather than silent bad data).
+double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg);
+
+}  // namespace npb::benchutil

@@ -1,0 +1,57 @@
+// The three simulated CFD applications side by side: BT (5x5 block
+// tridiagonal ADI), SP (diagonalized scalar pentadiagonal ADI) and LU
+// (SSOR with pipelined sweeps) all march the same synthetic 5-component
+// convection-diffusion-reaction system to its manufactured steady state —
+// so their residual floors are directly comparable, and what differs is
+// the implicit solver.
+//
+//   ./adi_solvers [class] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bt/bt.hpp"
+#include "lu/lu.hpp"
+#include "sp/sp.hpp"
+
+int main(int argc, char** argv) {
+  const auto cls = npb::parse_class(argc > 1 ? argv[1] : "S");
+  if (!cls) {
+    std::fprintf(stderr, "unknown class\n");
+    return 1;
+  }
+  npb::RunConfig cfg;
+  cfg.cls = *cls;
+  cfg.threads = argc > 2 ? std::atoi(argv[2]) : 0;
+  cfg.mode = npb::Mode::Native;
+
+  struct App {
+    const char* solver;
+    npb::RunResult (*fn)(const npb::RunConfig&);
+  };
+  const App apps[] = {
+      {"ADI, 5x5 block-tridiagonal Thomas solves", &npb::run_bt},
+      {"diagonalized ADI, scalar pentadiagonal solves", &npb::run_sp},
+      {"SSOR, pipelined lower/upper block sweeps", &npb::run_lu},
+  };
+
+  std::printf("Synthetic CFD steady state, class %s, %d thread(s):\n\n",
+              npb::to_string(*cls), cfg.threads);
+  for (const App& app : apps) {
+    const npb::RunResult r = app.fn(cfg);
+    double resid = 0.0, err = 0.0;
+    for (int m = 0; m < 5; ++m) {
+      resid = std::max(resid, r.checksums[static_cast<std::size_t>(m)]);
+      err = std::max(err, r.checksums[static_cast<std::size_t>(5 + m)]);
+    }
+    std::printf("%-3s %-48s %7.2fs  %8.1f Mop/s\n", r.name.c_str(), app.solver,
+                r.seconds, r.mops);
+    std::printf("    final residual %.2e, error vs exact solution %.2e  [%s]\n",
+                resid, err, r.verified ? "verified" : "FAILED");
+  }
+  std::puts("\nAll three reach the same manufactured solution; BT does the most\n"
+            "work per point, SP trades block algebra for characteristic\n"
+            "transforms, LU converges in the fewest sweeps but synchronizes\n"
+            "inside its wavefront loop (the paper's scalability observation).");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: run one NPB benchmark through the suite API and inspect the
+// result.
+//
+//   ./quickstart [benchmark] [class] [threads]
+//   ./quickstart CG A 4
+//
+// Every benchmark is driven by the same two types: RunConfig selects the
+// problem class, language mode (native ~ f77, java ~ the paper's JIT model),
+// and worker-thread count; RunResult carries time, Mop/s, checksums and the
+// verification verdict.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "npb/registry.hpp"
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "CG";
+  const char* cls_text = argc > 2 ? argv[2] : "S";
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  const npb::RunFn fn = npb::find_benchmark(name);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'; available:", name);
+    for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const auto cls = npb::parse_class(cls_text);
+  if (!cls) {
+    std::fprintf(stderr, "unknown class '%s' (use S, W, A, B or C)\n", cls_text);
+    return 1;
+  }
+
+  npb::RunConfig cfg;
+  cfg.cls = *cls;
+  cfg.threads = threads;
+
+  for (const npb::Mode mode : {npb::Mode::Native, npb::Mode::Java}) {
+    cfg.mode = mode;
+    const npb::RunResult r = fn(cfg);
+    std::printf("%s.%s  mode=%-6s threads=%d  time=%.3fs  %.1f Mop/s  %s\n",
+                r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
+                r.threads, r.seconds, r.mops,
+                r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
+    std::printf("  %s", r.verify_detail.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "array/policies.hpp"
+
+namespace npb {
+
+/// Dimension-preserving 3-D array — the translation option the paper
+/// *rejected*.  A Java `double[a][b][c]` is an array of arrays of arrays:
+/// each access chases two pointers and performs a bounds test per dimension.
+/// We model it with nested std::vectors; under the Checked policy each level
+/// is tested, under Unchecked the pointer chasing alone remains (isolating
+/// indirection cost from check cost in bench_ablation_arrays).
+template <class T, class P>
+class MdArray3 {
+ public:
+  MdArray3() = default;
+  MdArray3(std::size_t n1, std::size_t n2, std::size_t n3, T init = T{})
+      : rows_(n1, std::vector<std::vector<T>>(n2, std::vector<T>(n3, init))),
+        n1_(n1), n2_(n2), n3_(n3) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    P::on_access();
+    P::bounds(i, n1_);
+    auto& plane = rows_[i];
+    P::bounds(j, n2_);
+    auto& line = plane[j];
+    P::bounds(k, n3_);
+    return line[k];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    P::on_access();
+    P::bounds(i, n1_);
+    const auto& plane = rows_[i];
+    P::bounds(j, n2_);
+    const auto& line = plane[j];
+    P::bounds(k, n3_);
+    return line[k];
+  }
+
+  std::size_t extent(int d) const noexcept {
+    return d == 0 ? n1_ : d == 1 ? n2_ : n3_;
+  }
+
+ private:
+  std::vector<std::vector<std::vector<T>>> rows_;
+  std::size_t n1_ = 0, n2_ = 0, n3_ = 0;
+};
+
+/// Dimension-preserving 4-D array (Java double[a][b][c][d]).
+template <class T, class P>
+class MdArray4 {
+ public:
+  MdArray4() = default;
+  MdArray4(std::size_t n1, std::size_t n2, std::size_t n3, std::size_t n4, T init = T{})
+      : rows_(n1, std::vector<std::vector<std::vector<T>>>(
+                      n2, std::vector<std::vector<T>>(n3, std::vector<T>(n4, init)))),
+        n1_(n1), n2_(n2), n3_(n3), n4_(n4) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t m) {
+    P::on_access();
+    P::bounds(i, n1_);
+    auto& cube = rows_[i];
+    P::bounds(j, n2_);
+    auto& plane = cube[j];
+    P::bounds(k, n3_);
+    auto& line = plane[k];
+    P::bounds(m, n4_);
+    return line[m];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t m) const {
+    P::on_access();
+    P::bounds(i, n1_);
+    const auto& cube = rows_[i];
+    P::bounds(j, n2_);
+    const auto& plane = cube[j];
+    P::bounds(k, n3_);
+    const auto& line = plane[k];
+    P::bounds(m, n4_);
+    return line[m];
+  }
+
+  std::size_t extent(int d) const noexcept {
+    return d == 0 ? n1_ : d == 1 ? n2_ : d == 2 ? n3_ : n4_;
+  }
+
+ private:
+  std::vector<std::vector<std::vector<std::vector<T>>>> rows_;
+  std::size_t n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0;
+};
+
+/// Dimension-preserving 5-D array (Java double[a][b][c][d][e]) — the shape
+/// a dimension-preserving translation gives the 3-D array of 5x5 matrices
+/// in the paper's matrix-vector basic operation.
+template <class T, class P>
+class MdArray5 {
+ public:
+  MdArray5() = default;
+  MdArray5(std::size_t n1, std::size_t n2, std::size_t n3, std::size_t n4,
+           std::size_t n5, T init = T{})
+      : rows_(n1,
+              std::vector<std::vector<std::vector<std::vector<T>>>>(
+                  n2, std::vector<std::vector<std::vector<T>>>(
+                          n3, std::vector<std::vector<T>>(n4, std::vector<T>(n5, init))))),
+        n1_(n1), n2_(n2), n3_(n3), n4_(n4), n5_(n5) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t m,
+                std::size_t l) {
+    P::on_access();
+    P::bounds(i, n1_);
+    auto& r4 = rows_[i];
+    P::bounds(j, n2_);
+    auto& r3 = r4[j];
+    P::bounds(k, n3_);
+    auto& r2 = r3[k];
+    P::bounds(m, n4_);
+    auto& r1 = r2[m];
+    P::bounds(l, n5_);
+    return r1[l];
+  }
+  const T& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t m,
+                      std::size_t l) const {
+    P::on_access();
+    P::bounds(i, n1_);
+    const auto& r4 = rows_[i];
+    P::bounds(j, n2_);
+    const auto& r3 = r4[j];
+    P::bounds(k, n3_);
+    const auto& r2 = r3[k];
+    P::bounds(m, n4_);
+    const auto& r1 = r2[m];
+    P::bounds(l, n5_);
+    return r1[l];
+  }
+
+  std::size_t extent(int d) const noexcept {
+    return d == 0 ? n1_ : d == 1 ? n2_ : d == 2 ? n3_ : d == 3 ? n4_ : n5_;
+  }
+
+ private:
+  std::vector<std::vector<std::vector<std::vector<std::vector<T>>>>> rows_;
+  std::size_t n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0, n5_ = 0;
+};
+
+}  // namespace npb

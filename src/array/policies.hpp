@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace npb {
+
+/// Thrown by the Checked policy; the analogue of Java's
+/// ArrayIndexOutOfBoundsException, which is what a Java array access compiles
+/// to a test-and-throw for.  Making the throw reachable is the point: it
+/// forbids the compiler from hoisting or vectorizing across the check, just
+/// as the JITs of the paper's era could not.
+class ArrayIndexOutOfBounds : public std::out_of_range {
+ public:
+  ArrayIndexOutOfBounds(std::size_t index, std::size_t length)
+      : std::out_of_range("array index " + std::to_string(index) +
+                          " out of bounds for length " + std::to_string(length)) {}
+};
+
+/// Operation counters for the Counting policy — the source-level stand-in for
+/// the SGI perfex hardware-counter analysis in section 3 of the paper.
+struct OpCounts {
+  std::uint64_t accesses = 0;  ///< array element loads+stores
+  std::uint64_t checks = 0;    ///< bounds tests executed
+  std::uint64_t flops = 0;     ///< floating-point operations (kernel-reported)
+  std::uint64_t muladds = 0;   ///< of which a*b+c pairs an FMA would fuse
+
+  void reset() { *this = OpCounts{}; }
+};
+
+/// Fortran-like access: no bounds checks, no accounting.  Kernels
+/// instantiated with this policy in a -ffp-contract=fast TU model f77 -O3.
+struct Unchecked {
+  static constexpr bool kChecked = false;
+  static constexpr bool kCounting = false;
+  static void bounds(std::size_t, std::size_t) noexcept {}
+  static void on_access() noexcept {}
+  static void flops(std::uint64_t) noexcept {}
+  static void muladds(std::uint64_t) noexcept {}
+  static void reset_counts() noexcept {}
+  static void take_snapshot() noexcept {}
+};
+
+/// Java-like access: every element access tests its (flattened) index, like
+/// a JIT-compiled access to a linearized Java array.  The test is a
+/// noinline call on purpose: a 1.1-1.3-era JIT emitted the range test as
+/// real instructions it could neither hoist nor branch-fold, whereas a
+/// modern optimizer would reduce an inlined well-predicted compare to
+/// near-zero cost and erase the very effect the paper measures.
+struct Checked {
+  static constexpr bool kChecked = true;
+  static constexpr bool kCounting = false;
+  [[gnu::noinline]] static void bounds(std::size_t i, std::size_t n) {
+    if (i >= n) [[unlikely]]
+      throw ArrayIndexOutOfBounds(i, n);
+  }
+  static void on_access() noexcept {}
+  static void flops(std::uint64_t) noexcept {}
+  static void muladds(std::uint64_t) noexcept {}
+  static void reset_counts() noexcept {}
+  static void take_snapshot() noexcept {}
+};
+
+/// Checked access that additionally counts operations.  Only used by the
+/// profiling bench (bench_ops_profile); far too slow for timing runs.
+struct Counting {
+  static constexpr bool kChecked = true;
+  static constexpr bool kCounting = true;
+  static OpCounts& counts() noexcept {
+    thread_local OpCounts c;
+    return c;
+  }
+  static void bounds(std::size_t i, std::size_t n) {
+    ++counts().checks;
+    if (i >= n) [[unlikely]]
+      throw ArrayIndexOutOfBounds(i, n);
+  }
+  static void on_access() noexcept { ++counts().accesses; }
+  static void flops(std::uint64_t n) noexcept { counts().flops += n; }
+  static void muladds(std::uint64_t n) noexcept { counts().muladds += n; }
+  /// Snapshot support lets a kernel bracket exactly its timed region:
+  /// reset_counts() after setup, take_snapshot() before teardown/checksums.
+  static OpCounts& snapshot() noexcept {
+    thread_local OpCounts s;
+    return s;
+  }
+  static void reset_counts() noexcept { counts().reset(); }
+  static void take_snapshot() noexcept { snapshot() = counts(); }
+};
+
+}  // namespace npb

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "npb/run.hpp"
+#include "pseudoapp/app.hpp"
+
+namespace npb {
+
+pseudoapp::AppParams bt_params(ProblemClass cls) noexcept;
+
+/// Runs BT: the Block Tridiagonal simulated CFD application.  Each timestep
+/// computes the wide-stencil RHS and then applies an Alternating Direction
+/// Implicit (ADI) approximate factorization — three sweeps of 5x5
+/// block-tridiagonal line solves (block Thomas algorithm), one per grid
+/// dimension.  The heaviest structured-grid member of the suite.
+RunResult run_bt(const RunConfig& cfg);
+
+}  // namespace npb

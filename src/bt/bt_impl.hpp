@@ -1,0 +1,210 @@
+#pragma once
+
+// Kernel template for BT; explicitly instantiated in bt_native.cpp and
+// bt_java.cpp (see ep_impl.hpp for the pattern).
+
+#include <optional>
+
+#include "common/wtime.hpp"
+#include "par/parallel_for.hpp"
+#include "par/team.hpp"
+#include "pseudoapp/app.hpp"
+#include "pseudoapp/block_impl.hpp"
+#include "pseudoapp/field_impl.hpp"
+
+namespace npb::bt_detail {
+
+using namespace pseudoapp;
+
+/// Per-thread line-solver workspace: sub/diag/super blocks and the line RHS.
+template <class P>
+struct LineWork {
+  Array1<double, P> a, b, c, r;
+  explicit LineWork(long n)
+      : a(static_cast<std::size_t>(25 * n)), b(static_cast<std::size_t>(25 * n)),
+        c(static_cast<std::size_t>(25 * n)), r(static_cast<std::size_t>(5 * n)) {}
+};
+
+/// Solves one block-tridiagonal line (I + dt*Ld) dv = r along a grid line of
+/// `n` points (interior 1..n-2).  `Ad` is the direction's convection
+/// Jacobian, `phi_at(c)` the coefficient along the line, and rget/rset
+/// access the line's RHS which is overwritten with the solution.
+/// `scale_dt` multiplies the incoming RHS by dt (done on the first sweep of
+/// the factorization only).
+template <class P, class PhiAt, class RGet, class RSet>
+void solve_line(const System& sys, const Mat5& Ad, double h, double dt, long n,
+                const PhiAt& phi_at, const RGet& rget, const RSet& rset,
+                LineWork<P>& ws, bool scale_dt) {
+  const double inv2h = 1.0 / (2.0 * h);
+  const double invh2 = 1.0 / (h * h);
+  const long nc = n - 2;
+
+  for (long q = 0; q < nc; ++q) {
+    const long cidx = q + 1;
+    const double ph = phi_at(cidx);
+    const std::size_t blk = static_cast<std::size_t>(q) * 25;
+    for (int i = 0; i < kComps; ++i)
+      for (int j = 0; j < kComps; ++j) {
+        const auto e = static_cast<std::size_t>(i * kComps + j);
+        const double conv = ph * Ad[e] * inv2h;
+        const double diff = i == j ? sys.nu * invh2 : 0.0;
+        ws.a[blk + e] = dt * (-conv - diff);
+        ws.c[blk + e] = dt * (conv - diff);
+        ws.b[blk + e] = (i == j ? 1.0 + dt * 2.0 * sys.nu * invh2 : 0.0);
+        P::flops(6);
+      }
+    const std::size_t vb = static_cast<std::size_t>(q) * 5;
+    for (int m = 0; m < kComps; ++m)
+      ws.r[vb + static_cast<std::size_t>(m)] =
+          (scale_dt ? dt : 1.0) * rget(cidx, m);
+  }
+
+  // Block Thomas: forward elimination ...
+  lu5_factor<P>(ws.b, 0);
+  lu5_solve_vec<P>(ws.b, 0, ws.r, 0);
+  lu5_solve_block<P>(ws.b, 0, ws.c, 0);
+  for (long q = 1; q < nc; ++q) {
+    const std::size_t blk = static_cast<std::size_t>(q) * 25;
+    const std::size_t prevblk = static_cast<std::size_t>(q - 1) * 25;
+    const std::size_t vb = static_cast<std::size_t>(q) * 5;
+    const std::size_t prevvb = static_cast<std::size_t>(q - 1) * 5;
+    mm5_sub<P>(ws.a, blk, ws.c, prevblk, ws.b, blk);   // B_q -= A_q * Ctld_{q-1}
+    mv5_sub<P>(ws.a, blk, ws.r, prevvb, ws.r, vb);     // r_q -= A_q * rtld_{q-1}
+    lu5_factor<P>(ws.b, blk);
+    lu5_solve_vec<P>(ws.b, blk, ws.r, vb);
+    lu5_solve_block<P>(ws.b, blk, ws.c, blk);
+  }
+  // ... and back substitution.
+  for (long q = nc - 2; q >= 0; --q) {
+    const std::size_t blk = static_cast<std::size_t>(q) * 25;
+    mv5_sub<P>(ws.c, blk, ws.r, static_cast<std::size_t>(q + 1) * 5, ws.r,
+               static_cast<std::size_t>(q) * 5);
+  }
+  for (long q = 0; q < nc; ++q)
+    for (int m = 0; m < kComps; ++m)
+      rset(q + 1, m, ws.r[static_cast<std::size_t>(q) * 5 + static_cast<std::size_t>(m)]);
+}
+
+/// Runs `body(lo, hi)` over [1, n-1) serially or partitioned over the team.
+template <class F>
+void over_range(WorkerTeam* team, long n, const F& body) {
+  if (team == nullptr) {
+    body(1, n - 1);
+  } else {
+    team->run([&](int rank) {
+      const Range r = partition(1, n - 1, rank, team->size());
+      body(r.lo, r.hi);
+    });
+  }
+}
+
+template <class P>
+AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+  Fields<P> f(prm.n);
+  init_fields(f);
+  const long n = prm.n;
+  const double dt = prm.dt;
+
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+
+  auto do_rhs = [&] {
+    over_range(team, n, [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
+  };
+
+  AppOutput out;
+  do_rhs();
+  out.rhs_initial = rhs_norms(f);
+  out.err_initial = error_norms(f);
+
+  const double t0 = wtime();
+  for (int it = 0; it < prm.iterations; ++it) {
+    do_rhs();
+    // x sweep: lines along i, one per (j, k); partition j.
+    over_range(team, n, [&](long lo, long hi) {
+      LineWork<P> ws(n);
+      for (long j = lo; j < hi; ++j)
+        for (long k = 1; k < n - 1; ++k)
+          solve_line<P>(
+              f.sys, f.sys.ax, f.h, dt, n,
+              [&](long c) {
+                return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(k));
+              },
+              [&](long c, int m) {
+                return f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+              },
+              [&](long c, int m, double v) {
+                f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+              },
+              ws, true);
+    });
+    // y sweep: lines along j, one per (i, k); partition i.
+    over_range(team, n, [&](long lo, long hi) {
+      LineWork<P> ws(n);
+      for (long i = lo; i < hi; ++i)
+        for (long k = 1; k < n - 1; ++k)
+          solve_line<P>(
+              f.sys, f.sys.ay, f.h, dt, n,
+              [&](long c) {
+                return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                             static_cast<std::size_t>(k));
+              },
+              [&](long c, int m) {
+                return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+              },
+              [&](long c, int m, double v) {
+                f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                      static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+              },
+              ws, false);
+    });
+    // z sweep: lines along k, one per (i, j); partition i.
+    over_range(team, n, [&](long lo, long hi) {
+      LineWork<P> ws(n);
+      for (long i = lo; i < hi; ++i)
+        for (long j = 1; j < n - 1; ++j)
+          solve_line<P>(
+              f.sys, f.sys.az, f.h, dt, n,
+              [&](long c) {
+                return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(c));
+              },
+              [&](long c, int m) {
+                return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(c), static_cast<std::size_t>(m));
+              },
+              [&](long c, int m, double v) {
+                f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(c), static_cast<std::size_t>(m)) = v;
+              },
+              ws, false);
+    });
+    // add: u += dv.
+    over_range(team, n, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i)
+        for (long j = 1; j < n - 1; ++j)
+          for (long k = 1; k < n - 1; ++k)
+            for (int m = 0; m < kComps; ++m)
+              f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
+                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+    });
+  }
+  out.seconds = wtime() - t0;
+
+  do_rhs();
+  out.rhs_final = rhs_norms(f);
+  out.err_final = error_norms(f);
+  return out;
+}
+
+extern template AppOutput bt_run<Unchecked>(const AppParams&, int, const TeamOptions&);
+extern template AppOutput bt_run<Checked>(const AppParams&, int, const TeamOptions&);
+
+}  // namespace npb::bt_detail

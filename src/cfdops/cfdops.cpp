@@ -1,0 +1,42 @@
+#include "cfdops/cfdops.hpp"
+
+#include "cfdops/cfdops_impl.hpp"
+
+namespace npb {
+
+const char* to_string(CfdOp op) noexcept {
+  switch (op) {
+    case CfdOp::Assignment: return "Assignment";
+    case CfdOp::FirstOrderStencil: return "First Order Stencil";
+    case CfdOp::SecondOrderStencil: return "Second Order Stencil";
+    case CfdOp::MatVec: return "Matrix vector multiplication";
+    case CfdOp::ReductionSum: return "Reduction Sum";
+  }
+  return "?";
+}
+
+const char* to_string(ArrayShape s) noexcept {
+  return s == ArrayShape::Linearized ? "linearized" : "dimensioned";
+}
+
+CfdResult run_cfd_op(CfdOp op, const CfdConfig& cfg) {
+  using namespace cfdops_detail;
+  if (cfg.shape == ArrayShape::Linearized)
+    return cfg.mode == Mode::Native ? LinNative::run(op, cfg) : LinJava::run(op, cfg);
+  return cfg.mode == Mode::Native ? MdNative::run(op, cfg) : MdJava::run(op, cfg);
+}
+
+OpCounts profile_cfd_op(CfdOp op, const CfdConfig& cfg) {
+  using namespace cfdops_detail;
+  CfdConfig serial = cfg;
+  serial.threads = 0;
+  serial.reps = 1;
+  if (cfg.shape == ArrayShape::Linearized) {
+    (void)LinCounting::run(op, serial);
+  } else {
+    (void)MdCounting::run(op, serial);
+  }
+  return Counting::snapshot();
+}
+
+}  // namespace npb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "array/policies.hpp"
+#include "common/classes.hpp"
+#include "common/mode.hpp"
+#include "par/barrier.hpp"
+
+namespace npb {
+
+/// The five basic CFD operations of the paper's section 3 (Table 1), used to
+/// compare Fortran-to-Java translation options before porting the full
+/// benchmarks.
+enum class CfdOp {
+  Assignment,          ///< element-wise array copy
+  FirstOrderStencil,   ///< 7-point star filter
+  SecondOrderStencil,  ///< 13-point star filter (radius 2)
+  MatVec,              ///< 3-D array of 5x5 matrices times 3-D array of 5-vectors
+  ReductionSum,        ///< reduction sum of 4-D array elements
+};
+
+const char* to_string(CfdOp op) noexcept;
+
+/// Array translation option under test: flat arrays with computed indices
+/// (what the paper adopted) vs. dimension-preserving nested arrays (what it
+/// rejected after finding them 2.3-4.5x slower).
+enum class ArrayShape { Linearized, Dimensioned };
+
+const char* to_string(ArrayShape s) noexcept;
+
+struct CfdConfig {
+  /// The paper's Table 1 grid: 81 x 81 x 100, 5x5 matrices, 5-D vectors.
+  long n1 = 81, n2 = 81, n3 = 100;
+  int reps = 10;  ///< timed repetitions (Table 1 times 10 iterations)
+  Mode mode = Mode::Native;
+  ArrayShape shape = ArrayShape::Linearized;
+  int threads = 0;  ///< 0 = serial path
+  BarrierKind barrier = BarrierKind::CondVar;
+  long warmup_spins = 0;
+};
+
+struct CfdResult {
+  double seconds = 0.0;
+  /// Content checksum of the operation's output — identical across modes,
+  /// shapes and thread counts for the same config (regression handle).
+  double checksum = 0.0;
+};
+
+CfdResult run_cfd_op(CfdOp op, const CfdConfig& cfg);
+
+/// Source-level operation counts for one serial repetition (Counting
+/// policy) — the reproduction of the paper's perfex analysis.  `shape` and
+/// `mode` follow the config; `threads`/`reps` are ignored (single pass).
+OpCounts profile_cfd_op(CfdOp op, const CfdConfig& cfg);
+
+}  // namespace npb

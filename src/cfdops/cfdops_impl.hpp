@@ -1,0 +1,252 @@
+#pragma once
+
+// Kernel templates for the basic CFD operations; explicitly instantiated in
+// cfdops_native.cpp and cfdops_java.cpp over (policy, array family).
+
+#include <optional>
+#include <vector>
+
+#include "array/array.hpp"
+#include "array/mdarray.hpp"
+#include "cfdops/cfdops.hpp"
+#include "common/wtime.hpp"
+#include "par/parallel_for.hpp"
+#include "par/team.hpp"
+
+namespace npb::cfdops_detail {
+
+/// Runs body(lo, hi) over [lo0, hi0) serially or partitioned over the team.
+template <class F>
+void over(WorkerTeam* team, long lo0, long hi0, const F& body) {
+  if (team == nullptr) {
+    body(lo0, hi0);
+  } else {
+    team->run([&](int rank) {
+      const Range r = partition(lo0, hi0, rank, team->size());
+      body(r.lo, r.hi);
+    });
+  }
+}
+
+/// All five kernels over one (policy, array-family) combination.  A3/A4/A5
+/// are Array3/4/5 for the linearized translation and MdArray3/4/5 for the
+/// dimension-preserving one.
+template <class P, template <class, class> class A3, template <class, class> class A4,
+          template <class, class> class A5>
+struct Kernels {
+  using G3 = A3<double, P>;
+  using G4 = A4<double, P>;
+  using G5 = A5<double, P>;
+
+  static void fill3(G3& g, long n1, long n2, long n3, double scale) {
+    for (long i = 0; i < n1; ++i)
+      for (long j = 0; j < n2; ++j)
+        for (long k = 0; k < n3; ++k)
+          g(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+            static_cast<std::size_t>(k)) =
+              scale * (0.31 * static_cast<double>(i) + 0.53 * static_cast<double>(j) +
+                       0.71 * static_cast<double>(k));
+  }
+
+  static double sum3(const G3& g, long n1, long n2, long n3) {
+    double s = 0.0;
+    for (long i = 0; i < n1; ++i)
+      for (long j = 0; j < n2; ++j)
+        for (long k = 0; k < n3; ++k)
+          s += g(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                 static_cast<std::size_t>(k));
+    return s;
+  }
+
+  static CfdResult assignment(const CfdConfig& cfg, WorkerTeam* team) {
+    G3 in(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+          static_cast<std::size_t>(cfg.n3));
+    G3 out(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+           static_cast<std::size_t>(cfg.n3));
+    fill3(in, cfg.n1, cfg.n2, cfg.n3, 1.0e-3);
+    P::reset_counts();
+    const double t0 = wtime();
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      over(team, 0, cfg.n1, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+          for (long j = 0; j < cfg.n2; ++j)
+            for (long k = 0; k < cfg.n3; ++k)
+              out(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  static_cast<std::size_t>(k)) =
+                  in(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(k));
+      });
+    }
+    const double secs = wtime() - t0;
+    P::take_snapshot();
+    return {secs, sum3(out, cfg.n1, cfg.n2, cfg.n3)};
+  }
+
+  static CfdResult stencil(const CfdConfig& cfg, WorkerTeam* team, int radius) {
+    G3 in(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+          static_cast<std::size_t>(cfg.n3));
+    G3 out(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+           static_cast<std::size_t>(cfg.n3));
+    fill3(in, cfg.n1, cfg.n2, cfg.n3, 1.0e-3);
+    const double c0 = radius == 1 ? 0.5 : 0.4;
+    const double c1 = 1.0 / 12.0;
+    const double c2 = 1.0 / 24.0;
+    const long r = radius;
+    P::reset_counts();
+    const double t0 = wtime();
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      over(team, r, cfg.n1 - r, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+          for (long j = r; j < cfg.n2 - r; ++j)
+            for (long k = r; k < cfg.n3 - r; ++k) {
+              const auto I = static_cast<std::size_t>(i);
+              const auto J = static_cast<std::size_t>(j);
+              const auto K = static_cast<std::size_t>(k);
+              double v = c0 * in(I, J, K) +
+                         c1 * (in(I - 1, J, K) + in(I + 1, J, K) + in(I, J - 1, K) +
+                               in(I, J + 1, K) + in(I, J, K - 1) + in(I, J, K + 1));
+              P::flops(13);
+              if (radius == 2) {
+                v += c2 * (in(I - 2, J, K) + in(I + 2, J, K) + in(I, J - 2, K) +
+                           in(I, J + 2, K) + in(I, J, K - 2) + in(I, J, K + 2));
+                P::flops(7);
+              }
+              out(I, J, K) = v;
+            }
+      });
+    }
+    const double secs = wtime() - t0;
+    P::take_snapshot();
+    return {secs, sum3(out, cfg.n1, cfg.n2, cfg.n3)};
+  }
+
+  static CfdResult matvec(const CfdConfig& cfg, WorkerTeam* team) {
+    G5 mats(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+            static_cast<std::size_t>(cfg.n3), 5, 5);
+    G4 vin(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+           static_cast<std::size_t>(cfg.n3), 5);
+    G4 vout(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+            static_cast<std::size_t>(cfg.n3), 5);
+    for (long i = 0; i < cfg.n1; ++i)
+      for (long j = 0; j < cfg.n2; ++j)
+        for (long k = 0; k < cfg.n3; ++k) {
+          const auto I = static_cast<std::size_t>(i);
+          const auto J = static_cast<std::size_t>(j);
+          const auto K = static_cast<std::size_t>(k);
+          for (std::size_t m = 0; m < 5; ++m) {
+            vin(I, J, K, m) = 1.0e-4 * static_cast<double>((i + 2 * j + 3 * k) % 17) +
+                              0.01 * static_cast<double>(m);
+            for (std::size_t l = 0; l < 5; ++l)
+              mats(I, J, K, m, l) = (m == l ? 1.0 : 0.01 * static_cast<double>((i + j + k) % 5));
+          }
+        }
+    P::reset_counts();
+    const double t0 = wtime();
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      over(team, 0, cfg.n1, [&](long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+          for (long j = 0; j < cfg.n2; ++j)
+            for (long k = 0; k < cfg.n3; ++k) {
+              const auto I = static_cast<std::size_t>(i);
+              const auto J = static_cast<std::size_t>(j);
+              const auto K = static_cast<std::size_t>(k);
+              for (std::size_t m = 0; m < 5; ++m) {
+                double s = 0.0;
+                for (std::size_t l = 0; l < 5; ++l) {
+                  s += mats(I, J, K, m, l) * vin(I, J, K, l);
+                  P::muladds(1);
+                }
+                vout(I, J, K, m) = s;
+                P::flops(10);
+              }
+            }
+      });
+    }
+    const double secs = wtime() - t0;
+    P::take_snapshot();
+    double chk = 0.0;
+    for (long i = 0; i < cfg.n1; ++i)
+      for (long j = 0; j < cfg.n2; ++j)
+        for (long k = 0; k < cfg.n3; ++k)
+          for (std::size_t m = 0; m < 5; ++m)
+            chk += vout(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k), m);
+    return {secs, chk};
+  }
+
+  static CfdResult reduction(const CfdConfig& cfg, WorkerTeam* team) {
+    G4 q(static_cast<std::size_t>(cfg.n1), static_cast<std::size_t>(cfg.n2),
+         static_cast<std::size_t>(cfg.n3), 5);
+    for (long i = 0; i < cfg.n1; ++i)
+      for (long j = 0; j < cfg.n2; ++j)
+        for (long k = 0; k < cfg.n3; ++k)
+          for (std::size_t m = 0; m < 5; ++m)
+            q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k), m) =
+                1.0e-6 * static_cast<double>((3 * i + 5 * j + 7 * k + 11 * static_cast<long>(m)) % 101);
+    double total = 0.0;
+    const int nranks = team ? team->size() : 1;
+    std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(nranks));
+    P::reset_counts();
+    const double t0 = wtime();
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      auto body = [&](long lo, long hi) -> double {
+        double s = 0.0;
+        for (long i = lo; i < hi; ++i)
+          for (long j = 0; j < cfg.n2; ++j)
+            for (long k = 0; k < cfg.n3; ++k)
+              for (std::size_t m = 0; m < 5; ++m) {
+                s += q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                       static_cast<std::size_t>(k), m);
+                P::flops(1);
+              }
+        return s;
+      };
+      if (team == nullptr) {
+        total = body(0, cfg.n1);
+      } else {
+        team->run([&](int rank) {
+          const Range r = partition(0, cfg.n1, rank, team->size());
+          partial[static_cast<std::size_t>(rank)].v = body(r.lo, r.hi);
+        });
+        total = 0.0;
+        for (const auto& p : partial) total += p.v;
+      }
+    }
+    const double secs = wtime() - t0;
+    P::take_snapshot();
+    return {secs, total};
+  }
+
+  static CfdResult run(CfdOp op, const CfdConfig& cfg) {
+    std::optional<WorkerTeam> team_storage;
+    if (cfg.threads > 0)
+      team_storage.emplace(cfg.threads, TeamOptions{cfg.barrier, cfg.warmup_spins});
+    WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+    switch (op) {
+      case CfdOp::Assignment: return assignment(cfg, team);
+      case CfdOp::FirstOrderStencil: return stencil(cfg, team, 1);
+      case CfdOp::SecondOrderStencil: return stencil(cfg, team, 2);
+      case CfdOp::MatVec: return matvec(cfg, team);
+      case CfdOp::ReductionSum: return reduction(cfg, team);
+    }
+    return {};
+  }
+};
+
+using LinNative = Kernels<Unchecked, Array3, Array4, Array5>;
+using LinJava = Kernels<Checked, Array3, Array4, Array5>;
+using LinCounting = Kernels<Counting, Array3, Array4, Array5>;
+using MdNative = Kernels<Unchecked, MdArray3, MdArray4, MdArray5>;
+using MdJava = Kernels<Checked, MdArray3, MdArray4, MdArray5>;
+using MdCounting = Kernels<Counting, MdArray3, MdArray4, MdArray5>;
+
+// Instantiated in cfdops_native.cpp / cfdops_java.cpp respectively.
+extern template struct Kernels<Unchecked, Array3, Array4, Array5>;
+extern template struct Kernels<Checked, Array3, Array4, Array5>;
+extern template struct Kernels<Counting, Array3, Array4, Array5>;
+extern template struct Kernels<Unchecked, MdArray3, MdArray4, MdArray5>;
+extern template struct Kernels<Checked, MdArray3, MdArray4, MdArray5>;
+extern template struct Kernels<Counting, MdArray3, MdArray4, MdArray5>;
+
+}  // namespace npb::cfdops_detail

@@ -1,0 +1,10 @@
+#include "cfdops/cfdops_impl.hpp"
+
+namespace npb::cfdops_detail {
+template struct Kernels<Checked, Array3, Array4, Array5>;
+template struct Kernels<Checked, MdArray3, MdArray4, MdArray5>;
+// The Counting policy models the same JIT environment, so its profile runs
+// are built with the java-mode flags too.
+template struct Kernels<Counting, Array3, Array4, Array5>;
+template struct Kernels<Counting, MdArray3, MdArray4, MdArray5>;
+}  // namespace npb::cfdops_detail

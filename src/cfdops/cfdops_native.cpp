@@ -1,0 +1,6 @@
+#include "cfdops/cfdops_impl.hpp"
+
+namespace npb::cfdops_detail {
+template struct Kernels<Unchecked, Array3, Array4, Array5>;
+template struct Kernels<Unchecked, MdArray3, MdArray4, MdArray5>;
+}  // namespace npb::cfdops_detail

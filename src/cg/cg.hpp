@@ -1,0 +1,28 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb {
+
+/// CG problem sizes (NPB Table 2.3 shapes): matrix order n, outer iterations,
+/// nonzeros per generated sparse vector, and the eigenvalue shift.
+struct CgParams {
+  long n = 1400;
+  int niter = 15;
+  int nonzer = 7;
+  double shift = 10.0;
+  double rcond = 0.1;
+  int cg_iters = 25;
+};
+
+CgParams cg_params(ProblemClass cls) noexcept;
+
+/// Runs CG: estimates the smallest eigenvalue of a random sparse symmetric
+/// matrix by shifted inverse power iteration, each step solved with 25
+/// conjugate-gradient iterations.  One of the paper's two "unstructured"
+/// benchmarks — irregular memory access narrows the Java/Fortran gap — and
+/// the benchmark whose tiny thread work exposed the JVM's lazy thread
+/// placement (fixed by warm-up; see TeamOptions::warmup_spins).
+RunResult run_cg(const RunConfig& cfg);
+
+}  // namespace npb

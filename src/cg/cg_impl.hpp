@@ -1,0 +1,318 @@
+#pragma once
+
+// Kernel template for CG; explicitly instantiated in cg_native.cpp and
+// cg_java.cpp (see ep_impl.hpp for the pattern).
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "array/array.hpp"
+#include "cg/cg.hpp"
+#include "common/randlc.hpp"
+#include "common/wtime.hpp"
+#include "par/parallel_for.hpp"
+#include "par/team.hpp"
+
+namespace npb::cg_detail {
+
+struct CgOutput {
+  double zeta = 0.0;       ///< final eigenvalue estimate
+  double rnorm = 0.0;      ///< final true residual ||x - A z||
+  double zeta_sum = 0.0;   ///< sum of per-outer-iteration zetas
+  double spd_probe = 0.0;  ///< min over probes of v'(A + shift I)v / v'v
+  double seconds = 0.0;
+};
+
+/// CSR matrix under an access policy, so java mode pays a bounds check per
+/// element touch in the sparse mat-vec exactly as the Java port did.
+template <class P>
+struct Csr {
+  long n = 0;
+  Array1<long, P> rowptr;
+  Array1<int, P> colidx;
+  Array1<double, P> values;
+};
+
+/// Builds the NPB-style random sparse SPD matrix, then subtracts shift on
+/// the diagonal:  A = sum_i omega_i x_i x_i' + (rcond - shift) I  with
+/// omega_i a geometric sequence from 1 down to rcond and x_i sparse random
+/// vectors forced to include position i (value 0.5).  Serial and policy-free
+/// on purpose: generation is untimed and must be identical for every mode
+/// and thread count.
+template <class P>
+Csr<P> make_matrix(const CgParams& p) {
+  const long n = p.n;
+  std::vector<std::map<int, double>> rows(static_cast<std::size_t>(n));
+  double seed = kDefaultSeed;
+  const double ratio = std::pow(p.rcond, 1.0 / static_cast<double>(n));
+  double omega = 1.0;
+
+  std::vector<int> pos;
+  std::vector<double> val;
+  pos.reserve(static_cast<std::size_t>(p.nonzer) + 1);
+  val.reserve(static_cast<std::size_t>(p.nonzer) + 1);
+
+  for (long i = 0; i < n; ++i) {
+    pos.clear();
+    val.clear();
+    // sprnvc: nonzer distinct random positions with random values.
+    while (pos.size() < static_cast<std::size_t>(p.nonzer)) {
+      const double ve = randlc(seed, kDefaultMultiplier);
+      const double vl = randlc(seed, kDefaultMultiplier);
+      const int idx = static_cast<int>(vl * static_cast<double>(n));
+      if (idx >= n) continue;
+      bool dup = false;
+      for (int q : pos) dup = dup || (q == idx);
+      if (dup) continue;
+      pos.push_back(idx);
+      val.push_back(ve);
+    }
+    // vecset: force the diagonal contribution.
+    bool has_i = false;
+    for (std::size_t q = 0; q < pos.size(); ++q)
+      if (pos[q] == static_cast<int>(i)) {
+        val[q] = 0.5;
+        has_i = true;
+      }
+    if (!has_i) {
+      pos.push_back(static_cast<int>(i));
+      val.push_back(0.5);
+    }
+    // Outer-product accumulation (symmetric by construction).
+    for (std::size_t a = 0; a < pos.size(); ++a)
+      for (std::size_t b = 0; b < pos.size(); ++b)
+        rows[static_cast<std::size_t>(pos[a])][pos[b]] += omega * val[a] * val[b];
+    omega *= ratio;
+  }
+  for (long i = 0; i < n; ++i)
+    rows[static_cast<std::size_t>(i)][static_cast<int>(i)] += p.rcond - p.shift;
+
+  long nnz = 0;
+  for (const auto& r : rows) nnz += static_cast<long>(r.size());
+
+  Csr<P> m;
+  m.n = n;
+  m.rowptr = Array1<long, P>(static_cast<std::size_t>(n + 1));
+  m.colidx = Array1<int, P>(static_cast<std::size_t>(nnz));
+  m.values = Array1<double, P>(static_cast<std::size_t>(nnz));
+  long at = 0;
+  m.rowptr[0] = 0;
+  for (long i = 0; i < n; ++i) {
+    for (const auto& [c, v] : rows[static_cast<std::size_t>(i)]) {
+      m.colidx[static_cast<std::size_t>(at)] = c;
+      m.values[static_cast<std::size_t>(at)] = v;
+      ++at;
+    }
+    m.rowptr[static_cast<std::size_t>(i + 1)] = at;
+  }
+  return m;
+}
+
+/// y = A x over rows [lo, hi).
+template <class P>
+void spmv_rows(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& y,
+               long lo, long hi) {
+  for (long i = lo; i < hi; ++i) {
+    double sum = 0.0;
+    const long e0 = m.rowptr[static_cast<std::size_t>(i)];
+    const long e1 = m.rowptr[static_cast<std::size_t>(i + 1)];
+    for (long e = e0; e < e1; ++e) {
+      sum += m.values[static_cast<std::size_t>(e)] *
+             x[static_cast<std::size_t>(m.colidx[static_cast<std::size_t>(e)])];
+      P::muladds(1);
+    }
+    P::flops(2 * (e1 - e0));
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+template <class P>
+double dot_rows(const Array1<double, P>& a, const Array1<double, P>& b, long lo,
+                long hi) {
+  double s = 0.0;
+  for (long i = lo; i < hi; ++i) {
+    s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    P::muladds(1);
+  }
+  P::flops(2 * (hi - lo));
+  return s;
+}
+
+/// Shared scalar state for the SPMD conjugate-gradient solve.
+struct CgScalars {
+  double rho = 0.0;
+  double rho0 = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  double pq = 0.0;
+  double rnorm = 0.0;
+};
+
+/// 25 CG iterations solving A z = x; returns ||x - A z||.  `lo`/`hi` is this
+/// rank's row block; single-threaded callers pass the whole range and a null
+/// team.  Reductions go through `partial` (rank-ordered, deterministic).
+template <class P>
+void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z,
+               Array1<double, P>& r, Array1<double, P>& pvec,
+               Array1<double, P>& q, int cg_iters, WorkerTeam* team, int rank,
+               int nranks, std::vector<detail::PaddedDouble>& partial,
+               CgScalars& sc) {
+  const Range blk = partition(0, m.n, rank, nranks);
+  const long lo = blk.lo, hi = blk.hi;
+  auto reduce = [&](double mine) -> double {
+    if (team == nullptr) return mine;
+    partial[static_cast<std::size_t>(rank)].v = mine;
+    team->barrier();
+    double s = 0.0;
+    for (int t = 0; t < nranks; ++t) s += partial[static_cast<std::size_t>(t)].v;
+    team->barrier();
+    return s;
+  };
+
+  for (long i = lo; i < hi; ++i) {
+    z[static_cast<std::size_t>(i)] = 0.0;
+    r[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+    pvec[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+  }
+  if (team != nullptr) team->barrier();
+  const double rho_init = reduce(dot_rows<P>(r, r, lo, hi));
+  if (rank == 0) sc.rho = rho_init;
+  if (team != nullptr) team->barrier();
+
+  for (int it = 0; it < cg_iters; ++it) {
+    spmv_rows(m, pvec, q, lo, hi);
+    if (team != nullptr) team->barrier();
+    const double pq = reduce(dot_rows<P>(pvec, q, lo, hi));
+    const double alpha = sc.rho / pq;
+    const double rho0 = sc.rho;
+    for (long i = lo; i < hi; ++i) {
+      z[static_cast<std::size_t>(i)] += alpha * pvec[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+      P::muladds(2);
+    }
+    P::flops(4 * (hi - lo));
+    if (team != nullptr) team->barrier();
+    const double rho = reduce(dot_rows<P>(r, r, lo, hi));
+    if (rank == 0) sc.rho = rho;
+    const double beta = rho / rho0;
+    for (long i = lo; i < hi; ++i) {
+      pvec[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] + beta * pvec[static_cast<std::size_t>(i)];
+      P::muladds(1);
+    }
+    P::flops(2 * (hi - lo));
+    if (team != nullptr) team->barrier();
+  }
+
+  // True residual ||x - A z||.
+  spmv_rows(m, z, q, lo, hi);
+  if (team != nullptr) team->barrier();
+  double local = 0.0;
+  for (long i = lo; i < hi; ++i) {
+    const double d = x[static_cast<std::size_t>(i)] - q[static_cast<std::size_t>(i)];
+    local += d * d;
+  }
+  const double sumsq = reduce(local);
+  if (rank == 0) sc.rnorm = std::sqrt(sumsq);
+  if (team != nullptr) team->barrier();
+}
+
+template <class P>
+CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
+  const Csr<P> m = make_matrix<P>(p);
+  const long n = m.n;
+
+  Array1<double, P> x(static_cast<std::size_t>(n), 1.0);
+  Array1<double, P> z(static_cast<std::size_t>(n));
+  Array1<double, P> r(static_cast<std::size_t>(n));
+  Array1<double, P> pvec(static_cast<std::size_t>(n));
+  Array1<double, P> q(static_cast<std::size_t>(n));
+
+  CgOutput out;
+
+  // SPD probe (untimed intrinsic check): v'(A + shift I)v / v'v should be
+  // >= rcond for any v, since A + shift I = sum omega_i x_i x_i' + rcond I.
+  {
+    double seed = 97531.0;
+    double minratio = 1.0e300;
+    for (int probe = 0; probe < 3; ++probe) {
+      for (long i = 0; i < n; ++i)
+        z[static_cast<std::size_t>(i)] = 2.0 * randlc(seed, kDefaultMultiplier) - 1.0;
+      spmv_rows(m, z, q, 0, n);
+      double vav = 0.0, vv = 0.0;
+      for (long i = 0; i < n; ++i) {
+        vav += z[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i)];
+        vv += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+      }
+      minratio = std::fmin(minratio, vav / vv + p.shift);
+    }
+    out.spd_probe = minratio;
+  }
+
+  const int nranks = threads == 0 ? 1 : threads;
+  std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(nranks));
+  CgScalars sc;
+
+  // Thread creation happens at initialization (untimed), as in the paper.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+
+  const double t0 = wtime();
+  double zeta = 0.0;
+  if (threads == 0) {
+    for (int outer = 1; outer <= p.niter; ++outer) {
+      conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, partial, sc);
+      double xz = 0.0, zz = 0.0;
+      for (long i = 0; i < n; ++i) {
+        xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+        zz += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+      }
+      zeta = p.shift + 1.0 / xz;
+      out.zeta_sum += zeta;
+      const double znorm = 1.0 / std::sqrt(zz);
+      for (long i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
+    }
+  } else {
+    WorkerTeam& team = *team_storage;
+    for (int outer = 1; outer <= p.niter; ++outer) {
+      std::vector<detail::PaddedDouble> xz_p(static_cast<std::size_t>(threads));
+      std::vector<detail::PaddedDouble> zz_p(static_cast<std::size_t>(threads));
+      team.run([&](int rank) {
+        conj_grad(m, x, z, r, pvec, q, p.cg_iters, &team, rank, threads, partial, sc);
+        const Range blk = partition(0, n, rank, threads);
+        double xz = 0.0, zz = 0.0;
+        for (long i = blk.lo; i < blk.hi; ++i) {
+          xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+          zz += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+        }
+        xz_p[static_cast<std::size_t>(rank)].v = xz;
+        zz_p[static_cast<std::size_t>(rank)].v = zz;
+        team.barrier();
+        double xz_all = 0.0, zz_all = 0.0;
+        for (int t = 0; t < threads; ++t) {
+          xz_all += xz_p[static_cast<std::size_t>(t)].v;
+          zz_all += zz_p[static_cast<std::size_t>(t)].v;
+        }
+        const double znorm = 1.0 / std::sqrt(zz_all);
+        for (long i = blk.lo; i < blk.hi; ++i)
+          x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
+        if (rank == 0) sc.pq = xz_all;  // stash for master
+        team.barrier();
+      });
+      zeta = p.shift + 1.0 / sc.pq;
+      out.zeta_sum += zeta;
+    }
+  }
+  out.seconds = wtime() - t0;
+  out.zeta = zeta;
+  out.rnorm = sc.rnorm;
+  return out;
+}
+
+extern template CgOutput cg_run<Unchecked>(const CgParams&, int, const TeamOptions&);
+extern template CgOutput cg_run<Checked>(const CgParams&, int, const TeamOptions&);
+
+}  // namespace npb::cg_detail

@@ -1,0 +1,28 @@
+#include "common/classes.hpp"
+
+namespace npb {
+
+const char* to_string(ProblemClass c) noexcept {
+  switch (c) {
+    case ProblemClass::S: return "S";
+    case ProblemClass::W: return "W";
+    case ProblemClass::A: return "A";
+    case ProblemClass::B: return "B";
+    case ProblemClass::C: return "C";
+  }
+  return "?";
+}
+
+std::optional<ProblemClass> parse_class(std::string_view text) noexcept {
+  if (text.size() != 1) return std::nullopt;
+  switch (text[0]) {
+    case 'S': case 's': return ProblemClass::S;
+    case 'W': case 'w': return ProblemClass::W;
+    case 'A': case 'a': return ProblemClass::A;
+    case 'B': case 'b': return ProblemClass::B;
+    case 'C': case 'c': return ProblemClass::C;
+  }
+  return std::nullopt;
+}
+
+}  // namespace npb

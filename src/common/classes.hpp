@@ -1,0 +1,18 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace npb {
+
+/// NPB problem classes.  S is the sample ("small") size used for correctness
+/// testing, W the workstation size, and A/B/C the benchmarking sizes.  The
+/// paper reports class A results and says S and W were also tested.
+enum class ProblemClass { S, W, A, B, C };
+
+const char* to_string(ProblemClass c) noexcept;
+
+/// Parses "S"/"W"/"A"/"B"/"C" (case-insensitive); empty optional on no match.
+std::optional<ProblemClass> parse_class(std::string_view text) noexcept;
+
+}  // namespace npb

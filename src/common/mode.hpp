@@ -1,0 +1,20 @@
+#pragma once
+
+namespace npb {
+
+/// Which language environment a kernel models.
+///
+/// The paper compares Fortran (f77 -O3) against Java 1.1-1.3 JITs.  We model
+/// the two as compile-time variants of the same kernel templates:
+///  - `Native`: unchecked linearized array access, FMA contraction permitted
+///    (the translation unit is built with -ffp-contract=fast).
+///  - `Java`: every array access bounds-checked and the translation unit is
+///    built with -ffp-contract=off -fno-tree-vectorize, modelling the strict
+///    Java rounding rules (no madd) and JIT-era code generation.
+enum class Mode { Native, Java };
+
+inline const char* to_string(Mode m) noexcept {
+  return m == Mode::Native ? "native" : "java";
+}
+
+}  // namespace npb

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+namespace npb {
+
+/// The NPB pseudorandom number generator: the linear congruential recurrence
+///   x_{k+1} = a * x_k  (mod 2^46)
+/// evaluated exactly in double precision by splitting operands into 23-bit
+/// halves.  Returns x_{k+1} * 2^-46 in (0, 1) and advances `x` in place.
+/// Identical sequences to the Fortran RANDLC for the same (x, a), which is
+/// what makes NPB workloads reproducible across languages.
+double randlc(double& x, double a) noexcept;
+
+/// Generates `n` consecutive randlc values into y[0..n), advancing `x`.
+void vranlc(std::size_t n, double& x, double a, double* y) noexcept;
+
+/// Computes a * 2^exponent's effect on the seed: returns the seed advanced by
+/// 2^k steps without generating intermediate values (NPB's ipow46 idiom used
+/// by EP and FT to give each thread an independent stream offset).
+double randlc_skip(double seed, double a, unsigned long long steps) noexcept;
+
+/// Default NPB seed and multiplier (5^13).
+inline constexpr double kDefaultSeed = 314159265.0;
+inline constexpr double kDefaultMultiplier = 1220703125.0;
+
+}  // namespace npb

@@ -1,0 +1,65 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace npb {
+
+std::string Table::cell(double seconds, int precision) {
+  if (seconds < 0.0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, seconds);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width;
+  auto widen = [&width](const std::vector<std::string>& cells) {
+    if (cells.size() > width.size()) width.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      width[i] = std::max(width[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = width.empty() ? 0 : 2 * (width.size() - 1);
+  for (auto w : width) total += w;
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      if (i == 0) {
+        out += c;
+        out.append(width[i] - c.size(), ' ');
+      } else {
+        out += "  ";
+        out.append(width[i] - c.size(), ' ');
+        out += c;
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::string out;
+  out += title_;
+  out += '\n';
+  out.append(std::max(total, title_.size()), '=');
+  out += '\n';
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out.append(total, '-');
+      out += '\n';
+    } else {
+      emit_row(out, row);
+    }
+  }
+  return out;
+}
+
+}  // namespace npb

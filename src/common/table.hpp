@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace npb {
+
+/// Minimal fixed-width table printer used by the bench harnesses to emit the
+/// paper-shaped tables (rows = benchmark x language, columns = serial and
+/// thread counts).  Cells are free text so a row can mix times, ratios and
+/// "-" placeholders exactly as the paper's tables do.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells) { header_ = std::move(cells); }
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void add_separator() { rows_.push_back({}); }
+
+  /// Renders with per-column auto width; first column left-aligned, the rest
+  /// right-aligned, like the tables in the paper.
+  std::string render() const;
+
+  /// Convenience: renders a double as a fixed-point cell ("12.34"), or "-"
+  /// when the value is negative (used for not-run configurations).
+  static std::string cell(double seconds, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace npb

@@ -1,0 +1,38 @@
+#include "common/verify.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace npb {
+
+bool approx_equal(double got, double ref, double eps) noexcept {
+  if (!std::isfinite(got) || !std::isfinite(ref)) return false;
+  const double denom = std::fmax(std::fabs(ref), 1.0e-300);
+  double err = std::fabs(got - ref) / denom;
+  // For tiny references fall back to an absolute comparison.
+  if (std::fabs(ref) < 1.0e-12) err = std::fabs(got - ref);
+  return err <= eps;
+}
+
+VerifyResult verify_checksums(const std::vector<double>& got,
+                              const std::vector<double>& ref, double eps) {
+  VerifyResult out;
+  if (got.size() != ref.size()) {
+    out.passed = false;
+    out.detail = "checksum count mismatch: got " + std::to_string(got.size()) +
+                 ", reference has " + std::to_string(ref.size());
+    return out;
+  }
+  out.passed = true;
+  char line[160];
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const bool ok = approx_equal(got[i], ref[i], eps);
+    out.passed = out.passed && ok;
+    std::snprintf(line, sizeof line, "  [%zu] got %.15e ref %.15e %s\n", i,
+                  got[i], ref[i], ok ? "ok" : "FAIL");
+    out.detail += line;
+  }
+  return out;
+}
+
+}  // namespace npb

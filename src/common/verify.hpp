@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace npb {
+
+/// The acceptance threshold every NPB verification routine uses.
+inline constexpr double kVerifyEpsilon = 1.0e-8;
+
+/// True when |got - ref| / max(|ref|, floor) <= eps (relative comparison with
+/// an absolute floor so reference values of exactly zero remain comparable).
+bool approx_equal(double got, double ref, double eps = kVerifyEpsilon) noexcept;
+
+/// Outcome of a benchmark verification pass.
+struct VerifyResult {
+  bool passed = false;
+  /// Human-readable account of what was compared (printed by the runner and
+  /// embedded in test failure messages).
+  std::string detail;
+};
+
+/// Compares a vector of computed checksums against references; produces a
+/// per-element report.  Used by every benchmark's reference verification.
+VerifyResult verify_checksums(const std::vector<double>& got,
+                              const std::vector<double>& ref,
+                              double eps = kVerifyEpsilon);
+
+}  // namespace npb

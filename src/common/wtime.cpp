@@ -1,0 +1,11 @@
+#include "common/wtime.hpp"
+
+namespace npb {
+
+double wtime() noexcept {
+  using clock = std::chrono::steady_clock;
+  const auto now = clock::now().time_since_epoch();
+  return std::chrono::duration<double>(now).count();
+}
+
+}  // namespace npb

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <chrono>
+
+namespace npb {
+
+/// Wall-clock seconds since an arbitrary (steady) epoch.  Equivalent of the
+/// `wtime()` routine all NPB reference implementations time themselves with.
+double wtime() noexcept;
+
+/// Start/stop accumulating timer, mirroring NPB's timer_start/timer_stop.
+class Timer {
+ public:
+  void start() noexcept { start_ = wtime(); }
+  void stop() noexcept { elapsed_ += wtime() - start_; }
+  void reset() noexcept { elapsed_ = 0.0; }
+  /// Total accumulated seconds across all start/stop pairs.
+  double elapsed() const noexcept { return elapsed_; }
+
+ private:
+  double start_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+/// Times a single callable invocation and returns wall seconds.
+template <class F>
+double time_once(F&& f) {
+  const double t0 = wtime();
+  f();
+  return wtime() - t0;
+}
+
+}  // namespace npb

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb {
+
+/// Problem sizes for EP: the benchmark generates 2^log2_pairs Gaussian pairs.
+struct EpParams {
+  int log2_pairs = 24;
+};
+
+EpParams ep_params(ProblemClass cls) noexcept;
+
+/// Runs the EP (Embarrassingly Parallel) kernel: generates pseudo-random
+/// Gaussian deviates with the Marsaglia polar method over randlc streams and
+/// tallies them by annulus.  The suite-completing NPB member (the paper's
+/// related-work section mentions the Adelaide group's EP port); its perfect
+/// parallelism makes it the control case for the threading substrate.
+RunResult run_ep(const RunConfig& cfg);
+
+}  // namespace npb

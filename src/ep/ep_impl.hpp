@@ -1,0 +1,113 @@
+#pragma once
+
+// Kernel template for EP.  Explicitly instantiated in ep_native.cpp and
+// ep_java.cpp under the two compile-flag environments (see the top-level
+// CMakeLists for the flag sets); the extern template declarations at the
+// bottom keep other translation units from instantiating it implicitly.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "array/array.hpp"
+#include "common/randlc.hpp"
+#include "common/wtime.hpp"
+#include "par/parallel_for.hpp"
+#include "par/team.hpp"
+
+namespace npb::ep_detail {
+
+inline constexpr double kEpSeed = 271828183.0;
+inline constexpr long kBlockPairs = 1L << 16;
+inline constexpr int kAnnuli = 10;
+
+struct EpOutput {
+  double sx = 0.0;
+  double sy = 0.0;
+  double accepted = 0.0;
+  std::array<double, kAnnuli> q{};
+  double seconds = 0.0;
+};
+
+struct BlockAccum {
+  double sx = 0.0;
+  double sy = 0.0;
+  double accepted = 0.0;
+  std::array<double, kAnnuli> q{};
+};
+
+/// Processes one block of kBlockPairs pairs starting at pair offset
+/// block * kBlockPairs, accumulating into `acc`.  `buf` is the caller's
+/// scratch of 2*kBlockPairs doubles.
+template <class P>
+void ep_block(long block, Array1<double, P>& buf, BlockAccum& acc) {
+  const auto nvals = static_cast<std::size_t>(2 * kBlockPairs);
+  double x = randlc_skip(kEpSeed, kDefaultMultiplier,
+                         static_cast<unsigned long long>(block) * nvals);
+  vranlc(nvals, x, kDefaultMultiplier, buf.data());
+
+  for (long i = 0; i < kBlockPairs; ++i) {
+    const double x1 = 2.0 * buf[static_cast<std::size_t>(2 * i)] - 1.0;
+    const double x2 = 2.0 * buf[static_cast<std::size_t>(2 * i) + 1] - 1.0;
+    const double t = x1 * x1 + x2 * x2;
+    P::flops(7);
+    P::muladds(2);
+    if (t <= 1.0) {
+      const double tf = std::sqrt(-2.0 * std::log(t) / t);
+      const double gx = x1 * tf;
+      const double gy = x2 * tf;
+      acc.sx += gx;
+      acc.sy += gy;
+      const auto l = static_cast<std::size_t>(std::fmax(std::fabs(gx), std::fabs(gy)));
+      acc.q[l] += 1.0;
+      acc.accepted += 1.0;
+      P::flops(8);
+    }
+  }
+}
+
+template <class P>
+EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
+  const long npairs = 1L << log2_pairs;
+  const long nblocks = (npairs + kBlockPairs - 1) / kBlockPairs;
+
+  EpOutput out;
+  const double t0 = wtime();
+
+  if (threads == 0) {
+    Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
+    BlockAccum acc;
+    for (long b = 0; b < nblocks; ++b) ep_block<P>(b, buf, acc);
+    out.sx = acc.sx;
+    out.sy = acc.sy;
+    out.accepted = acc.accepted;
+    out.q = acc.q;
+  } else {
+    WorkerTeam team(threads, topts);
+    std::vector<BlockAccum> partial(static_cast<std::size_t>(threads));
+    team.run([&](int rank) {
+      Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
+      BlockAccum acc;
+      const Range r = partition(0, nblocks, rank, threads);
+      for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
+      partial[static_cast<std::size_t>(rank)] = acc;
+    });
+    // Rank-ordered combine keeps the result deterministic per thread count.
+    for (const BlockAccum& acc : partial) {
+      out.sx += acc.sx;
+      out.sy += acc.sy;
+      out.accepted += acc.accepted;
+      for (int l = 0; l < kAnnuli; ++l) out.q[static_cast<std::size_t>(l)] +=
+          acc.q[static_cast<std::size_t>(l)];
+    }
+  }
+
+  out.seconds = wtime() - t0;
+  return out;
+}
+
+extern template EpOutput ep_run<Unchecked>(int, int, const TeamOptions&);
+extern template EpOutput ep_run<Checked>(int, int, const TeamOptions&);
+
+}  // namespace npb::ep_detail

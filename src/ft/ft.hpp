@@ -1,0 +1,26 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb {
+
+/// FT problem sizes: n1 x n2 x n3 complex grid (all powers of two) evolved
+/// for `iterations` timesteps.
+struct FtParams {
+  long n1 = 64, n2 = 64, n3 = 64;
+  int iterations = 6;
+  double alpha = 1.0e-6;
+};
+
+FtParams ft_params(ProblemClass cls) noexcept;
+
+/// Runs FT: the computational kernel of a 3-D FFT-based spectral solver.
+/// A random complex field is transformed once, then each timestep scales the
+/// spectrum by Gaussian decay factors (the exact solution of the diffusion
+/// equation) and transforms back, checksumming 1024 scattered elements.
+/// Structured-grid group; the paper flags its appetite for memory (class A
+/// needs ~350 MB in Java) as the thing that killed JVM scalability on the
+/// Enterprise10000.
+RunResult run_ft(const RunConfig& cfg);
+
+}  // namespace npb

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb {
+
+/// IS problem sizes: `total_keys` integers uniformly built from four randlc
+/// draws (quasi-binomial), key values in [0, max_key); ranked 10 times.
+struct IsParams {
+  long total_keys = 1L << 16;
+  long max_key = 1L << 11;
+  int iterations = 10;
+};
+
+IsParams is_params(ProblemClass cls) noexcept;
+
+/// Runs IS (Integer Sort): linear-time ranking of integer keys by histogram
+/// counting — the only non-floating-point NPB member and, with CG, one of
+/// the paper's two "unstructured" benchmarks whose Java/Fortran(C) gap is
+/// small.  Its tiny per-thread work also makes it the paper's example of
+/// data-movement overhead eclipsing parallel gain.
+RunResult run_is(const RunConfig& cfg);
+
+}  // namespace npb

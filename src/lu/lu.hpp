@@ -1,0 +1,25 @@
+#pragma once
+
+#include "npb/run.hpp"
+#include "pseudoapp/app.hpp"
+
+namespace npb {
+
+pseudoapp::AppParams lu_params(ProblemClass cls) noexcept;
+
+/// Runs LU: the SSOR simulated CFD application.  Each pseudo-timestep splits
+/// the implicit operator into block lower and upper triangular parts and
+/// performs one forward and one backward Gauss-Seidel sweep with 5x5 block
+/// algebra per cell (jacld/blts and jacu/buts in NPB).  The threaded version
+/// pipelines over the outermost grid dimension with point-to-point
+/// synchronization inside the sweep loop — the structure the paper blames
+/// for LU's lower scalability.
+RunResult run_lu(const RunConfig& cfg);
+
+/// The LU-HP variant: hyperplane (wavefront) sweeps with a barrier per
+/// hyperplane instead of the pipelined point-to-point handoffs.  Bitwise
+/// identical results; different synchronization economics (the ablation of
+/// the paper's "synchronization inside a loop" observation).
+RunResult run_lu_hp(const RunConfig& cfg);
+
+}  // namespace npb

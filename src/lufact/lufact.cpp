@@ -1,0 +1,28 @@
+#include "lufact/lufact.hpp"
+
+#include "lufact/lufact_impl.hpp"
+
+namespace npb {
+
+const char* to_string(LuAlgorithm a) noexcept {
+  return a == LuAlgorithm::Blas1 ? "lufact(BLAS1)" : "DGETRF(blocked)";
+}
+
+long lufact_order(ProblemClass cls) noexcept {
+  switch (cls) {
+    case ProblemClass::S:
+    case ProblemClass::W: return 250;  // sub-Grande size for fast tests
+    case ProblemClass::A: return 500;
+    case ProblemClass::B: return 1000;
+    case ProblemClass::C: return 2000;
+  }
+  return 500;
+}
+
+LufactResult run_lufact(const LufactConfig& cfg) {
+  using namespace lufact_detail;
+  return cfg.mode == Mode::Native ? lufact_run<Unchecked>(cfg)
+                                  : lufact_run<Checked>(cfg);
+}
+
+}  // namespace npb

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "common/classes.hpp"
+#include "common/mode.hpp"
+
+namespace npb {
+
+/// Which LU factorization the paper's Table 7 compares:
+///  - Blas1: the Java Grande `lufact` algorithm — LINPACK dgefa/dgesl with
+///    daxpy inner loops and poor cache reuse.  Its memory-bound profile is
+///    why the Java Grande suite under-reports the Java/Fortran gap.
+///  - Blocked: a LINPACK/LAPACK DGETRF-style right-looking blocked LU whose
+///    trailing update is a matrix-matrix multiply ("DGETRF has good cache
+///    reuse since it is based on MMULT").
+enum class LuAlgorithm { Blas1, Blocked };
+
+const char* to_string(LuAlgorithm a) noexcept;
+
+struct LufactConfig {
+  long n = 500;
+  Mode mode = Mode::Native;
+  LuAlgorithm alg = LuAlgorithm::Blas1;
+  long block = 40;  ///< panel width for the blocked algorithm
+};
+
+struct LufactResult {
+  double seconds = 0.0;           ///< factor + solve (the Java Grande timing)
+  double residual_normalized = 0.0;  ///< ||Ax-b|| / (n ||A|| ||x|| eps)
+  double x_checksum = 0.0;        ///< sum of solution entries
+  double mflops = 0.0;            ///< (2/3 n^3 + 2 n^2) / time
+};
+
+/// Java Grande lufact class sizes: A = 500x500, B = 1000, C = 2000.
+long lufact_order(ProblemClass cls) noexcept;
+
+LufactResult run_lufact(const LufactConfig& cfg);
+
+}  // namespace npb

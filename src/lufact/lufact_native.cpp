@@ -1,0 +1,5 @@
+#include "lufact/lufact_impl.hpp"
+
+namespace npb::lufact_detail {
+template LufactResult lufact_run<Unchecked>(const LufactConfig&);
+}  // namespace npb::lufact_detail

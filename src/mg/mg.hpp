@@ -1,0 +1,22 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb {
+
+/// MG problem sizes: a 2^log2_n cubed periodic grid and `iterations` V-cycles.
+struct MgParams {
+  int log2_n = 5;
+  int iterations = 4;
+};
+
+MgParams mg_params(ProblemClass cls) noexcept;
+
+/// Runs MG: V-cycle multigrid for the scalar 3-D Poisson equation with
+/// periodic boundaries — 27-point stencils for the operator, smoother,
+/// full-weighting restriction and trilinear interpolation.  A structured-grid
+/// benchmark: its compact stencil is exactly the paper's "filtering an array
+/// with a local kernel" basic operation, so the Java/Fortran gap is large.
+RunResult run_mg(const RunConfig& cfg);
+
+}  // namespace npb

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace npb::msg {
+
+/// One directed mailbox (src -> dst) carrying tagged messages of doubles.
+/// recv() blocks until a message with the requested tag arrives; messages
+/// with the same tag are delivered in send order (the MPI ordering rule for
+/// a fixed (source, tag) pair).
+class Channel {
+ public:
+  void send(int tag, std::vector<double> payload) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      box_.push_back({tag, std::move(payload)});
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<double> recv(int tag) {
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      for (auto it = box_.begin(); it != box_.end(); ++it) {
+        if (it->tag == tag) {
+          std::vector<double> out = std::move(it->payload);
+          box_.erase(it);
+          return out;
+        }
+      }
+      cv_.wait(lk);
+    }
+  }
+
+ private:
+  struct Message {
+    int tag;
+    std::vector<double> payload;
+  };
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Message> box_;
+};
+
+}  // namespace npb::msg

@@ -1,0 +1,167 @@
+#include "msg/communicator.hpp"
+
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace npb::msg {
+
+void Communicator::send(int dst, int tag, std::span<const double> data) {
+  if (dst < 0 || dst >= size_) throw std::out_of_range("send: bad rank");
+  world_->channel(rank_, dst).send(tag, std::vector<double>(data.begin(), data.end()));
+}
+
+void Communicator::recv(int src, int tag, std::span<double> out) {
+  if (src < 0 || src >= size_) throw std::out_of_range("recv: bad rank");
+  const std::vector<double> msg = world_->channel(src, rank_).recv(tag);
+  if (msg.size() != out.size())
+    throw std::length_error("recv: message size " + std::to_string(msg.size()) +
+                            " != buffer size " + std::to_string(out.size()));
+  std::memcpy(out.data(), msg.data(), msg.size() * sizeof(double));
+}
+
+void Communicator::barrier() { world_->barrier_->arrive_and_wait(); }
+
+namespace {
+constexpr int kTagReduce = -101;
+constexpr int kTagBcast = -102;
+constexpr int kTagAlltoall = -103;
+constexpr int kTagAlltoallv = -104;
+}  // namespace
+
+double Communicator::allreduce_sum(double value) {
+  double v = value;
+  allreduce_sum(std::span<double>(&v, 1));
+  return v;
+}
+
+void Communicator::allreduce_sum(std::span<double> values) {
+  // Gather to rank 0 in rank order (deterministic association), then
+  // broadcast the result.
+  if (rank_ == 0) {
+    std::vector<double> incoming(values.size());
+    for (int src = 1; src < size_; ++src) {
+      recv(src, kTagReduce, incoming);
+      for (std::size_t i = 0; i < values.size(); ++i) values[i] += incoming[i];
+    }
+  } else {
+    send(0, kTagReduce, values);
+  }
+  broadcast(0, values);
+}
+
+void Communicator::broadcast(int root, std::span<double> data) {
+  if (rank_ == root) {
+    for (int dst = 0; dst < size_; ++dst)
+      if (dst != root) send(dst, kTagBcast, data);
+  } else {
+    recv(root, kTagBcast, data);
+  }
+}
+
+void Communicator::alltoall(std::span<const double> sendbuf, std::span<double> recvbuf,
+                            std::size_t block) {
+  if (sendbuf.size() != block * static_cast<std::size_t>(size_) ||
+      recvbuf.size() != block * static_cast<std::size_t>(size_))
+    throw std::length_error("alltoall: buffer/block mismatch");
+  // Self-block is a local copy; the rest are pairwise exchanges.
+  std::memcpy(recvbuf.data() + static_cast<std::size_t>(rank_) * block,
+              sendbuf.data() + static_cast<std::size_t>(rank_) * block,
+              block * sizeof(double));
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_) continue;
+    send(peer, kTagAlltoall, sendbuf.subspan(static_cast<std::size_t>(peer) * block, block));
+  }
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_) continue;
+    recv(peer, kTagAlltoall,
+         recvbuf.subspan(static_cast<std::size_t>(peer) * block, block));
+  }
+}
+
+std::vector<double> Communicator::alltoallv(
+    const std::vector<std::vector<double>>& outgoing) {
+  if (outgoing.size() != static_cast<std::size_t>(size_))
+    throw std::length_error("alltoallv: need one outgoing vector per rank");
+  // Counts first (as one-double messages), then payloads.
+  std::vector<double> counts(static_cast<std::size_t>(size_));
+  for (int peer = 0; peer < size_; ++peer) {
+    const double c = static_cast<double>(outgoing[static_cast<std::size_t>(peer)].size());
+    if (peer == rank_) {
+      counts[static_cast<std::size_t>(peer)] = c;
+    } else {
+      send(peer, kTagAlltoallv, std::span<const double>(&c, 1));
+    }
+  }
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_) continue;
+    recv(peer, kTagAlltoallv,
+         std::span<double>(&counts[static_cast<std::size_t>(peer)], 1));
+  }
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_) continue;
+    send(peer, kTagAlltoallv, outgoing[static_cast<std::size_t>(peer)]);
+  }
+  std::vector<double> merged;
+  for (int peer = 0; peer < size_; ++peer) {
+    const auto count = static_cast<std::size_t>(counts[static_cast<std::size_t>(peer)]);
+    const std::size_t at = merged.size();
+    merged.resize(at + count);
+    if (peer == rank_) {
+      std::memcpy(merged.data() + at, outgoing[static_cast<std::size_t>(peer)].data(),
+                  count * sizeof(double));
+    } else if (count > 0) {
+      recv(peer, kTagAlltoallv, std::span<double>(merged.data() + at, count));
+    }
+  }
+  return merged;
+}
+
+void Communicator::allgatherv(std::span<const double> local, std::span<double> full,
+                              const std::vector<std::size_t>& offsets) {
+  if (offsets.size() != static_cast<std::size_t>(size_) + 1)
+    throw std::length_error("allgatherv: offsets must have size+1 entries");
+  constexpr int kTagGather = -105;
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_) continue;
+    send(peer, kTagGather, local);
+  }
+  std::memcpy(full.data() + offsets[static_cast<std::size_t>(rank_)], local.data(),
+              local.size() * sizeof(double));
+  for (int peer = 0; peer < size_; ++peer) {
+    if (peer == rank_) continue;
+    const std::size_t at = offsets[static_cast<std::size_t>(peer)];
+    const std::size_t len = offsets[static_cast<std::size_t>(peer) + 1] - at;
+    recv(peer, kTagGather, full.subspan(at, len));
+  }
+}
+
+World::World(int nranks) : n_(nranks), barrier_(make_barrier(BarrierKind::CondVar, nranks)) {
+  channels_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  for (auto& c : channels_) c = std::make_unique<Channel>();
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_));
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < n_; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(this, r, n_);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace npb::msg

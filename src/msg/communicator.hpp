@@ -1,0 +1,84 @@
+#pragma once
+
+// An in-process message-passing runtime, reproducing the related-work
+// alternative to the paper's shared-memory translation: the University of
+// Westminster group implemented FT and IS over a Java binding of MPI
+// ("javampi", Getov et al.).  Ranks are threads; all communication goes
+// through explicit send/recv mailboxes and collectives built on them — no
+// rank ever reads another rank's arrays directly.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "msg/channel.hpp"
+#include "par/barrier.hpp"
+
+namespace npb::msg {
+
+class World;
+
+/// A rank's handle on the world: MPI-flavoured point-to-point and
+/// collective operations.  Methods may be called concurrently by different
+/// ranks but each Communicator object belongs to exactly one rank.
+class Communicator {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return size_; }
+
+  /// Blocking tagged send/recv of doubles (payload is copied, like an MPI
+  /// buffered send — the Java MPI bindings of the era copied too).
+  void send(int dst, int tag, std::span<const double> data);
+  void recv(int src, int tag, std::span<double> out);
+
+  void barrier();
+
+  /// Collectives (implemented on send/recv + the barrier):
+  double allreduce_sum(double value);
+  void allreduce_sum(std::span<double> values);
+  void broadcast(int root, std::span<double> data);
+  /// Dense all-to-all: block i of `sendbuf` goes to rank i; block j of
+  /// `recvbuf` receives from rank j.  Both span size*block doubles.
+  void alltoall(std::span<const double> sendbuf, std::span<double> recvbuf,
+                std::size_t block);
+  /// Variable all-to-all: counts[i] doubles go to rank i; returns the
+  /// per-source received vectors concatenated in rank order.
+  std::vector<double> alltoallv(const std::vector<std::vector<double>>& outgoing);
+  /// Allgather with per-rank block sizes: rank i contributes `local`, which
+  /// lands at offsets[i] of `full` on every rank.  `full` must already be
+  /// sized to the sum of all block sizes; every rank passes the same layout.
+  void allgatherv(std::span<const double> local, std::span<double> full,
+                  const std::vector<std::size_t>& offsets);
+
+ private:
+  friend class World;
+  Communicator(World* world, int rank, int size)
+      : world_(world), rank_(rank), size_(size) {}
+  World* world_;
+  int rank_;
+  int size_;
+};
+
+/// Owns the mailboxes and launches one thread per rank.
+class World {
+ public:
+  explicit World(int nranks);
+
+  /// Runs fn(comm) on every rank; returns when all ranks finish.
+  /// Rethrows the first rank's exception, if any.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  friend class Communicator;
+  Channel& channel(int src, int dst) {
+    return *channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                      static_cast<std::size_t>(dst)];
+  }
+
+  int n_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace npb::msg

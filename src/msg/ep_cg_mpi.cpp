@@ -1,0 +1,197 @@
+#include "msg/ep_cg_mpi.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "cg/cg_impl.hpp"
+#include "common/reference.hpp"
+#include "common/verify.hpp"
+#include "common/wtime.hpp"
+#include "ep/ep.hpp"
+#include "ep/ep_impl.hpp"
+#include "msg/communicator.hpp"
+#include "par/partition.hpp"
+
+namespace npb::msg {
+
+RunResult run_ep_mpi(ProblemClass cls, int ranks) {
+  using namespace ep_detail;
+  const EpParams p = ep_params(cls);
+  const long npairs = 1L << p.log2_pairs;
+  const long nblocks = (npairs + kBlockPairs - 1) / kBlockPairs;
+
+  // sums[0]=sx, [1]=sy, [2]=accepted, [3..12]=annuli
+  std::vector<double> sums(3 + kAnnuli, 0.0);
+  double seconds = 0.0;
+
+  World world(ranks);
+  world.run([&](Communicator& comm) {
+    comm.barrier();
+    const double t0 = wtime();
+    Array1<double, Unchecked> buf(static_cast<std::size_t>(2 * kBlockPairs));
+    BlockAccum acc;
+    const Range r = partition(0, nblocks, comm.rank(), comm.size());
+    for (long b = r.lo; b < r.hi; ++b) ep_block<Unchecked>(b, buf, acc);
+    std::vector<double> local(3 + kAnnuli);
+    local[0] = acc.sx;
+    local[1] = acc.sy;
+    local[2] = acc.accepted;
+    for (int l = 0; l < kAnnuli; ++l)
+      local[static_cast<std::size_t>(3 + l)] = acc.q[static_cast<std::size_t>(l)];
+    comm.allreduce_sum(local);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      sums = local;
+      seconds = wtime() - t0;
+    }
+  });
+
+  RunResult r;
+  r.name = "EP";
+  r.cls = cls;
+  r.mode = Mode::Native;
+  r.threads = ranks;
+  r.seconds = seconds;
+  r.mops = std::ldexp(1.0, p.log2_pairs) / (seconds * 1.0e6);
+  r.checksums = sums;
+
+  double qsum = 0.0;
+  for (int l = 0; l < kAnnuli; ++l) qsum += sums[static_cast<std::size_t>(3 + l)];
+  const bool intrinsic = qsum == sums[2];
+  r.verify_detail = "intrinsic: qsum/accepted " + std::to_string(qsum) + "/" +
+                    std::to_string(sums[2]) + "\n";
+  bool ref_ok = true;
+  if (const auto ref = reference_checksums("EP", cls)) {
+    const VerifyResult v = verify_checksums(r.checksums, *ref);
+    ref_ok = v.passed;
+    r.reference_checked = true;
+    r.verify_detail += v.detail;
+  }
+  r.verified = intrinsic && ref_ok;
+  return r;
+}
+
+RunResult run_cg_mpi(ProblemClass cls, int ranks) {
+  using namespace cg_detail;
+  const CgParams p = cg_params(cls);
+
+  double zeta_out = 0.0, rnorm_out = 0.0, zeta_sum_out = 0.0, seconds = 0.0;
+
+  World world(ranks);
+  world.run([&](Communicator& comm) {
+    // Deterministic generation on every rank; each keeps only its row block
+    // (simple and bit-identical to the shared-memory matrix; an owner-
+    // computes generator would trade memory for communication).
+    const Csr<Unchecked> m = make_matrix<Unchecked>(p);
+    const long n = m.n;
+    const Range rows = partition(0, n, comm.rank(), comm.size());
+
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(comm.size()) + 1, 0);
+    for (int t = 0; t < comm.size(); ++t)
+      offsets[static_cast<std::size_t>(t) + 1] =
+          offsets[static_cast<std::size_t>(t)] +
+          static_cast<std::size_t>(partition(0, n, t, comm.size()).size());
+
+    Array1<double, Unchecked> x(static_cast<std::size_t>(n), 1.0);
+    Array1<double, Unchecked> z(static_cast<std::size_t>(n), 0.0);
+    Array1<double, Unchecked> rr(static_cast<std::size_t>(n), 0.0);
+    Array1<double, Unchecked> pvec(static_cast<std::size_t>(n), 0.0);
+    Array1<double, Unchecked> q(static_cast<std::size_t>(n), 0.0);
+    // Note: vectors are allocated full-length but each rank only *writes*
+    // its own block; pvec and z become globally consistent via allgatherv.
+
+    comm.barrier();
+    const double t0 = wtime();
+    double zeta = 0.0, rnorm = 0.0, zeta_sum = 0.0;
+
+    for (int outer = 1; outer <= p.niter; ++outer) {
+      // conj_grad, message-passing form.
+      for (long i = rows.lo; i < rows.hi; ++i) {
+        z[static_cast<std::size_t>(i)] = 0.0;
+        rr[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+        pvec[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+      }
+      double rho = comm.allreduce_sum(dot_rows<Unchecked>(rr, rr, rows.lo, rows.hi));
+
+      for (int it = 0; it < p.cg_iters; ++it) {
+        comm.allgatherv(
+            std::span<const double>(pvec.data() + rows.lo,
+                                    static_cast<std::size_t>(rows.size())),
+            std::span<double>(pvec.data(), static_cast<std::size_t>(n)), offsets);
+        spmv_rows(m, pvec, q, rows.lo, rows.hi);
+        const double pq =
+            comm.allreduce_sum(dot_rows<Unchecked>(pvec, q, rows.lo, rows.hi));
+        const double alpha = rho / pq;
+        const double rho0 = rho;
+        for (long i = rows.lo; i < rows.hi; ++i) {
+          z[static_cast<std::size_t>(i)] += alpha * pvec[static_cast<std::size_t>(i)];
+          rr[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+        }
+        rho = comm.allreduce_sum(dot_rows<Unchecked>(rr, rr, rows.lo, rows.hi));
+        const double beta = rho / rho0;
+        for (long i = rows.lo; i < rows.hi; ++i)
+          pvec[static_cast<std::size_t>(i)] =
+              rr[static_cast<std::size_t>(i)] + beta * pvec[static_cast<std::size_t>(i)];
+      }
+      // True residual ||x - A z||.
+      comm.allgatherv(std::span<const double>(z.data() + rows.lo,
+                                              static_cast<std::size_t>(rows.size())),
+                      std::span<double>(z.data(), static_cast<std::size_t>(n)), offsets);
+      spmv_rows(m, z, q, rows.lo, rows.hi);
+      double local = 0.0;
+      for (long i = rows.lo; i < rows.hi; ++i) {
+        const double d = x[static_cast<std::size_t>(i)] - q[static_cast<std::size_t>(i)];
+        local += d * d;
+      }
+      rnorm = std::sqrt(comm.allreduce_sum(local));
+
+      double xz = 0.0, zz = 0.0;
+      for (long i = rows.lo; i < rows.hi; ++i) {
+        xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+        zz += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+      }
+      double both[2] = {xz, zz};
+      comm.allreduce_sum(std::span<double>(both, 2));
+      zeta = p.shift + 1.0 / both[0];
+      zeta_sum += zeta;
+      const double znorm = 1.0 / std::sqrt(both[1]);
+      for (long i = rows.lo; i < rows.hi; ++i)
+        x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      zeta_out = zeta;
+      rnorm_out = rnorm;
+      zeta_sum_out = zeta_sum;
+      seconds = wtime() - t0;
+    }
+  });
+
+  RunResult r;
+  r.name = "CG";
+  r.cls = cls;
+  r.mode = Mode::Native;
+  r.threads = ranks;
+  r.seconds = seconds;
+  const double nnz_est = static_cast<double>(p.n) *
+                         static_cast<double>((p.nonzer + 1) * (p.nonzer + 1));
+  r.mops = static_cast<double>(p.niter) * static_cast<double>(p.cg_iters) * 2.0 *
+           nnz_est / (seconds * 1.0e6);
+  r.checksums = {zeta_out, rnorm_out, zeta_sum_out};
+
+  const bool intrinsic = std::isfinite(zeta_out) && zeta_out > 0.0 &&
+                         zeta_out < p.shift && rnorm_out < 1.0e-8;
+  r.verify_detail = "intrinsic: zeta " + std::to_string(zeta_out) + ", residual " +
+                    std::to_string(rnorm_out) + "\n";
+  bool ref_ok = true;
+  if (const auto ref = reference_checksums("CG", cls)) {
+    const VerifyResult v = verify_checksums(r.checksums, *ref);
+    ref_ok = v.passed;
+    r.reference_checked = true;
+    r.verify_detail += v.detail;
+  }
+  r.verified = intrinsic && ref_ok;
+  return r;
+}
+
+}  // namespace npb::msg

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb::msg {
+
+/// EP over the message-passing runtime (the Adelaide group's released EP):
+/// randlc blocks partitioned over ranks, Gaussian sums and annulus counts
+/// combined with allreduce.  Checksums match the shared-memory EP.
+RunResult run_ep_mpi(ProblemClass cls, int ranks);
+
+/// CG over the message-passing runtime ("under development" at Adelaide in
+/// the paper's related work — completed here): 1-D row-block decomposition,
+/// an allgatherv of the direction vector before each sparse mat-vec, and
+/// allreduce for every inner product.  With matching rank/thread counts the
+/// reductions associate identically to the shared-memory version's
+/// rank-ordered partials, so checksums agree bitwise.
+RunResult run_cg_mpi(ProblemClass cls, int ranks);
+
+}  // namespace npb::msg

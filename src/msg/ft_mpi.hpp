@@ -1,0 +1,15 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb::msg {
+
+/// FT over the message-passing runtime — the related-work configuration
+/// (Westminster's javampi FT): 1-D slab decomposition with a distributed
+/// transpose between the local FFT phases.  `ranks` must divide both n1 and
+/// n2 of the class.  Produces exactly the checksums of the shared-memory
+/// FT (verified against the same frozen references): the transpose moves
+/// data but every FFT line is computed by the identical serial kernel.
+RunResult run_ft_mpi(ProblemClass cls, int ranks);
+
+}  // namespace npb::msg

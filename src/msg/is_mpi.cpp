@@ -1,0 +1,157 @@
+#include "msg/is_mpi.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/reference.hpp"
+#include "common/verify.hpp"
+#include "common/wtime.hpp"
+#include "is/is.hpp"
+#include "is/is_impl.hpp"
+#include "msg/communicator.hpp"
+#include "par/partition.hpp"
+
+namespace npb::msg {
+
+RunResult run_is_mpi(ProblemClass cls, int ranks) {
+  const IsParams p = is_params(cls);
+  const long nkeys = p.total_keys;
+  const long max_key = p.max_key;
+
+  std::vector<double> probe_sums(static_cast<std::size_t>(p.iterations), 0.0);
+  double key_sum = 0.0;
+  double seconds = 0.0;
+  bool sorted_ok = true, permutation_ok = true;
+
+  World world(ranks);
+  world.run([&](Communicator& comm) {
+    const Range my = partition(0, nkeys, comm.rank(), comm.size());
+    // Local slice of the global key sequence (4 randlc steps per key).
+    std::vector<int> keys(static_cast<std::size_t>(my.size()));
+    {
+      Array1<int, Unchecked> tmp(static_cast<std::size_t>(my.size()));
+      double x = randlc_skip(kDefaultSeed, kDefaultMultiplier,
+                             4ULL * static_cast<unsigned long long>(my.lo));
+      const double k4 = static_cast<double>(max_key) / 4.0;
+      for (long i = 0; i < my.size(); ++i) {
+        double s = randlc(x, kDefaultMultiplier);
+        s += randlc(x, kDefaultMultiplier);
+        s += randlc(x, kDefaultMultiplier);
+        s += randlc(x, kDefaultMultiplier);
+        tmp[static_cast<std::size_t>(i)] = static_cast<int>(k4 * s);
+      }
+      for (long i = 0; i < my.size(); ++i)
+        keys[static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i)];
+    }
+
+    const std::array<long, is_detail::kProbes> probe = [&] {
+      std::array<long, is_detail::kProbes> pr{};
+      for (int j = 0; j < is_detail::kProbes; ++j)
+        pr[static_cast<std::size_t>(j)] =
+            (static_cast<long>(j) * nkeys / is_detail::kProbes + j) % nkeys;
+      return pr;
+    }();
+
+    std::vector<double> hist(static_cast<std::size_t>(max_key));
+
+    comm.barrier();
+    const double t0 = wtime();
+    for (int it = 1; it <= p.iterations; ++it) {
+      // The two global per-iteration modifications, applied by the owners.
+      auto modify = [&](long gidx, int value) {
+        if (gidx >= my.lo && gidx < my.hi)
+          keys[static_cast<std::size_t>(gidx - my.lo)] = value;
+      };
+      modify(it, it);
+      modify(nkeys - it, static_cast<int>(max_key - it));
+
+      // Local histogram, then a global sum (the collective replaces the
+      // shared-memory version's merge phase).
+      std::fill(hist.begin(), hist.end(), 0.0);
+      for (int k : keys) hist[static_cast<std::size_t>(k)] += 1.0;
+      comm.allreduce_sum(hist);
+      for (long k = 1; k < max_key; ++k)
+        hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
+
+      // Probe ranks: each owner contributes hist[key[probe]].
+      double ps = 0.0;
+      for (long pi : probe)
+        if (pi >= my.lo && pi < my.hi)
+          ps += hist[static_cast<std::size_t>(
+              keys[static_cast<std::size_t>(pi - my.lo)])];
+      ps = comm.allreduce_sum(ps);
+      if (comm.rank() == 0)
+        probe_sums[static_cast<std::size_t>(it - 1)] = ps;
+    }
+    comm.barrier();
+    if (comm.rank() == 0) seconds = wtime() - t0;
+
+    // ---- untimed full verification: redistribute keys by value range ----
+    // (the NPB-MPI IS pattern: bucket boundaries split max_key evenly).
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(comm.size()));
+    for (int k : keys) {
+      const long owner =
+          std::min<long>(static_cast<long>(comm.size()) - 1,
+                         static_cast<long>(k) * comm.size() / max_key);
+      outgoing[static_cast<std::size_t>(owner)].push_back(static_cast<double>(k));
+    }
+    std::vector<double> mine = comm.alltoallv(outgoing);
+    std::sort(mine.begin(), mine.end());
+
+    // Global checks: local sortedness (after sort trivially true), boundary
+    // ordering between adjacent ranks, and permutation via key-sum.
+    double local_sum = 0.0;
+    for (double k : mine) local_sum += k;
+    const double global_sorted_sum = comm.allreduce_sum(local_sum);
+    double orig_sum = 0.0;
+    for (int k : keys) orig_sum += k;
+    const double global_orig_sum = comm.allreduce_sum(orig_sum);
+
+    // Boundary exchange: send my max to rank+1, check it <= their min.
+    double boundary_ok = 1.0;
+    const double my_min = mine.empty() ? 1.0e300 : mine.front();
+    const double my_max = mine.empty() ? -1.0e300 : mine.back();
+    if (comm.rank() + 1 < comm.size())
+      comm.send(comm.rank() + 1, 7, std::span<const double>(&my_max, 1));
+    if (comm.rank() > 0) {
+      double left_max = 0.0;
+      comm.recv(comm.rank() - 1, 7, std::span<double>(&left_max, 1));
+      if (left_max > my_min) boundary_ok = 0.0;
+    }
+    const double all_ok = comm.allreduce_sum(boundary_ok);
+
+    if (comm.rank() == 0) {
+      key_sum = global_orig_sum;
+      // Every rank must report an ordered boundary with its left neighbour.
+      sorted_ok = all_ok >= static_cast<double>(comm.size()) - 0.5;
+      permutation_ok = global_sorted_sum == global_orig_sum;
+    }
+  });
+
+  RunResult r;
+  r.name = "IS";
+  r.cls = cls;
+  r.mode = Mode::Native;
+  r.threads = ranks;
+  r.seconds = seconds;
+  r.mops = static_cast<double>(p.iterations) * static_cast<double>(nkeys) /
+           (seconds * 1.0e6);
+  r.checksums = probe_sums;
+  r.checksums.push_back(key_sum);
+
+  const bool intrinsic = sorted_ok && permutation_ok;
+  r.verify_detail = std::string("intrinsic: distributed sort ") +
+                    (sorted_ok ? "ordered" : "NOT ORDERED") + ", permutation " +
+                    (permutation_ok ? "preserved" : "BROKEN") + "\n";
+  bool ref_ok = true;
+  if (const auto ref = reference_checksums("IS", cls)) {
+    const VerifyResult v = verify_checksums(r.checksums, *ref);
+    ref_ok = v.passed;
+    r.reference_checked = true;
+    r.verify_detail += v.detail;
+  }
+  r.verified = intrinsic && ref_ok;
+  return r;
+}
+
+}  // namespace npb::msg

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "npb/run.hpp"
+
+namespace npb::msg {
+
+/// IS over the message-passing runtime (the Westminster javampi IS): keys
+/// are generated in distributed slices of the same global randlc sequence;
+/// each ranking iteration builds local histograms and allreduces them; the
+/// final full verification redistributes the keys by value range with an
+/// all-to-all-v (the NPB-MPI IS communication pattern) and checks global
+/// sortedness and permutation preservation.  Checksums equal the
+/// shared-memory IS exactly (integer workload).
+RunResult run_is_mpi(ProblemClass cls, int ranks);
+
+}  // namespace npb::msg

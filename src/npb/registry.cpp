@@ -1,0 +1,41 @@
+#include "npb/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "bt/bt.hpp"
+#include "cg/cg.hpp"
+#include "ep/ep.hpp"
+#include "ft/ft.hpp"
+#include "is/is.hpp"
+#include "lu/lu.hpp"
+#include "mg/mg.hpp"
+#include "sp/sp.hpp"
+
+namespace npb {
+
+const std::vector<BenchmarkInfo>& suite() {
+  static const std::vector<BenchmarkInfo> s = {
+      {"BT", &run_bt, true},
+      {"SP", &run_sp, true},
+      {"LU", &run_lu, true},
+      {"FT", &run_ft, true},
+      {"IS", &run_is, false},
+      {"CG", &run_cg, false},
+      {"MG", &run_mg, true},
+      {"EP", &run_ep, false},
+  };
+  return s;
+}
+
+RunFn find_benchmark(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  for (const auto& b : suite())
+    if (upper == b.name) return b.fn;
+  return nullptr;
+}
+
+}  // namespace npb

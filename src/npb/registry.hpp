@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "npb/run.hpp"
+
+namespace npb {
+
+using RunFn = RunResult (*)(const RunConfig&);
+
+struct BenchmarkInfo {
+  const char* name;
+  RunFn fn;
+  /// The paper's key split (section 5.1): structured-grid codes (BT, SP, LU,
+  /// FT, MG) see a much larger Java/Fortran gap than unstructured ones
+  /// (CG, IS).  Used by the ratio summary in bench_table2to4_npb.
+  bool structured_grid;
+};
+
+/// All registered benchmarks, in the paper's table order (BT, SP, LU, FT,
+/// IS, CG, MG) followed by EP.
+const std::vector<BenchmarkInfo>& suite();
+
+/// Case-insensitive lookup; nullptr when unknown.
+RunFn find_benchmark(std::string_view name);
+
+}  // namespace npb

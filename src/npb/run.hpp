@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/classes.hpp"
+#include "common/mode.hpp"
+#include "par/barrier.hpp"
+
+namespace npb {
+
+/// One benchmark execution request.  `threads == 0` runs the plain serial
+/// code path (no team, no synchronization — the paper's "Serial" column);
+/// `threads >= 1` runs the master-workers translation with that many worker
+/// threads (the "1" column measures pure threading overhead).
+struct RunConfig {
+  ProblemClass cls = ProblemClass::S;
+  Mode mode = Mode::Native;
+  int threads = 0;
+  BarrierKind barrier = BarrierKind::CondVar;
+  long warmup_spins = 0;
+};
+
+struct RunResult {
+  std::string name;
+  ProblemClass cls = ProblemClass::S;
+  Mode mode = Mode::Native;
+  int threads = 0;
+  double seconds = 0.0;
+  double mops = 0.0;
+  bool verified = false;
+  /// True when a frozen reference existed for (name, cls) and was compared;
+  /// false means verification relied on intrinsic invariants only.
+  bool reference_checked = false;
+  std::string verify_detail;
+  /// Benchmark-specific checksums, in the order tools/gen_reference freezes.
+  std::vector<double> checksums;
+};
+
+}  // namespace npb

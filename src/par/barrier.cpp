@@ -1,0 +1,43 @@
+#include "par/barrier.hpp"
+
+#include <thread>
+
+namespace npb {
+
+const char* to_string(BarrierKind k) noexcept {
+  return k == BarrierKind::CondVar ? "condvar" : "spin";
+}
+
+void CondVarBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lk(m_);
+  const unsigned long gen = generation_;
+  if (++arrived_ == n_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+}
+
+void SpinBarrier::arrive_and_wait() {
+  const unsigned long gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  } else {
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      // Spin a little for the multi-core case, then yield so oversubscribed
+      // single-CPU runs (this container, the paper's Linux PC) still progress.
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+}
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int n) {
+  if (kind == BarrierKind::SpinSense) return std::make_unique<SpinBarrier>(n);
+  return std::make_unique<CondVarBarrier>(n);
+}
+
+}  // namespace npb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace npb {
+
+/// Barrier strategy selector.  The paper's workers synchronize through the
+/// Java monitor (wait/notify) — our CondVar barrier; the spin barrier is the
+/// ablation comparator (bench_ablation_sync) showing what the monitor costs.
+enum class BarrierKind { CondVar, SpinSense };
+
+const char* to_string(BarrierKind k) noexcept;
+
+class Barrier {
+ public:
+  virtual ~Barrier() = default;
+  /// Blocks until all `n` participants have arrived; reusable.
+  virtual void arrive_and_wait() = 0;
+};
+
+/// Monitor-style barrier: mutex + condition variable with a generation
+/// counter.  This is what Java's wait()/notifyAll() compiles down to.
+class CondVarBarrier final : public Barrier {
+ public:
+  explicit CondVarBarrier(int n) : n_(n) {}
+  void arrive_and_wait() override;
+
+ private:
+  const int n_;
+  int arrived_ = 0;
+  unsigned long generation_ = 0;
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+/// Generation-counting spin barrier (sense-reversing equivalent).  Spins
+/// briefly then yields, so it degrades gracefully when threads exceed CPUs —
+/// the regime of all the paper's oversubscribed configurations.
+class SpinBarrier final : public Barrier {
+ public:
+  explicit SpinBarrier(int n) : n_(n) {}
+  void arrive_and_wait() override;
+
+ private:
+  const int n_;
+  std::atomic<int> arrived_{0};
+  std::atomic<unsigned long> generation_{0};
+};
+
+std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int n);
+
+}  // namespace npb

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "par/partition.hpp"
+#include "par/team.hpp"
+
+namespace npb {
+
+/// Runs body(i) for i in [lo, hi), statically block-partitioned over the
+/// team — the analogue of the OpenMP `parallel do` regions the paper's Java
+/// translation mirrors.
+template <class Body>
+void parallel_for(WorkerTeam& team, long lo, long hi, const Body& body) {
+  team.run([&](int rank) {
+    const Range r = partition(lo, hi, rank, team.size());
+    for (long i = r.lo; i < r.hi; ++i) body(i);
+  });
+}
+
+/// Runs body(rank, lo_r, hi_r) once per rank with that rank's block — used
+/// when the body wants to iterate slabs itself (stencils, solves).
+template <class Body>
+void parallel_ranges(WorkerTeam& team, long lo, long hi, const Body& body) {
+  team.run([&](int rank) {
+    const Range r = partition(lo, hi, rank, team.size());
+    body(rank, r.lo, r.hi);
+  });
+}
+
+namespace detail {
+struct alignas(64) PaddedDouble {
+  double v = 0.0;
+};
+}  // namespace detail
+
+/// Sum-reduction over [lo, hi): each rank accumulates a private partial over
+/// its block; the master adds partials in rank order, which makes the result
+/// deterministic for a fixed thread count (required for thread-vs-serial
+/// verification to a tight tolerance).
+template <class Body>
+double parallel_reduce_sum(WorkerTeam& team, long lo, long hi, const Body& body) {
+  std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(team.size()));
+  team.run([&](int rank) {
+    const Range r = partition(lo, hi, rank, team.size());
+    double s = 0.0;
+    for (long i = r.lo; i < r.hi; ++i) s += body(i);
+    partial[static_cast<std::size_t>(rank)].v = s;
+  });
+  double total = 0.0;
+  for (const auto& p : partial) total += p.v;
+  return total;
+}
+
+}  // namespace npb

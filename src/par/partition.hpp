@@ -1,0 +1,27 @@
+#pragma once
+
+namespace npb {
+
+/// Half-open index range [lo, hi).
+struct Range {
+  long lo = 0;
+  long hi = 0;
+  long size() const noexcept { return hi - lo; }
+  bool empty() const noexcept { return hi <= lo; }
+};
+
+/// Static block partition of [lo, hi) over `nranks` ranks — the load
+/// distribution the paper's master-workers model uses (each worker owns a
+/// contiguous slab of the grid).  Remainder iterations go to the lowest
+/// ranks so sizes differ by at most one.
+inline Range partition(long lo, long hi, int rank, int nranks) noexcept {
+  const long n = hi - lo;
+  if (n <= 0 || nranks <= 0) return {lo, lo};
+  const long base = n / nranks;
+  const long rem = n % nranks;
+  const long begin = lo + rank * base + (rank < rem ? rank : rem);
+  const long len = base + (rank < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace npb

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace npb {
+
+/// Point-to-point progress synchronization for software-pipelined wavefront
+/// sweeps — the mechanism LU needs.  The paper singles LU out: "it performs
+/// the thread synchronization inside a loop over one grid dimension, thus
+/// introducing higher overhead".  Rank r publishes how far it has advanced
+/// along the pipelined dimension; rank r+1 (or r-1, for the upper sweep)
+/// waits for its neighbour to be at least one step ahead.
+class PipelineSync {
+ public:
+  explicit PipelineSync(int nranks) : progress_(static_cast<std::size_t>(nranks)) {}
+
+  /// Resets all progress counters.  Must be called by a single thread (or
+  /// behind a barrier) between sweeps.
+  void reset() {
+    for (auto& c : progress_) c.v.store(-1, std::memory_order_relaxed);
+  }
+
+  /// Announces that `rank` has completed pipeline step `step`.
+  void post(int rank, long step) {
+    progress_[static_cast<std::size_t>(rank)].v.store(step, std::memory_order_release);
+  }
+
+  /// Blocks until `rank` has posted a step >= `step`.
+  void wait_for(int rank, long step) const {
+    const auto& cell = progress_[static_cast<std::size_t>(rank)].v;
+    int spins = 0;
+    while (cell.load(std::memory_order_acquire) < step) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<long> v{-1};
+  };
+  std::vector<Cell> progress_;
+};
+
+}  // namespace npb

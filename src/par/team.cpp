@@ -1,0 +1,78 @@
+#include "par/team.hpp"
+
+#include <cmath>
+
+namespace npb {
+namespace {
+
+/// Floating-point busy work whose result escapes through a volatile so the
+/// optimizer cannot delete it.  Mirrors the "initialization section
+/// performing a large work in each thread" from the paper's CG study.
+void warmup_spin(long spins) {
+  volatile double sink = 0.0;
+  double acc = 1.0;
+  for (long i = 0; i < spins; ++i) acc = std::sqrt(acc + 1.0);
+  sink = acc;
+  (void)sink;
+}
+
+}  // namespace
+
+WorkerTeam::WorkerTeam(int nthreads, TeamOptions opts)
+    : n_(nthreads), opts_(opts), barrier_(make_barrier(opts.barrier, nthreads)) {
+  threads_.reserve(static_cast<std::size_t>(n_));
+  for (int rank = 0; rank < n_; ++rank)
+    threads_.emplace_back([this, rank] { worker_main(rank); });
+}
+
+WorkerTeam::~WorkerTeam() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerTeam::run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lk(m_);
+  job_ = &fn;
+  done_ = 0;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lk, [&] { return done_ == n_; });
+  job_ = nullptr;
+  if (first_error_) {
+    const std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerTeam::worker_main(int rank) {
+  if (opts_.warmup_spins > 0) warmup_spin(opts_.warmup_spins);
+  unsigned long seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(rank);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (err && !first_error_) first_error_ = err;
+      if (++done_ == n_) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace npb

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "par/barrier.hpp"
+
+namespace npb {
+
+struct TeamOptions {
+  BarrierKind barrier = BarrierKind::CondVar;
+  /// Priming work (floating-point spins) each worker executes at startup.
+  /// This is the paper's CG fix: "by initializing the thread load, we were
+  /// able to get a visible speedup of CG" — the JVM only assigned threads to
+  /// distinct CPUs once each had demonstrated real work.  A 1:1 std::thread
+  /// runtime doesn't need it, but the knob exists so bench_ablation_sync can
+  /// measure what the fix itself costs.
+  long warmup_spins = 0;
+};
+
+/// Master-workers thread team, structured exactly like the paper's Java
+/// translation: the master (the caller of run()) owns `n` persistent worker
+/// threads that are "switched between blocked and runnable states with
+/// wait() and notify() methods" — here, a condition variable.  Each run()
+/// broadcasts one work item, executes it on every worker, and blocks the
+/// master until all workers have finished (implicit join barrier, like the
+/// end of an OpenMP parallel region).
+class WorkerTeam {
+ public:
+  explicit WorkerTeam(int nthreads, TeamOptions opts = {});
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  int size() const noexcept { return n_; }
+
+  /// Executes fn(rank) on all workers; rethrows the first worker exception.
+  void run(const std::function<void(int)>& fn);
+
+  /// Callable from inside a run() body: blocks until all workers arrive.
+  void barrier() { barrier_->arrive_and_wait(); }
+
+ private:
+  void worker_main(int rank);
+
+  const int n_;
+  const TeamOptions opts_;
+  std::unique_ptr<Barrier> barrier_;
+
+  std::mutex m_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  unsigned long generation_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace npb

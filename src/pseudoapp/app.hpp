@@ -1,0 +1,30 @@
+#pragma once
+
+#include "npb/run.hpp"
+#include "pseudoapp/system.hpp"
+
+namespace npb::pseudoapp {
+
+/// Problem sizes shared by the three pseudo-applications.
+struct AppParams {
+  long n = 12;       ///< grid points per dimension
+  int iterations = 60;
+  double dt = 0.01;
+};
+
+/// What every pseudo-application run reports: residual (RHS) and solution
+/// error norms per component, before and after the timestepping loop.
+struct AppOutput {
+  Vec5 rhs_initial{}, rhs_final{};
+  Vec5 err_initial{}, err_final{};
+  double seconds = 0.0;
+};
+
+/// Assembles the RunResult for a pseudo-application: checksums are the five
+/// final residual norms then the five final error norms; intrinsic
+/// verification demands both contracted (the exact solution is a fixed point
+/// of the discrete equations, so a working solver must march towards it).
+RunResult finish_app(const char* name, const RunConfig& cfg, const AppOutput& o,
+                     double mops);
+
+}  // namespace npb::pseudoapp

@@ -1,0 +1,119 @@
+#pragma once
+
+// 5x5 block primitives operating inside flat policy-checked workspaces —
+// the analogues of NPB BT/LU's matvec_sub, matmul_sub, binvcrhs.  A "block"
+// is 25 consecutive doubles (row-major) at `base`; a "vector" is 5.
+
+#include <cmath>
+
+#include "array/array.hpp"
+#include "pseudoapp/system.hpp"
+
+namespace npb::pseudoapp {
+
+/// y[yb..yb+5) -= A[ab..] * x[xb..xb+5)
+template <class P, class AA, class AX, class AY>
+void mv5_sub(const AA& a, std::size_t ab, const AX& x, std::size_t xb, AY& y,
+             std::size_t yb) {
+  for (int i = 0; i < kComps; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < kComps; ++j) {
+      s += a[ab + static_cast<std::size_t>(i * kComps + j)] *
+           x[xb + static_cast<std::size_t>(j)];
+      P::muladds(1);
+    }
+    y[yb + static_cast<std::size_t>(i)] -= s;
+    P::flops(11);
+  }
+}
+
+/// C[cb..] -= A[ab..] * B[bb..]
+template <class P, class AA, class AB, class AC>
+void mm5_sub(const AA& a, std::size_t ab, const AB& b, std::size_t bb, AC& c,
+             std::size_t cb) {
+  for (int i = 0; i < kComps; ++i)
+    for (int j = 0; j < kComps; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < kComps; ++k) {
+        s += a[ab + static_cast<std::size_t>(i * kComps + k)] *
+             b[bb + static_cast<std::size_t>(k * kComps + j)];
+        P::muladds(1);
+      }
+      c[cb + static_cast<std::size_t>(i * kComps + j)] -= s;
+      P::flops(11);
+    }
+}
+
+/// In-place LU factorization (Doolittle, no pivoting — the diagonal blocks
+/// of these solvers are strongly diagonally dominant) of the block at ab.
+template <class P, class AA>
+void lu5_factor(AA& a, std::size_t ab) {
+  for (int k = 0; k < kComps; ++k) {
+    const double pivot = 1.0 / a[ab + static_cast<std::size_t>(k * kComps + k)];
+    for (int i = k + 1; i < kComps; ++i) {
+      const double lik = a[ab + static_cast<std::size_t>(i * kComps + k)] * pivot;
+      a[ab + static_cast<std::size_t>(i * kComps + k)] = lik;
+      for (int j = k + 1; j < kComps; ++j) {
+        a[ab + static_cast<std::size_t>(i * kComps + j)] -=
+            lik * a[ab + static_cast<std::size_t>(k * kComps + j)];
+        P::muladds(1);
+      }
+      P::flops(10);
+    }
+  }
+}
+
+/// x[xb..xb+5) = A^{-1} x using the factored block at ab.
+template <class P, class AA, class AX>
+void lu5_solve_vec(const AA& a, std::size_t ab, AX& x, std::size_t xb) {
+  for (int i = 1; i < kComps; ++i) {
+    double s = x[xb + static_cast<std::size_t>(i)];
+    for (int j = 0; j < i; ++j) {
+      s -= a[ab + static_cast<std::size_t>(i * kComps + j)] *
+           x[xb + static_cast<std::size_t>(j)];
+      P::muladds(1);
+    }
+    x[xb + static_cast<std::size_t>(i)] = s;
+    P::flops(2 * i);
+  }
+  for (int i = kComps - 1; i >= 0; --i) {
+    double s = x[xb + static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < kComps; ++j) {
+      s -= a[ab + static_cast<std::size_t>(i * kComps + j)] *
+           x[xb + static_cast<std::size_t>(j)];
+      P::muladds(1);
+    }
+    x[xb + static_cast<std::size_t>(i)] =
+        s / a[ab + static_cast<std::size_t>(i * kComps + i)];
+    P::flops(2 * (kComps - i));
+  }
+}
+
+/// X[xb..] = A^{-1} X for a full 5x5 block X, column by column.
+template <class P, class AA, class AX>
+void lu5_solve_block(const AA& a, std::size_t ab, AX& x, std::size_t xb) {
+  for (int col = 0; col < kComps; ++col) {
+    for (int i = 1; i < kComps; ++i) {
+      double s = x[xb + static_cast<std::size_t>(i * kComps + col)];
+      for (int j = 0; j < i; ++j) {
+        s -= a[ab + static_cast<std::size_t>(i * kComps + j)] *
+             x[xb + static_cast<std::size_t>(j * kComps + col)];
+        P::muladds(1);
+      }
+      x[xb + static_cast<std::size_t>(i * kComps + col)] = s;
+    }
+    for (int i = kComps - 1; i >= 0; --i) {
+      double s = x[xb + static_cast<std::size_t>(i * kComps + col)];
+      for (int j = i + 1; j < kComps; ++j) {
+        s -= a[ab + static_cast<std::size_t>(i * kComps + j)] *
+             x[xb + static_cast<std::size_t>(j * kComps + col)];
+        P::muladds(1);
+      }
+      x[xb + static_cast<std::size_t>(i * kComps + col)] =
+          s / a[ab + static_cast<std::size_t>(i * kComps + i)];
+    }
+    P::flops(50);
+  }
+}
+
+}  // namespace npb::pseudoapp

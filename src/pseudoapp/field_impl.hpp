@@ -1,0 +1,222 @@
+#pragma once
+
+// Shared grid state and discrete-operator kernels for BT, SP and LU.
+// Template code implicitly instantiated inside each benchmark's mode TU, so
+// each mode's compile flags apply (all java TUs share flags, keeping the
+// merged instantiations consistent).
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "array/array.hpp"
+#include "pseudoapp/system.hpp"
+
+namespace npb::pseudoapp {
+
+/// Grid state for one pseudo-application run: solution, RHS, forcing, the
+/// exact solution sampled on the grid, and the phi coefficient field.
+/// Component index is last (unit stride over m at a point, like the NPB
+/// (m, i, j, k) Fortran layout transposed to C order).
+template <class P>
+struct Fields {
+  long n = 0;
+  double h = 0.0;
+  System sys;
+  Array4<double, P> u, rhs, forcing, ue;
+  Array3<double, P> phi;
+
+  explicit Fields(long grid_n)
+      : n(grid_n), h(1.0 / static_cast<double>(grid_n - 1)),
+        sys(make_system(1.0 / static_cast<double>(grid_n - 1))),
+        u(static_cast<std::size_t>(grid_n), static_cast<std::size_t>(grid_n),
+          static_cast<std::size_t>(grid_n), kComps),
+        rhs(static_cast<std::size_t>(grid_n), static_cast<std::size_t>(grid_n),
+            static_cast<std::size_t>(grid_n), kComps),
+        forcing(static_cast<std::size_t>(grid_n), static_cast<std::size_t>(grid_n),
+                static_cast<std::size_t>(grid_n), kComps),
+        ue(static_cast<std::size_t>(grid_n), static_cast<std::size_t>(grid_n),
+           static_cast<std::size_t>(grid_n), kComps),
+        phi(static_cast<std::size_t>(grid_n), static_cast<std::size_t>(grid_n),
+            static_cast<std::size_t>(grid_n)) {}
+};
+
+/// The discrete spatial operator L(w) at interior point (i,j,k):
+///   L(w) = phi (Ax Dx + Ay Dy + Az Dz) w - nu Lap(w)
+///        + sigma phi B w + eps4 D4(w)
+/// so that du/dt = forcing - L(u) and forcing = L(ue) makes ue stationary.
+/// The 4th-difference D4 uses NPB's modified rows next to the boundary.
+template <class P>
+Vec5 spatial_op(const Fields<P>& f, const Array4<double, P>& w, long i, long j,
+                long k) {
+  const long n = f.n;
+  const double h = f.h;
+  const double inv2h = 1.0 / (2.0 * h);
+  const double invh2 = 1.0 / (h * h);
+  const auto I = static_cast<std::size_t>(i);
+  const auto J = static_cast<std::size_t>(j);
+  const auto K = static_cast<std::size_t>(k);
+  const double ph = f.phi(I, J, K);
+
+  Vec5 out{};
+
+  // Convection: phi * Ad * central difference, all three directions.
+  Vec5 dx{}, dy{}, dz{};
+  for (int m = 0; m < kComps; ++m) {
+    const auto M = static_cast<std::size_t>(m);
+    dx[M] = (w(I + 1, J, K, M) - w(I - 1, J, K, M)) * inv2h;
+    dy[M] = (w(I, J + 1, K, M) - w(I, J - 1, K, M)) * inv2h;
+    dz[M] = (w(I, J, K + 1, M) - w(I, J, K - 1, M)) * inv2h;
+    P::flops(6);
+  }
+  for (int m = 0; m < kComps; ++m) {
+    double cx = 0.0, cy = 0.0, cz = 0.0, ru = 0.0;
+    for (int l = 0; l < kComps; ++l) {
+      const auto ml = static_cast<std::size_t>(m * kComps + l);
+      const auto L = static_cast<std::size_t>(l);
+      cx += f.sys.ax[ml] * dx[L];
+      cy += f.sys.ay[ml] * dy[L];
+      cz += f.sys.az[ml] * dz[L];
+      ru += f.sys.reaction[ml] * w(I, J, K, L);
+      P::muladds(4);
+    }
+    P::flops(40);
+    out[static_cast<std::size_t>(m)] = ph * (cx + cy + cz) + f.sys.sigma * ph * ru;
+  }
+
+  // Diffusion: -nu * 7-point Laplacian.
+  for (int m = 0; m < kComps; ++m) {
+    const auto M = static_cast<std::size_t>(m);
+    const double lap = (w(I + 1, J, K, M) + w(I - 1, J, K, M) + w(I, J + 1, K, M) +
+                        w(I, J - 1, K, M) + w(I, J, K + 1, M) + w(I, J, K - 1, M) -
+                        6.0 * w(I, J, K, M)) *
+                       invh2;
+    out[M] -= f.sys.nu * lap;
+    P::flops(10);
+  }
+
+  // 4th-difference dissipation with NPB's modified near-boundary rows.
+  auto d4 = [&](auto&& at, long c) -> void {
+    for (int m = 0; m < kComps; ++m) {
+      const auto M = static_cast<std::size_t>(m);
+      double v;
+      if (c == 1) {
+        v = 5.0 * at(c, M) - 4.0 * at(c + 1, M) + at(c + 2, M);
+      } else if (c == 2) {
+        v = -4.0 * at(c - 1, M) + 6.0 * at(c, M) - 4.0 * at(c + 1, M) + at(c + 2, M);
+      } else if (c == n - 3) {
+        v = at(c - 2, M) - 4.0 * at(c - 1, M) + 6.0 * at(c, M) - 4.0 * at(c + 1, M);
+      } else if (c == n - 2) {
+        v = at(c - 2, M) - 4.0 * at(c - 1, M) + 5.0 * at(c, M);
+      } else {
+        v = at(c - 2, M) - 4.0 * at(c - 1, M) + 6.0 * at(c, M) - 4.0 * at(c + 1, M) +
+            at(c + 2, M);
+      }
+      out[M] += f.sys.eps4 * v;
+      P::flops(7);
+    }
+  };
+  d4([&](long c, std::size_t M) { return w(static_cast<std::size_t>(c), J, K, M); }, i);
+  d4([&](long c, std::size_t M) { return w(I, static_cast<std::size_t>(c), K, M); }, j);
+  d4([&](long c, std::size_t M) { return w(I, J, static_cast<std::size_t>(c), M); }, k);
+
+  return out;
+}
+
+/// Fills ue, phi and the forcing (forcing = L(ue)), and sets the initial
+/// solution: the exact solution plus an interior perturbation that vanishes
+/// on the boundary (so boundary values are exact for the whole run).
+template <class P>
+void init_fields(Fields<P>& f) {
+  const long n = f.n;
+  for (long i = 0; i < n; ++i)
+    for (long j = 0; j < n; ++j)
+      for (long k = 0; k < n; ++k) {
+        const double x = static_cast<double>(i) * f.h;
+        const double y = static_cast<double>(j) * f.h;
+        const double z = static_cast<double>(k) * f.h;
+        const Vec5 e = exact_solution(x, y, z);
+        const double bump = std::sin(std::numbers::pi * x) *
+                            std::sin(std::numbers::pi * y) *
+                            std::sin(std::numbers::pi * z);
+        f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k)) = phi_field(x, y, z);
+        for (int m = 0; m < kComps; ++m) {
+          const auto M = static_cast<std::size_t>(m);
+          f.ue(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+               static_cast<std::size_t>(k), M) = e[M];
+          f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k), M) =
+              e[M] + (0.1 + 0.05 * static_cast<double>(m)) * bump;
+        }
+      }
+  // forcing = L(ue) on the interior (boundary forcing is never used).
+  for (long i = 1; i < n - 1; ++i)
+    for (long j = 1; j < n - 1; ++j)
+      for (long k = 1; k < n - 1; ++k) {
+        const Vec5 L = spatial_op(f, f.ue, i, j, k);
+        for (int m = 0; m < kComps; ++m)
+          f.forcing(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                    static_cast<std::size_t>(k), static_cast<std::size_t>(m)) =
+              L[static_cast<std::size_t>(m)];
+      }
+}
+
+/// rhs = forcing - L(u) over interior planes i in [lo, hi).
+template <class P>
+void compute_rhs_planes(Fields<P>& f, long lo, long hi) {
+  const long n = f.n;
+  for (long i = lo; i < hi; ++i)
+    for (long j = 1; j < n - 1; ++j)
+      for (long k = 1; k < n - 1; ++k) {
+        const Vec5 L = spatial_op(f, f.u, i, j, k);
+        for (int m = 0; m < kComps; ++m)
+          f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k), static_cast<std::size_t>(m)) =
+              f.forcing(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k), static_cast<std::size_t>(m)) -
+              L[static_cast<std::size_t>(m)];
+      }
+}
+
+/// L2 norms per component of the current rhs over the interior.
+template <class P>
+Vec5 rhs_norms(const Fields<P>& f) {
+  const long n = f.n;
+  Vec5 s{};
+  for (long i = 1; i < n - 1; ++i)
+    for (long j = 1; j < n - 1; ++j)
+      for (long k = 1; k < n - 1; ++k)
+        for (int m = 0; m < kComps; ++m) {
+          const double v = f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                                 static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+          s[static_cast<std::size_t>(m)] += v * v;
+        }
+  const double pts = std::pow(static_cast<double>(n - 2), 3);
+  for (int m = 0; m < kComps; ++m)
+    s[static_cast<std::size_t>(m)] = std::sqrt(s[static_cast<std::size_t>(m)] / pts);
+  return s;
+}
+
+/// L2 norms per component of u - ue over the interior.
+template <class P>
+Vec5 error_norms(const Fields<P>& f) {
+  const long n = f.n;
+  Vec5 s{};
+  for (long i = 1; i < n - 1; ++i)
+    for (long j = 1; j < n - 1; ++j)
+      for (long k = 1; k < n - 1; ++k)
+        for (int m = 0; m < kComps; ++m) {
+          const double v = f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                               static_cast<std::size_t>(k), static_cast<std::size_t>(m)) -
+                           f.ue(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                                static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+          s[static_cast<std::size_t>(m)] += v * v;
+        }
+  const double pts = std::pow(static_cast<double>(n - 2), 3);
+  for (int m = 0; m < kComps; ++m)
+    s[static_cast<std::size_t>(m)] = std::sqrt(s[static_cast<std::size_t>(m)] / pts);
+  return s;
+}
+
+}  // namespace npb::pseudoapp

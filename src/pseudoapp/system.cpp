@@ -1,0 +1,144 @@
+#include "pseudoapp/system.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace npb::pseudoapp {
+namespace {
+
+/// Fixed eigenvalue sets per direction (distinct signs and magnitudes, like
+/// the u, u+/-c characteristic speeds of the Euler equations).
+constexpr Vec5 kLambdaX{1.40, 0.70, 0.30, -0.40, -1.10};
+constexpr Vec5 kLambdaY{1.10, -0.80, 0.50, 0.25, -0.35};
+constexpr Vec5 kLambdaZ{-1.20, 0.90, 0.60, -0.50, 0.20};
+
+Mat5 diag(const Vec5& d) noexcept {
+  Mat5 m{};
+  for (int i = 0; i < kComps; ++i) m[static_cast<std::size_t>(i * 6)] = d[static_cast<std::size_t>(i)];
+  return m;
+}
+
+/// Well-conditioned, direction-specific eigenvector bases: identity plus a
+/// distinct skew pattern per direction.
+Mat5 basis(double a, double b, double c) noexcept {
+  Mat5 t{};
+  for (int i = 0; i < kComps; ++i)
+    for (int j = 0; j < kComps; ++j) {
+      double v = i == j ? 1.0 : 0.0;
+      if (j == i + 1) v += a;
+      if (j == i - 1) v += b;
+      if (j == i + 2) v += c;
+      t[static_cast<std::size_t>(i * kComps + j)] = v;
+    }
+  return t;
+}
+
+}  // namespace
+
+Mat5 mat_mul(const Mat5& a, const Mat5& b) noexcept {
+  Mat5 c{};
+  for (int i = 0; i < kComps; ++i)
+    for (int k = 0; k < kComps; ++k) {
+      const double aik = a[static_cast<std::size_t>(i * kComps + k)];
+      for (int j = 0; j < kComps; ++j)
+        c[static_cast<std::size_t>(i * kComps + j)] +=
+            aik * b[static_cast<std::size_t>(k * kComps + j)];
+    }
+  return c;
+}
+
+Mat5 mat_inverse(const Mat5& a) {
+  // Gauss-Jordan with partial pivoting on [A | I].
+  double w[kComps][2 * kComps];
+  for (int i = 0; i < kComps; ++i)
+    for (int j = 0; j < kComps; ++j) {
+      w[i][j] = a[static_cast<std::size_t>(i * kComps + j)];
+      w[i][kComps + j] = i == j ? 1.0 : 0.0;
+    }
+  for (int col = 0; col < kComps; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < kComps; ++r)
+      if (std::fabs(w[r][col]) > std::fabs(w[piv][col])) piv = r;
+    if (std::fabs(w[piv][col]) < 1e-12) throw std::runtime_error("singular 5x5");
+    if (piv != col)
+      for (int j = 0; j < 2 * kComps; ++j) std::swap(w[piv][j], w[col][j]);
+    const double inv = 1.0 / w[col][col];
+    for (int j = 0; j < 2 * kComps; ++j) w[col][j] *= inv;
+    for (int r = 0; r < kComps; ++r) {
+      if (r == col) continue;
+      const double f = w[r][col];
+      for (int j = 0; j < 2 * kComps; ++j) w[r][j] -= f * w[col][j];
+    }
+  }
+  Mat5 out{};
+  for (int i = 0; i < kComps; ++i)
+    for (int j = 0; j < kComps; ++j)
+      out[static_cast<std::size_t>(i * kComps + j)] = w[i][kComps + j];
+  return out;
+}
+
+const ExactCoeffs& exact_coeffs() noexcept {
+  // Smooth O(1) polynomials, distinct per component (the role of NPB's ce
+  // table).  Column 0 is the constant; 1-3 cubic in x; 4-6 in y; 7-9 in z.
+  static const ExactCoeffs ce = {{
+      {2.0, 0.8, -0.5, 0.2, 0.6, -0.3, 0.1, -0.4, 0.5, -0.2},
+      {1.0, -0.6, 0.4, -0.1, 0.9, 0.2, -0.3, 0.7, -0.5, 0.1},
+      {3.0, 0.5, 0.3, -0.2, -0.7, 0.4, 0.2, 0.3, -0.1, 0.4},
+      {1.5, -0.9, 0.1, 0.3, 0.4, -0.6, 0.1, -0.2, 0.6, -0.3},
+      {2.5, 0.3, -0.2, 0.1, -0.5, 0.3, -0.2, 0.8, -0.4, 0.2},
+  }};
+  return ce;
+}
+
+Vec5 exact_solution(double x, double y, double z) noexcept {
+  const ExactCoeffs& ce = exact_coeffs();
+  Vec5 u{};
+  for (int m = 0; m < kComps; ++m) {
+    const auto& c = ce[static_cast<std::size_t>(m)];
+    u[static_cast<std::size_t>(m)] =
+        c[0] + x * (c[1] + x * (c[2] + x * c[3])) +
+        y * (c[4] + y * (c[5] + y * c[6])) + z * (c[7] + z * (c[8] + z * c[9]));
+  }
+  return u;
+}
+
+double phi_field(double x, double y, double z) noexcept {
+  return 1.0 + 0.2 * std::sin(2.0 * std::numbers::pi * x) *
+                   std::sin(2.0 * std::numbers::pi * y) *
+                   std::sin(2.0 * std::numbers::pi * z);
+}
+
+System make_system(double h) noexcept {
+  System s;
+  s.lx = kLambdaX;
+  s.ly = kLambdaY;
+  s.lz = kLambdaZ;
+  s.tx = basis(0.30, -0.20, 0.10);
+  s.ty = basis(-0.25, 0.15, 0.20);
+  s.tz = basis(0.20, 0.25, -0.15);
+  s.txinv = mat_inverse(s.tx);
+  s.tyinv = mat_inverse(s.ty);
+  s.tzinv = mat_inverse(s.tz);
+  s.ax = mat_mul(s.tx, mat_mul(diag(s.lx), s.txinv));
+  s.ay = mat_mul(s.ty, mat_mul(diag(s.ly), s.tyinv));
+  s.az = mat_mul(s.tz, mat_mul(diag(s.lz), s.tzinv));
+  for (int i = 0; i < kComps; ++i)
+    for (int j = 0; j < kComps; ++j) {
+      // Diagonally dominant positive coupling: keeps the LU diagonal blocks
+      // well conditioned and gives the spatial operator a real spectral
+      // margin that drives convergence to the exact solution.
+      double v = 0.0;
+      if (i == j) v = 1.0;
+      if (i == j + 1 || j == i + 1) v = 0.2;
+      s.reaction[static_cast<std::size_t>(i * kComps + j)] = v;
+    }
+  s.nu = 0.05;
+  s.sigma = 1.0;
+  // 4th-difference dissipation scaled like NPB's dssp: strong enough to damp
+  // odd-even modes, weak against the physical terms.
+  s.eps4 = 0.02 / h;
+  return s;
+}
+
+}  // namespace npb::pseudoapp

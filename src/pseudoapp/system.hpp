@@ -1,0 +1,72 @@
+#pragma once
+
+// The synthetic CFD system shared by BT, SP and LU.
+//
+// The NPB pseudo-applications integrate the 3-D compressible Navier-Stokes
+// equations.  This reproduction — a performance study, like the paper —
+// replaces the nonlinear flux Jacobians with a 5-component linear
+// convection-diffusion-reaction system
+//
+//   du/dt + phi(x) * (Ax du/dx + Ay du/dy + Az du/dz)
+//         = nu Laplacian(u) - sigma phi(x) B u - eps4 D4(u) + f(x)
+//
+// chosen so that every timed kernel keeps its NPB shape and arithmetic
+// intensity: 5x5 block-tridiagonal lines for BT, per-direction
+// characteristic transforms plus scalar pentadiagonal lines for SP (each Ad
+// = Td Ld Td^-1 with distinct eigenvector bases), full 5x5 diagonal blocks
+// for LU's SSOR (the reaction matrix B makes D non-scalar), and a wide
+// star-stencil RHS with 5x5 matrix-vector products per point — the paper's
+// "basic CFD operations".  phi(x) varies per point so per-cell block
+// construction and factorization cannot be hoisted.  The forcing f is the
+// *discrete* operator applied to a polynomial exact solution, making that
+// solution a machine-precision fixed point: residual and error norms must
+// both decay, which is the intrinsic verification.  See DESIGN.md section 2.
+
+#include <array>
+#include <cstddef>
+
+namespace npb::pseudoapp {
+
+inline constexpr int kComps = 5;  ///< components per grid point
+
+using Mat5 = std::array<double, 25>;  // row-major 5x5
+using Vec5 = std::array<double, 5>;
+
+/// All constant coefficients of the synthetic system.
+struct System {
+  Mat5 ax{}, ay{}, az{};          ///< convection Jacobians
+  Mat5 tx{}, txinv{};             ///< eigenvector basis of ax (and inverse)
+  Mat5 ty{}, tyinv{};
+  Mat5 tz{}, tzinv{};
+  Vec5 lx{}, ly{}, lz{};          ///< eigenvalues of ax, ay, az
+  Mat5 reaction{};                ///< B, the 0th-order coupling
+  double nu = 0.05;               ///< diffusion coefficient
+  double sigma = 1.0;             ///< reaction strength
+  double eps4 = 0.0;              ///< 4th-difference dissipation (set per grid)
+};
+
+/// Exact-solution polynomial coefficients: for component m,
+///   ue_m(x,y,z) = ce[m][0] + P_m(x) + Q_m(y) + R_m(z)
+/// with cubics P, Q, R given by ce[m][1..3], ce[m][4..6], ce[m][7..9].
+using ExactCoeffs = std::array<std::array<double, 10>, kComps>;
+
+const ExactCoeffs& exact_coeffs() noexcept;
+
+/// Evaluates the exact solution at physical coordinates in [0,1]^3.
+Vec5 exact_solution(double x, double y, double z) noexcept;
+
+/// Spatially varying coefficient multiplying convection and reaction;
+/// smooth, bounded in [0.8, 1.2], and non-constant so per-cell Jacobian
+/// work cannot be hoisted out of the solver loops.
+double phi_field(double x, double y, double z) noexcept;
+
+/// Builds the System constants for a grid of spacing h (sets eps4 ~ 1/h
+/// scaled 4th-difference dissipation).
+System make_system(double h) noexcept;
+
+// ---- dense 5x5 helpers used at setup time (not in timed kernels) ----
+
+Mat5 mat_mul(const Mat5& a, const Mat5& b) noexcept;
+Mat5 mat_inverse(const Mat5& a);  ///< Gauss-Jordan with partial pivoting
+
+}  // namespace npb::pseudoapp

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "npb/run.hpp"
+#include "pseudoapp/app.hpp"
+
+namespace npb {
+
+pseudoapp::AppParams sp_params(ProblemClass cls) noexcept;
+
+/// Runs SP: the Scalar Pentadiagonal simulated CFD application.  Each ADI
+/// sweep first transforms the RHS into that direction's characteristic
+/// variables (a 5x5 matrix-vector product per grid point — the analogue of
+/// NPB's txinvr/ninvr/pinvr/tzetar), solves five independent scalar
+/// pentadiagonal systems per grid line (the LHS carries the 4th-difference
+/// dissipation, which is what widens Beam-Warming's bandwidth to five), and
+/// transforms back.
+RunResult run_sp(const RunConfig& cfg);
+
+}  // namespace npb

@@ -1,0 +1,282 @@
+#pragma once
+
+// Kernel template for SP; explicitly instantiated in sp_native.cpp and
+// sp_java.cpp (see ep_impl.hpp for the pattern).
+
+#include <optional>
+
+#include "common/wtime.hpp"
+#include "par/parallel_for.hpp"
+#include "par/team.hpp"
+#include "pseudoapp/app.hpp"
+#include "pseudoapp/field_impl.hpp"
+
+namespace npb::sp_detail {
+
+using namespace pseudoapp;
+
+/// Per-thread pentadiagonal workspace: the five bands and the line RHS.
+template <class P>
+struct PentaWork {
+  Array1<double, P> e, a, b, c, f, r;
+  explicit PentaWork(long n)
+      : e(static_cast<std::size_t>(n)), a(static_cast<std::size_t>(n)),
+        b(static_cast<std::size_t>(n)), c(static_cast<std::size_t>(n)),
+        f(static_cast<std::size_t>(n)), r(static_cast<std::size_t>(n)) {}
+};
+
+/// Solves (I + dt*Ld_m) dv = r along one line for characteristic component m
+/// with eigenvalue field lambda*phi(c).  The LHS bands carry convection,
+/// diffusion and the 4th-difference dissipation with NPB's modified
+/// near-boundary rows (mirroring the RHS operator).
+template <class P, class PhiAt, class RGet, class RSet>
+void penta_line(const System& sys, double lambda, double h, double dt, long n,
+                const PhiAt& phi_at, const RGet& rget, const RSet& rset,
+                PentaWork<P>& ws) {
+  const double inv2h = 1.0 / (2.0 * h);
+  const double invh2 = 1.0 / (h * h);
+  const double de = dt * sys.eps4;
+  const long nc = n - 2;
+
+  for (long q = 0; q < nc; ++q) {
+    const long cidx = q + 1;
+    const double lam = lambda * phi_at(cidx);
+    const double conv = dt * lam * inv2h;
+    const double diff = dt * sys.nu * invh2;
+    const auto Q = static_cast<std::size_t>(q);
+    double eb = 0.0, ab = -conv - diff, bb = 1.0 + 2.0 * diff, cb = conv - diff,
+           fb = 0.0;
+    // 4th-difference rows (same shapes as the RHS operator).
+    if (cidx == 1) {
+      bb += 5.0 * de;
+      cb += -4.0 * de;
+      fb += de;
+    } else if (cidx == 2) {
+      ab += -4.0 * de;
+      bb += 6.0 * de;
+      cb += -4.0 * de;
+      fb += de;
+    } else if (cidx == n - 3) {
+      eb += de;
+      ab += -4.0 * de;
+      bb += 6.0 * de;
+      cb += -4.0 * de;
+    } else if (cidx == n - 2) {
+      eb += de;
+      ab += -4.0 * de;
+      bb += 5.0 * de;
+    } else {
+      eb += de;
+      ab += -4.0 * de;
+      bb += 6.0 * de;
+      cb += -4.0 * de;
+      fb += de;
+    }
+    ws.e[Q] = eb;
+    ws.a[Q] = ab;
+    ws.b[Q] = bb;
+    ws.c[Q] = cb;
+    ws.f[Q] = fb;
+    ws.r[Q] = rget(cidx);
+    P::flops(12);
+  }
+
+  // Banded LU elimination of the two sub-diagonals, then back substitution.
+  for (long q = 0; q < nc; ++q) {
+    const auto Q = static_cast<std::size_t>(q);
+    if (q + 1 < nc) {
+      const auto Q1 = static_cast<std::size_t>(q + 1);
+      const double f1 = ws.a[Q1] / ws.b[Q];
+      ws.b[Q1] -= f1 * ws.c[Q];
+      ws.c[Q1] -= f1 * ws.f[Q];
+      ws.r[Q1] -= f1 * ws.r[Q];
+      P::flops(7);
+      P::muladds(3);
+    }
+    if (q + 2 < nc) {
+      const auto Q2 = static_cast<std::size_t>(q + 2);
+      const double f2 = ws.e[Q2] / ws.b[Q];
+      ws.a[Q2] -= f2 * ws.c[Q];
+      ws.b[Q2] -= f2 * ws.f[Q];
+      ws.r[Q2] -= f2 * ws.r[Q];
+      P::flops(7);
+      P::muladds(3);
+    }
+  }
+  for (long q = nc - 1; q >= 0; --q) {
+    const auto Q = static_cast<std::size_t>(q);
+    double s = ws.r[Q];
+    if (q + 1 < nc) s -= ws.c[Q] * ws.r[static_cast<std::size_t>(q + 1)];
+    if (q + 2 < nc) s -= ws.f[Q] * ws.r[static_cast<std::size_t>(q + 2)];
+    ws.r[Q] = s / ws.b[Q];
+    P::flops(5);
+  }
+  for (long q = 0; q < nc; ++q)
+    rset(q + 1, ws.r[static_cast<std::size_t>(q)]);
+}
+
+/// Pointwise 5x5 transform of the rhs over plane block [lo, hi):
+/// rhs <- scale * M * rhs.
+template <class P>
+void transform_planes(Fields<P>& f, const Mat5& m, double scale, long lo, long hi) {
+  const long n = f.n;
+  for (long i = lo; i < hi; ++i)
+    for (long j = 1; j < n - 1; ++j)
+      for (long k = 1; k < n - 1; ++k) {
+        Vec5 v{};
+        for (int a = 0; a < kComps; ++a) {
+          double s = 0.0;
+          for (int b = 0; b < kComps; ++b) {
+            s += m[static_cast<std::size_t>(a * kComps + b)] *
+                 f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                       static_cast<std::size_t>(k), static_cast<std::size_t>(b));
+            P::muladds(1);
+          }
+          v[static_cast<std::size_t>(a)] = scale * s;
+          P::flops(11);
+        }
+        for (int a = 0; a < kComps; ++a)
+          f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k), static_cast<std::size_t>(a)) =
+              v[static_cast<std::size_t>(a)];
+      }
+}
+
+template <class F>
+void over_range(WorkerTeam* team, long n, const F& body) {
+  if (team == nullptr) {
+    body(1, n - 1);
+  } else {
+    team->run([&](int rank) {
+      const Range r = partition(1, n - 1, rank, team->size());
+      body(r.lo, r.hi);
+    });
+  }
+}
+
+template <class P>
+AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+  Fields<P> f(prm.n);
+  init_fields(f);
+  const long n = prm.n;
+  const double dt = prm.dt;
+
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+
+  auto do_rhs = [&] {
+    over_range(team, n, [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
+  };
+  auto transform = [&](const Mat5& m, double scale) {
+    over_range(team, n, [&](long lo, long hi) { transform_planes(f, m, scale, lo, hi); });
+  };
+
+  AppOutput out;
+  do_rhs();
+  out.rhs_initial = rhs_norms(f);
+  out.err_initial = error_norms(f);
+
+  const double t0 = wtime();
+  for (int it = 0; it < prm.iterations; ++it) {
+    do_rhs();
+
+    // x sweep (dt folded into the first characteristic transform).
+    transform(f.sys.txinv, dt);
+    over_range(team, n, [&](long lo, long hi) {
+      PentaWork<P> ws(n);
+      for (long j = lo; j < hi; ++j)
+        for (long k = 1; k < n - 1; ++k)
+          for (int m = 0; m < kComps; ++m)
+            penta_line<P>(
+                f.sys, f.sys.lx[static_cast<std::size_t>(m)], f.h, dt, n,
+                [&](long c) {
+                  return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                               static_cast<std::size_t>(k));
+                },
+                [&](long c) {
+                  return f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+                },
+                [&](long c, double v) {
+                  f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+                },
+                ws);
+    });
+    transform(f.sys.tx, 1.0);
+
+    // y sweep.
+    transform(f.sys.tyinv, 1.0);
+    over_range(team, n, [&](long lo, long hi) {
+      PentaWork<P> ws(n);
+      for (long i = lo; i < hi; ++i)
+        for (long k = 1; k < n - 1; ++k)
+          for (int m = 0; m < kComps; ++m)
+            penta_line<P>(
+                f.sys, f.sys.ly[static_cast<std::size_t>(m)], f.h, dt, n,
+                [&](long c) {
+                  return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                               static_cast<std::size_t>(k));
+                },
+                [&](long c) {
+                  return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+                },
+                [&](long c, double v) {
+                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                        static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+                },
+                ws);
+    });
+    transform(f.sys.ty, 1.0);
+
+    // z sweep.
+    transform(f.sys.tzinv, 1.0);
+    over_range(team, n, [&](long lo, long hi) {
+      PentaWork<P> ws(n);
+      for (long i = lo; i < hi; ++i)
+        for (long j = 1; j < n - 1; ++j)
+          for (int m = 0; m < kComps; ++m)
+            penta_line<P>(
+                f.sys, f.sys.lz[static_cast<std::size_t>(m)], f.h, dt, n,
+                [&](long c) {
+                  return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                               static_cast<std::size_t>(c));
+                },
+                [&](long c) {
+                  return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                               static_cast<std::size_t>(c), static_cast<std::size_t>(m));
+                },
+                [&](long c, double v) {
+                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(c), static_cast<std::size_t>(m)) = v;
+                },
+                ws);
+    });
+    transform(f.sys.tz, 1.0);
+
+    // add: u += dv.
+    over_range(team, n, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i)
+        for (long j = 1; j < n - 1; ++j)
+          for (long k = 1; k < n - 1; ++k)
+            for (int m = 0; m < kComps; ++m)
+              f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
+                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                        static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+    });
+  }
+  out.seconds = wtime() - t0;
+
+  do_rhs();
+  out.rhs_final = rhs_norms(f);
+  out.err_final = error_norms(f);
+  return out;
+}
+
+extern template AppOutput sp_run<Unchecked>(const AppParams&, int, const TeamOptions&);
+extern template AppOutput sp_run<Checked>(const AppParams&, int, const TeamOptions&);
+
+}  // namespace npb::sp_detail

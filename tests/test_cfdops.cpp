@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "cfdops/cfdops.hpp"
+#include "common/verify.hpp"
+
+namespace npb {
+namespace {
+
+// Small grid for fast tests; the bench uses the paper's 81x81x100.
+CfdConfig small(Mode m, ArrayShape s, int threads) {
+  CfdConfig c;
+  c.n1 = 20;
+  c.n2 = 18;
+  c.n3 = 22;
+  c.reps = 2;
+  c.mode = m;
+  c.shape = s;
+  c.threads = threads;
+  return c;
+}
+
+constexpr CfdOp kAllOps[] = {CfdOp::Assignment, CfdOp::FirstOrderStencil,
+                             CfdOp::SecondOrderStencil, CfdOp::MatVec,
+                             CfdOp::ReductionSum};
+
+class CfdOpCase : public ::testing::TestWithParam<CfdOp> {};
+
+TEST_P(CfdOpCase, ChecksumIdenticalAcrossModes) {
+  const CfdResult nat = run_cfd_op(GetParam(), small(Mode::Native, ArrayShape::Linearized, 0));
+  const CfdResult jav = run_cfd_op(GetParam(), small(Mode::Java, ArrayShape::Linearized, 0));
+  EXPECT_TRUE(approx_equal(nat.checksum, jav.checksum))
+      << nat.checksum << " vs " << jav.checksum;
+}
+
+TEST_P(CfdOpCase, ChecksumIdenticalAcrossShapes) {
+  const CfdResult lin = run_cfd_op(GetParam(), small(Mode::Java, ArrayShape::Linearized, 0));
+  const CfdResult md = run_cfd_op(GetParam(), small(Mode::Java, ArrayShape::Dimensioned, 0));
+  EXPECT_TRUE(approx_equal(lin.checksum, md.checksum))
+      << lin.checksum << " vs " << md.checksum;
+}
+
+TEST_P(CfdOpCase, ThreadedMatchesSerial) {
+  const CfdResult ser = run_cfd_op(GetParam(), small(Mode::Native, ArrayShape::Linearized, 0));
+  for (int t : {1, 2, 4}) {
+    const CfdResult par = run_cfd_op(GetParam(), small(Mode::Native, ArrayShape::Linearized, t));
+    EXPECT_TRUE(approx_equal(ser.checksum, par.checksum))
+        << "threads=" << t << ": " << ser.checksum << " vs " << par.checksum;
+  }
+}
+
+TEST_P(CfdOpCase, ProducesNonTrivialChecksumAndTime) {
+  const CfdResult r = run_cfd_op(GetParam(), small(Mode::Native, ArrayShape::Linearized, 0));
+  EXPECT_NE(r.checksum, 0.0);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, CfdOpCase, ::testing::ValuesIn(kAllOps),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CfdOp::Assignment: return "Assignment";
+                             case CfdOp::FirstOrderStencil: return "Stencil1";
+                             case CfdOp::SecondOrderStencil: return "Stencil2";
+                             case CfdOp::MatVec: return "MatVec";
+                             case CfdOp::ReductionSum: return "Reduction";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(CfdOpsProfile, ChecksCountedPerAccessAndShapesDiffer) {
+  // The perfex reproduction: java-mode linearized arrays take one check per
+  // access; dimension-preserving arrays take one per dimension.
+  CfdConfig c = small(Mode::Java, ArrayShape::Linearized, 0);
+  const OpCounts lin = profile_cfd_op(CfdOp::Assignment, c);
+  c.shape = ArrayShape::Dimensioned;
+  const OpCounts md = profile_cfd_op(CfdOp::Assignment, c);
+  EXPECT_EQ(lin.accesses, md.accesses);
+  EXPECT_EQ(lin.checks, lin.accesses);
+  EXPECT_EQ(md.checks, 3 * md.accesses);
+}
+
+TEST(CfdOpsProfile, MatVecReportsMulAdds) {
+  // 25 multiply-adds per point: the instructions an FMA-enabled compiler
+  // fuses and the Java rounding model forbids (the paper's "2x floating
+  // point instructions" finding).
+  const CfdConfig c = small(Mode::Java, ArrayShape::Linearized, 0);
+  const OpCounts p = profile_cfd_op(CfdOp::MatVec, c);
+  const auto pts = static_cast<std::uint64_t>(c.n1 * c.n2 * c.n3);
+  EXPECT_EQ(p.muladds, pts * 25u);
+  EXPECT_GE(p.flops, pts * 50u);
+}
+
+TEST(CfdOpsProfile, StencilCountsScaleWithInterior) {
+  const CfdConfig c = small(Mode::Java, ArrayShape::Linearized, 0);
+  const OpCounts s1 = profile_cfd_op(CfdOp::FirstOrderStencil, c);
+  const OpCounts s2 = profile_cfd_op(CfdOp::SecondOrderStencil, c);
+  EXPECT_GT(s2.flops, s1.flops);
+  EXPECT_GT(s2.accesses, s1.accesses);
+}
+
+TEST(CfdOps, Names) {
+  EXPECT_STREQ(to_string(CfdOp::Assignment), "Assignment");
+  EXPECT_STREQ(to_string(CfdOp::ReductionSum), "Reduction Sum");
+  EXPECT_STREQ(to_string(ArrayShape::Linearized), "linearized");
+  EXPECT_STREQ(to_string(ArrayShape::Dimensioned), "dimensioned");
+}
+
+}  // namespace
+}  // namespace npb

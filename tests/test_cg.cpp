@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "cg/cg.hpp"
+#include "common/verify.hpp"
+
+namespace npb {
+namespace {
+
+RunConfig cfg_s(Mode m, int threads) {
+  RunConfig c;
+  c.cls = ProblemClass::S;
+  c.mode = m;
+  c.threads = threads;
+  return c;
+}
+
+const RunResult& serial_native_s() {
+  static const RunResult r = run_cg(cfg_s(Mode::Native, 0));
+  return r;
+}
+
+TEST(Cg, ParamsMatchNpbShapes) {
+  EXPECT_EQ(cg_params(ProblemClass::S).n, 1400);
+  EXPECT_EQ(cg_params(ProblemClass::A).n, 14000);
+  EXPECT_EQ(cg_params(ProblemClass::A).nonzer, 11);
+  EXPECT_DOUBLE_EQ(cg_params(ProblemClass::A).shift, 20.0);
+  EXPECT_EQ(cg_params(ProblemClass::B).niter, 75);
+}
+
+TEST(Cg, SerialNativeVerifies) {
+  const RunResult& r = serial_native_s();
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  ASSERT_EQ(r.checksums.size(), 3u);
+  // zeta must sit between 0 and the shift (negative-definite shifted matrix).
+  EXPECT_GT(r.checksums[0], 0.0);
+  EXPECT_LT(r.checksums[0], cg_params(ProblemClass::S).shift);
+}
+
+TEST(Cg, ZetaConverged) {
+  // The last outer iteration's zeta should be close to the running mean of
+  // all 15 (inverse power iteration converges fast here).
+  const RunResult& r = serial_native_s();
+  const double mean = r.checksums[2] / 15.0;
+  EXPECT_NEAR(r.checksums[0], mean, 0.35 * std::abs(mean));
+}
+
+TEST(Cg, JavaModeMatchesNativeChecksums) {
+  // Same arithmetic modulo FMA contraction differences; the CG recurrences
+  // are stable, so agreement is tight but not bitwise.
+  const RunResult b = run_cg(cfg_s(Mode::Java, 0));
+  const RunResult& a = serial_native_s();
+  EXPECT_TRUE(b.verified) << b.verify_detail;
+  EXPECT_TRUE(approx_equal(a.checksums[0], b.checksums[0]))
+      << a.checksums[0] << " vs " << b.checksums[0];
+}
+
+class CgThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgThreads, ThreadedMatchesSerial) {
+  const RunResult par = run_cg(cfg_s(Mode::Native, GetParam()));
+  EXPECT_TRUE(par.verified) << par.verify_detail;
+  const RunResult& serial = serial_native_s();
+  for (std::size_t i = 0; i < serial.checksums.size(); ++i)
+    EXPECT_TRUE(approx_equal(par.checksums[i], serial.checksums[i]))
+        << "checksum " << i << ": " << par.checksums[i] << " vs "
+        << serial.checksums[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, CgThreads, ::testing::Values(1, 2, 3, 4));
+
+TEST(Cg, WarmupDoesNotChangeResults) {
+  RunConfig c = cfg_s(Mode::Native, 2);
+  const RunResult plain = run_cg(c);
+  c.warmup_spins = 200000;  // the paper's CG fix
+  const RunResult warmed = run_cg(c);
+  for (std::size_t i = 0; i < plain.checksums.size(); ++i)
+    EXPECT_EQ(plain.checksums[i], warmed.checksums[i]) << "checksum " << i;
+}
+
+TEST(Cg, DeterministicAcrossRuns) {
+  const RunResult a = run_cg(cfg_s(Mode::Native, 2));
+  const RunResult b = run_cg(cfg_s(Mode::Native, 2));
+  for (std::size_t i = 0; i < a.checksums.size(); ++i)
+    EXPECT_EQ(a.checksums[i], b.checksums[i]);
+}
+
+}  // namespace
+}  // namespace npb

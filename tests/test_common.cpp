@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/classes.hpp"
+#include "common/mode.hpp"
+#include "common/table.hpp"
+#include "common/verify.hpp"
+#include "common/wtime.hpp"
+
+namespace npb {
+namespace {
+
+TEST(Classes, RoundTrip) {
+  for (ProblemClass c : {ProblemClass::S, ProblemClass::W, ProblemClass::A,
+                         ProblemClass::B, ProblemClass::C}) {
+    const auto parsed = parse_class(to_string(c));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+TEST(Classes, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_class("a"), ProblemClass::A);
+  EXPECT_EQ(parse_class("s"), ProblemClass::S);
+}
+
+TEST(Classes, ParseRejectsJunk) {
+  EXPECT_FALSE(parse_class("").has_value());
+  EXPECT_FALSE(parse_class("D").has_value());
+  EXPECT_FALSE(parse_class("AA").has_value());
+}
+
+TEST(Mode, Names) {
+  EXPECT_STREQ(to_string(Mode::Native), "native");
+  EXPECT_STREQ(to_string(Mode::Java), "java");
+}
+
+TEST(Verify, ApproxEqualRelative) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(1.0 + 5e-9, 1.0));
+  EXPECT_FALSE(approx_equal(1.0 + 5e-7, 1.0));
+  EXPECT_TRUE(approx_equal(-1234.5, -1234.5 * (1 + 1e-9)));
+}
+
+TEST(Verify, ApproxEqualNearZeroIsAbsolute) {
+  EXPECT_TRUE(approx_equal(1e-15, 0.0));
+  EXPECT_FALSE(approx_equal(1e-3, 0.0));
+}
+
+TEST(Verify, RejectsNonFinite) {
+  EXPECT_FALSE(approx_equal(std::nan(""), 1.0));
+  EXPECT_FALSE(approx_equal(1.0, std::numeric_limits<double>::infinity()));
+}
+
+TEST(Verify, ChecksumVectorMismatchedLength) {
+  const auto v = verify_checksums({1.0}, {1.0, 2.0});
+  EXPECT_FALSE(v.passed);
+  EXPECT_NE(v.detail.find("mismatch"), std::string::npos);
+}
+
+TEST(Verify, ChecksumVectorReportsPerElement) {
+  const auto v = verify_checksums({1.0, 3.0}, {1.0, 2.0});
+  EXPECT_FALSE(v.passed);
+  EXPECT_NE(v.detail.find("FAIL"), std::string::npos);
+  EXPECT_NE(v.detail.find("ok"), std::string::npos);
+}
+
+TEST(Verify, ChecksumVectorPasses) {
+  const auto v = verify_checksums({1.0, -2.5}, {1.0, -2.5});
+  EXPECT_TRUE(v.passed);
+}
+
+TEST(Wtime, MonotoneAndTimerAccumulates) {
+  const double a = wtime();
+  const double b = wtime();
+  EXPECT_GE(b, a);
+  Timer t;
+  t.start();
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  t.stop();
+  EXPECT_GT(t.elapsed(), 0.0);
+  const double once = t.elapsed();
+  t.start();
+  t.stop();
+  EXPECT_GE(t.elapsed(), once);
+  t.reset();
+  EXPECT_EQ(t.elapsed(), 0.0);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Table X. demo");
+  t.set_header({"Benchmark", "Serial", "1", "2"});
+  t.add_row({"BT.A", "12.30", "13.10", "7.20"});
+  t.add_separator();
+  t.add_row({"SP.A", Table::cell(5.4321), Table::cell(-1.0), "9"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Table X. demo"), std::string::npos);
+  EXPECT_NE(s.find("Benchmark"), std::string::npos);
+  EXPECT_NE(s.find("12.30"), std::string::npos);
+  EXPECT_NE(s.find("5.43"), std::string::npos);
+  // cell(-1) renders the paper's "-" placeholder.
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+TEST(Table, CellPrecision) {
+  EXPECT_EQ(Table::cell(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::cell(-0.5), "-");
+}
+
+}  // namespace
+}  // namespace npb

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/verify.hpp"
+#include "ft/ft.hpp"
+
+namespace npb {
+namespace {
+
+RunConfig cfg_s(Mode m, int threads) {
+  RunConfig c;
+  c.cls = ProblemClass::S;
+  c.mode = m;
+  c.threads = threads;
+  return c;
+}
+
+const RunResult& serial_native_s() {
+  static const RunResult r = run_ft(cfg_s(Mode::Native, 0));
+  return r;
+}
+
+TEST(Ft, ParamsMatchNpbShapes) {
+  const FtParams a = ft_params(ProblemClass::A);
+  EXPECT_EQ(a.n1, 256);
+  EXPECT_EQ(a.n2, 256);
+  EXPECT_EQ(a.n3, 128);
+  EXPECT_EQ(a.iterations, 6);
+  EXPECT_EQ(ft_params(ProblemClass::S).n1, 64);
+}
+
+TEST(Ft, SerialNativeVerifies) {
+  const RunResult& r = serial_native_s();
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  // One complex checksum (re, im) per timestep.
+  ASSERT_EQ(r.checksums.size(), 12u);
+}
+
+TEST(Ft, ChecksumsDecayWithDiffusion) {
+  // The evolve factors are Gaussian decay: later timesteps shrink the
+  // spectrum, and the scattered-point sums should not blow up.
+  const RunResult& r = serial_native_s();
+  for (double c : r.checksums) EXPECT_LT(std::abs(c), 1.0e6);
+}
+
+TEST(Ft, JavaModeMatchesNative) {
+  const RunResult b = run_ft(cfg_s(Mode::Java, 0));
+  EXPECT_TRUE(b.verified) << b.verify_detail;
+  const RunResult& a = serial_native_s();
+  for (std::size_t i = 0; i < a.checksums.size(); ++i)
+    EXPECT_TRUE(approx_equal(a.checksums[i], b.checksums[i]))
+        << "checksum " << i << ": " << a.checksums[i] << " vs " << b.checksums[i];
+}
+
+class FtThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtThreads, ThreadedMatchesSerialExactly) {
+  // Every FFT line is computed by exactly one thread with the same serial
+  // algorithm, and there are no reductions: results are bitwise identical.
+  const RunResult par = run_ft(cfg_s(Mode::Native, GetParam()));
+  EXPECT_TRUE(par.verified) << par.verify_detail;
+  const RunResult& serial = serial_native_s();
+  ASSERT_EQ(par.checksums.size(), serial.checksums.size());
+  for (std::size_t i = 0; i < serial.checksums.size(); ++i)
+    EXPECT_EQ(par.checksums[i], serial.checksums[i]) << "checksum " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FtThreads, ::testing::Values(1, 2, 4));
+
+TEST(Ft, NonCubicWClassVerifies) {
+  RunConfig c = cfg_s(Mode::Native, 2);
+  c.cls = ProblemClass::W;  // 128x128x32 exercises distinct per-axis sizes
+  const RunResult r = run_ft(c);
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+}
+
+}  // namespace
+}  // namespace npb

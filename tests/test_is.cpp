@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/verify.hpp"
+#include "is/is.hpp"
+
+namespace npb {
+namespace {
+
+RunConfig cfg_s(Mode m, int threads) {
+  RunConfig c;
+  c.cls = ProblemClass::S;
+  c.mode = m;
+  c.threads = threads;
+  return c;
+}
+
+TEST(Is, ParamsGrowWithClass) {
+  EXPECT_EQ(is_params(ProblemClass::S).total_keys, 1L << 16);
+  EXPECT_EQ(is_params(ProblemClass::A).total_keys, 1L << 23);
+  EXPECT_EQ(is_params(ProblemClass::A).max_key, 1L << 19);
+  EXPECT_LT(is_params(ProblemClass::A).total_keys, is_params(ProblemClass::B).total_keys);
+}
+
+TEST(Is, SerialNativeVerifies) {
+  const RunResult r = run_is(cfg_s(Mode::Native, 0));
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  // 10 per-iteration probe sums + key sum.
+  ASSERT_EQ(r.checksums.size(), 11u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Is, JavaModeMatchesNativeExactly) {
+  // Integer workload: every checksum must agree bit-for-bit across modes.
+  const RunResult a = run_is(cfg_s(Mode::Native, 0));
+  const RunResult b = run_is(cfg_s(Mode::Java, 0));
+  ASSERT_EQ(a.checksums.size(), b.checksums.size());
+  for (std::size_t i = 0; i < a.checksums.size(); ++i)
+    EXPECT_EQ(a.checksums[i], b.checksums[i]) << "checksum " << i;
+}
+
+class IsThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsThreads, ThreadedMatchesSerialExactly) {
+  const RunResult serial = run_is(cfg_s(Mode::Native, 0));
+  const RunResult par = run_is(cfg_s(Mode::Native, GetParam()));
+  EXPECT_TRUE(par.verified) << par.verify_detail;
+  ASSERT_EQ(par.checksums.size(), serial.checksums.size());
+  for (std::size_t i = 0; i < serial.checksums.size(); ++i)
+    EXPECT_EQ(par.checksums[i], serial.checksums[i]) << "checksum " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, IsThreads, ::testing::Values(1, 2, 4, 5));
+
+TEST(Is, ProbeSumsChangeAcrossIterations) {
+  // Iteration modifications perturb two keys each round, so the probe sums
+  // should not all be identical.
+  const RunResult r = run_is(cfg_s(Mode::Native, 0));
+  bool all_same = true;
+  for (std::size_t i = 1; i < 10; ++i)
+    if (r.checksums[i] != r.checksums[0]) all_same = false;
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Is, ClassWSerialVerifies) {
+  RunConfig c = cfg_s(Mode::Native, 0);
+  c.cls = ProblemClass::W;
+  const RunResult r = run_is(c);
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+}
+
+}  // namespace
+}  // namespace npb

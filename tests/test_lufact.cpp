@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/verify.hpp"
+#include "lufact/lufact.hpp"
+
+namespace npb {
+namespace {
+
+LufactConfig cfg(long n, Mode m, LuAlgorithm alg, long block = 40) {
+  LufactConfig c;
+  c.n = n;
+  c.mode = m;
+  c.alg = alg;
+  c.block = block;
+  return c;
+}
+
+class LufactAlgos
+    : public ::testing::TestWithParam<std::tuple<LuAlgorithm, Mode, long>> {};
+
+TEST_P(LufactAlgos, ResidualPassesLinpackCriterion) {
+  const auto [alg, mode, n] = GetParam();
+  const LufactResult r = run_lufact(cfg(n, mode, alg));
+  // LINPACK accepts residn of order 1-10; anything below 100 is a correct
+  // factorization, anything above signals a broken elimination.
+  EXPECT_LT(r.residual_normalized, 100.0) << to_string(alg) << " n=" << n;
+  EXPECT_GT(r.mflops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LufactAlgos,
+    ::testing::Combine(::testing::Values(LuAlgorithm::Blas1, LuAlgorithm::Blocked),
+                       ::testing::Values(Mode::Native, Mode::Java),
+                       ::testing::Values(63L, 128L, 250L)));
+
+TEST(Lufact, BothAlgorithmsAgreeOnTheSolution) {
+  // Same matrix, same pivot choices => identical elimination up to rounding.
+  const LufactResult a = run_lufact(cfg(200, Mode::Native, LuAlgorithm::Blas1));
+  const LufactResult b = run_lufact(cfg(200, Mode::Native, LuAlgorithm::Blocked));
+  EXPECT_TRUE(approx_equal(a.x_checksum, b.x_checksum, 1e-6))
+      << a.x_checksum << " vs " << b.x_checksum;
+}
+
+TEST(Lufact, SolutionIsNearAllOnes) {
+  // b was built as row sums, so x ~ 1 componentwise; checksum ~ n.
+  const LufactResult r = run_lufact(cfg(150, Mode::Native, LuAlgorithm::Blas1));
+  EXPECT_NEAR(r.x_checksum, 150.0, 1e-6);
+}
+
+TEST(Lufact, JavaModeMatchesNativeChecksum) {
+  const LufactResult a = run_lufact(cfg(150, Mode::Native, LuAlgorithm::Blocked));
+  const LufactResult b = run_lufact(cfg(150, Mode::Java, LuAlgorithm::Blocked));
+  EXPECT_TRUE(approx_equal(a.x_checksum, b.x_checksum, 1e-9));
+}
+
+class BlockSizes : public ::testing::TestWithParam<long> {};
+
+TEST_P(BlockSizes, BlockedLuRobustToPanelWidth) {
+  // Property: any panel width (including widths that don't divide n and
+  // degenerate width 1 == unblocked) gives the same solution.
+  const LufactResult ref = run_lufact(cfg(130, Mode::Native, LuAlgorithm::Blas1));
+  const LufactResult r =
+      run_lufact(cfg(130, Mode::Native, LuAlgorithm::Blocked, GetParam()));
+  EXPECT_LT(r.residual_normalized, 100.0);
+  EXPECT_TRUE(approx_equal(ref.x_checksum, r.x_checksum, 1e-7))
+      << "block=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BlockSizes,
+                         ::testing::Values(1L, 7L, 32L, 40L, 64L, 129L, 130L, 200L));
+
+TEST(Lufact, ClassOrdersMatchJavaGrande) {
+  EXPECT_EQ(lufact_order(ProblemClass::A), 500);
+  EXPECT_EQ(lufact_order(ProblemClass::B), 1000);
+  EXPECT_EQ(lufact_order(ProblemClass::C), 2000);
+}
+
+}  // namespace
+}  // namespace npb

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "common/verify.hpp"
+#include "mg/mg.hpp"
+
+namespace npb {
+namespace {
+
+RunConfig cfg_s(Mode m, int threads) {
+  RunConfig c;
+  c.cls = ProblemClass::S;
+  c.mode = m;
+  c.threads = threads;
+  return c;
+}
+
+const RunResult& serial_native_s() {
+  static const RunResult r = run_mg(cfg_s(Mode::Native, 0));
+  return r;
+}
+
+TEST(Mg, ParamsMatchNpbShapes) {
+  EXPECT_EQ(mg_params(ProblemClass::S).log2_n, 5);
+  EXPECT_EQ(mg_params(ProblemClass::A).log2_n, 8);
+  EXPECT_EQ(mg_params(ProblemClass::A).iterations, 4);
+  EXPECT_EQ(mg_params(ProblemClass::B).iterations, 20);
+}
+
+TEST(Mg, SerialNativeVerifies) {
+  const RunResult& r = serial_native_s();
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  ASSERT_EQ(r.checksums.size(), 1u);
+  EXPECT_GT(r.checksums[0], 0.0);
+}
+
+TEST(Mg, JavaModeMatchesNative) {
+  const RunResult b = run_mg(cfg_s(Mode::Java, 0));
+  EXPECT_TRUE(b.verified) << b.verify_detail;
+  const RunResult& a = serial_native_s();
+  EXPECT_TRUE(approx_equal(a.checksums[0], b.checksums[0]))
+      << a.checksums[0] << " vs " << b.checksums[0];
+}
+
+class MgThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(MgThreads, ThreadedMatchesSerialExactly) {
+  // MG has no cross-thread reductions in the timed loop: every grid point is
+  // computed identically regardless of partitioning, so results are bitwise.
+  const RunResult par = run_mg(cfg_s(Mode::Native, GetParam()));
+  EXPECT_TRUE(par.verified) << par.verify_detail;
+  const RunResult& serial = serial_native_s();
+  EXPECT_EQ(par.checksums[0], serial.checksums[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, MgThreads, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Mg, WClassResidualAlsoContracts) {
+  RunConfig c = cfg_s(Mode::Native, 0);
+  c.cls = ProblemClass::W;
+  const RunResult r = run_mg(c);
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+}
+
+}  // namespace
+}  // namespace npb

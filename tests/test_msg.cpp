@@ -1,0 +1,182 @@
+// Unit and property tests for the in-process message-passing runtime.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "msg/communicator.hpp"
+
+namespace npb::msg {
+namespace {
+
+TEST(Channel, DeliversTaggedMessagesInOrder) {
+  Channel ch;
+  ch.send(1, {1.0, 2.0});
+  ch.send(2, {9.0});
+  ch.send(1, {3.0});
+  EXPECT_EQ(ch.recv(2), (std::vector<double>{9.0}));
+  EXPECT_EQ(ch.recv(1), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(ch.recv(1), (std::vector<double>{3.0}));
+}
+
+TEST(World, RunsEveryRankOnce) {
+  World w(4);
+  std::atomic<int> hits{0};
+  std::atomic<int> rank_sum{0};
+  w.run([&](Communicator& c) {
+    hits++;
+    rank_sum += c.rank();
+    EXPECT_EQ(c.size(), 4);
+  });
+  EXPECT_EQ(hits.load(), 4);
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(World, PropagatesRankException) {
+  World w(2);
+  EXPECT_THROW(w.run([](Communicator& c) {
+    if (c.rank() == 1) throw std::runtime_error("rank boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(Communicator, PingPong) {
+  World w(2);
+  w.run([](Communicator& c) {
+    double v = 0.0;
+    if (c.rank() == 0) {
+      v = 42.0;
+      c.send(1, 5, std::span<const double>(&v, 1));
+      c.recv(1, 6, std::span<double>(&v, 1));
+      EXPECT_EQ(v, 43.0);
+    } else {
+      c.recv(0, 5, std::span<double>(&v, 1));
+      v += 1.0;
+      c.send(0, 6, std::span<const double>(&v, 1));
+    }
+  });
+}
+
+TEST(Communicator, RecvSizeMismatchThrows) {
+  World w(2);
+  EXPECT_THROW(w.run([](Communicator& c) {
+    double v[2] = {1, 2};
+    if (c.rank() == 0) {
+      c.send(1, 1, std::span<const double>(v, 1));
+    } else {
+      c.recv(0, 1, std::span<double>(v, 2));
+    }
+  }),
+               std::length_error);
+}
+
+class Collectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(Collectives, AllreduceSumMatchesSerialAndIsUniform) {
+  const int n = GetParam();
+  World w(n);
+  std::vector<double> results(static_cast<std::size_t>(n));
+  w.run([&](Communicator& c) {
+    results[static_cast<std::size_t>(c.rank())] =
+        c.allreduce_sum(static_cast<double>(c.rank() + 1));
+  });
+  const double expect = n * (n + 1) / 2.0;
+  for (double r : results) EXPECT_EQ(r, expect);
+}
+
+TEST_P(Collectives, VectorAllreduce) {
+  const int n = GetParam();
+  World w(n);
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(n));
+  w.run([&](Communicator& c) {
+    std::vector<double> v{static_cast<double>(c.rank()), 1.0};
+    c.allreduce_sum(v);
+    results[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (const auto& v : results) {
+    EXPECT_EQ(v[0], n * (n - 1) / 2.0);
+    EXPECT_EQ(v[1], static_cast<double>(n));
+  }
+}
+
+TEST_P(Collectives, BroadcastReachesAll) {
+  const int n = GetParam();
+  World w(n);
+  std::vector<double> got(static_cast<std::size_t>(n));
+  w.run([&](Communicator& c) {
+    double v = c.rank() == 1 % n ? 7.5 : 0.0;
+    c.broadcast(1 % n, std::span<double>(&v, 1));
+    got[static_cast<std::size_t>(c.rank())] = v;
+  });
+  for (double v : got) EXPECT_EQ(v, 7.5);
+}
+
+TEST_P(Collectives, AlltoallTransposesBlocks) {
+  const int n = GetParam();
+  World w(n);
+  std::atomic<bool> bad{false};
+  w.run([&](Communicator& c) {
+    const std::size_t block = 3;
+    std::vector<double> sendbuf(block * static_cast<std::size_t>(n));
+    std::vector<double> recvbuf(block * static_cast<std::size_t>(n));
+    for (int peer = 0; peer < n; ++peer)
+      for (std::size_t b = 0; b < block; ++b)
+        sendbuf[static_cast<std::size_t>(peer) * block + b] =
+            100.0 * c.rank() + 10.0 * peer + static_cast<double>(b);
+    c.alltoall(sendbuf, recvbuf, block);
+    for (int peer = 0; peer < n; ++peer)
+      for (std::size_t b = 0; b < block; ++b) {
+        const double expect = 100.0 * peer + 10.0 * c.rank() + static_cast<double>(b);
+        if (recvbuf[static_cast<std::size_t>(peer) * block + b] != expect) bad = true;
+      }
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST_P(Collectives, AlltoallvMovesVariableLoads) {
+  const int n = GetParam();
+  World w(n);
+  std::atomic<bool> bad{false};
+  w.run([&](Communicator& c) {
+    // Rank r sends r+peer copies of value (100r + peer) to each peer.
+    std::vector<std::vector<double>> out(static_cast<std::size_t>(n));
+    for (int peer = 0; peer < n; ++peer)
+      out[static_cast<std::size_t>(peer)]
+          .assign(static_cast<std::size_t>(c.rank() + peer), 100.0 * c.rank() + peer);
+    const std::vector<double> in = c.alltoallv(out);
+    // Expect, in rank order: src+myrank copies of 100*src + myrank.
+    std::size_t at = 0;
+    for (int src = 0; src < n; ++src) {
+      const auto count = static_cast<std::size_t>(src + c.rank());
+      for (std::size_t q = 0; q < count; ++q) {
+        if (at >= in.size() || in[at] != 100.0 * src + c.rank()) bad = true;
+        ++at;
+      }
+    }
+    if (at != in.size()) bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST_P(Collectives, BarrierOrdersSideEffects) {
+  const int n = GetParam();
+  World w(n);
+  std::vector<std::atomic<int>> stage(static_cast<std::size_t>(n));
+  std::atomic<bool> bad{false};
+  w.run([&](Communicator& c) {
+    for (int s = 0; s < 20; ++s) {
+      stage[static_cast<std::size_t>(c.rank())] = s;
+      c.barrier();
+      for (const auto& other : stage)
+        if (other.load() < s) bad = true;
+      c.barrier();
+    }
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace npb::msg

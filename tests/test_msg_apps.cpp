@@ -1,0 +1,109 @@
+// Integration tests for the message-passing FT and IS: they must verify
+// against the same frozen references as the shared-memory versions and be
+// invariant to the rank count.
+
+#include <gtest/gtest.h>
+
+#include "common/verify.hpp"
+#include "cg/cg.hpp"
+#include "ft/ft.hpp"
+#include "is/is.hpp"
+#include "msg/ep_cg_mpi.hpp"
+#include "msg/ft_mpi.hpp"
+#include "msg/is_mpi.hpp"
+
+namespace npb {
+namespace {
+
+class FtMpiRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtMpiRanks, MatchesFrozenReference) {
+  const RunResult r = msg::run_ft_mpi(ProblemClass::S, GetParam());
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_TRUE(r.reference_checked);
+  EXPECT_EQ(r.checksums.size(), 12u);
+}
+
+TEST_P(FtMpiRanks, AgreesWithSharedMemoryFt) {
+  const RunResult mpi = msg::run_ft_mpi(ProblemClass::S, GetParam());
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  const RunResult shm = run_ft(cfg);
+  ASSERT_EQ(mpi.checksums.size(), shm.checksums.size());
+  for (std::size_t i = 0; i < shm.checksums.size(); ++i)
+    EXPECT_TRUE(approx_equal(mpi.checksums[i], shm.checksums[i]))
+        << "checksum " << i << ": " << mpi.checksums[i] << " vs "
+        << shm.checksums[i];
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, FtMpiRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST(FtMpi, RejectsNonDividingRankCounts) {
+  EXPECT_THROW(msg::run_ft_mpi(ProblemClass::S, 3), std::invalid_argument);
+  EXPECT_THROW(msg::run_ft_mpi(ProblemClass::S, 0), std::invalid_argument);
+}
+
+TEST(FtMpi, NonCubicClassW) {
+  // W is 128x128x32: exercises distinct per-axis lengths through the
+  // transpose. 4 divides both n1 and n2.
+  const RunResult r = msg::run_ft_mpi(ProblemClass::W, 4);
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+}
+
+class IsMpiRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsMpiRanks, MatchesFrozenReferenceExactly) {
+  const RunResult r = msg::run_is_mpi(ProblemClass::S, GetParam());
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_TRUE(r.reference_checked);
+}
+
+TEST_P(IsMpiRanks, BitwiseEqualToSharedMemoryIs) {
+  const RunResult mpi = msg::run_is_mpi(ProblemClass::S, GetParam());
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  const RunResult shm = run_is(cfg);
+  ASSERT_EQ(mpi.checksums.size(), shm.checksums.size());
+  for (std::size_t i = 0; i < shm.checksums.size(); ++i)
+    EXPECT_EQ(mpi.checksums[i], shm.checksums[i]) << "checksum " << i;
+}
+
+// Rank counts that do NOT divide the key count exercise uneven partitions.
+INSTANTIATE_TEST_SUITE_P(Ranks, IsMpiRanks, ::testing::Values(1, 2, 3, 5, 7, 8));
+
+class EpMpiRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpMpiRanks, MatchesFrozenReference) {
+  const RunResult r = msg::run_ep_mpi(ProblemClass::S, GetParam());
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_TRUE(r.reference_checked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, EpMpiRanks, ::testing::Values(1, 2, 3, 4));
+
+class CgMpiRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgMpiRanks, MatchesFrozenReference) {
+  const RunResult r = msg::run_cg_mpi(ProblemClass::S, GetParam());
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_TRUE(r.reference_checked);
+}
+
+TEST_P(CgMpiRanks, AgreesWithSharedMemoryCgBitwiseAtEqualWorkerCounts) {
+  // Same row partition and same rank-ordered reduction association as the
+  // threaded conj_grad => identical floating-point trajectories.
+  const int workers = GetParam();
+  const RunResult mpi = msg::run_cg_mpi(ProblemClass::S, workers);
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.threads = workers;
+  const RunResult shm = run_cg(cfg);
+  ASSERT_EQ(mpi.checksums.size(), shm.checksums.size());
+  for (std::size_t i = 0; i < shm.checksums.size(); ++i)
+    EXPECT_EQ(mpi.checksums[i], shm.checksums[i]) << "checksum " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CgMpiRanks, ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace npb

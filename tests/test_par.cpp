@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "par/parallel_for.hpp"
+#include "par/partition.hpp"
+#include "par/pipeline.hpp"
+#include "par/team.hpp"
+
+namespace npb {
+namespace {
+
+// ---- partition properties ------------------------------------------------
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<long, long, int>> {};
+
+TEST_P(PartitionProperty, CoversRangeExactlyOnceAndBalanced) {
+  const auto [lo, hi, nranks] = GetParam();
+  std::vector<int> hits(static_cast<std::size_t>(std::max(hi - lo, 0L)), 0);
+  long minsize = hi - lo, maxsize = 0;
+  long prev_hi = lo;
+  for (int r = 0; r < nranks; ++r) {
+    const Range rg = partition(lo, hi, r, nranks);
+    EXPECT_EQ(rg.lo, prev_hi) << "blocks must be contiguous and ordered";
+    prev_hi = rg.hi;
+    minsize = std::min(minsize, rg.size());
+    maxsize = std::max(maxsize, rg.size());
+    for (long i = rg.lo; i < rg.hi; ++i) hits[static_cast<std::size_t>(i - lo)]++;
+  }
+  EXPECT_EQ(prev_hi, std::max(lo, hi));
+  for (int h : hits) EXPECT_EQ(h, 1);
+  if (hi - lo >= nranks) {
+    EXPECT_LE(maxsize - minsize, 1) << "imbalance > 1";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(std::tuple{0L, 100L, 1}, std::tuple{0L, 100L, 3},
+                      std::tuple{0L, 100L, 16}, std::tuple{5L, 7L, 4},
+                      std::tuple{0L, 0L, 4}, std::tuple{-10L, 10L, 7},
+                      std::tuple{0L, 1L, 8}, std::tuple{3L, 64L, 61}));
+
+TEST(Partition, EmptyWhenMoreRanksThanWork) {
+  int nonempty = 0;
+  for (int r = 0; r < 8; ++r)
+    if (!partition(0, 3, r, 8).empty()) ++nonempty;
+  EXPECT_EQ(nonempty, 3);
+}
+
+// ---- WorkerTeam ------------------------------------------------------------
+
+TEST(WorkerTeam, RunsEveryRankExactlyOnce) {
+  WorkerTeam team(4);
+  std::vector<std::atomic<int>> hits(4);
+  team.run([&](int rank) { hits[static_cast<std::size_t>(rank)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerTeam, ReusableAcrossManyRuns) {
+  WorkerTeam team(3);
+  std::atomic<int> total{0};
+  for (int it = 0; it < 50; ++it) team.run([&](int) { total++; });
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(WorkerTeam, PropagatesWorkerExceptionToMaster) {
+  WorkerTeam team(2);
+  EXPECT_THROW(team.run([&](int rank) {
+    if (rank == 1) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+  // Team survives a throwing run.
+  std::atomic<int> n{0};
+  team.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
+}
+
+TEST(WorkerTeam, BarrierSeparatesPhases) {
+  WorkerTeam team(4);
+  std::vector<int> phase1(4, 0);
+  std::atomic<bool> violated{false};
+  team.run([&](int rank) {
+    phase1[static_cast<std::size_t>(rank)] = 1;
+    team.barrier();
+    // After the barrier every rank must observe every phase-1 write.
+    for (int v : phase1)
+      if (v != 1) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(WorkerTeam, WarmupOptionStillRunsWork) {
+  WorkerTeam team(2, TeamOptions{BarrierKind::CondVar, 10000});
+  std::atomic<int> n{0};
+  team.run([&](int) { n++; });
+  EXPECT_EQ(n.load(), 2);
+}
+
+class BarrierKinds : public ::testing::TestWithParam<BarrierKind> {};
+
+TEST_P(BarrierKinds, ManyIterationsStayInLockstep) {
+  WorkerTeam team(4, TeamOptions{GetParam(), 0});
+  std::vector<std::atomic<long>> step(4);
+  std::atomic<bool> violated{false};
+  team.run([&](int rank) {
+    for (long s = 0; s < 200; ++s) {
+      step[static_cast<std::size_t>(rank)] = s;
+      team.barrier();
+      for (const auto& other : step)
+        if (other.load() < s) violated = true;
+      team.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, BarrierKinds,
+                         ::testing::Values(BarrierKind::CondVar,
+                                           BarrierKind::SpinSense));
+
+// ---- parallel_for / reduce -------------------------------------------------
+
+TEST(ParallelFor, TouchesEachIndexOnce) {
+  WorkerTeam team(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(team, 0, 1000, [&](long i) { hits[static_cast<std::size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRanges, RanksSeeTheirOwnBlock) {
+  WorkerTeam team(4);
+  std::vector<Range> got(4);
+  parallel_ranges(team, 10, 110, [&](int rank, long lo, long hi) {
+    got[static_cast<std::size_t>(rank)] = {lo, hi};
+  });
+  long covered = 0;
+  for (const Range& r : got) covered += r.size();
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  WorkerTeam team(4);
+  const double par = parallel_reduce_sum(team, 1, 100001, [](long i) {
+    return 1.0 / static_cast<double>(i);
+  });
+  double ser = 0.0;
+  for (long i = 1; i < 100001; ++i) ser += 1.0 / static_cast<double>(i);
+  EXPECT_NEAR(par, ser, 1e-9);
+}
+
+TEST(ParallelReduce, DeterministicForFixedThreadCount) {
+  WorkerTeam team(4);
+  auto body = [](long i) { return std::sin(static_cast<double>(i)); };
+  const double a = parallel_reduce_sum(team, 0, 50000, body);
+  const double b = parallel_reduce_sum(team, 0, 50000, body);
+  EXPECT_EQ(a, b);
+}
+
+// ---- PipelineSync ----------------------------------------------------------
+
+TEST(PipelineSync, OrdersNeighbourSteps) {
+  const int n = 4;
+  const long steps = 100;
+  WorkerTeam team(n);
+  PipelineSync sync(n);
+  sync.reset();
+  // Each rank advances only after its left neighbour passed the same step;
+  // post() releases the progress store, wait_for() acquires it.
+  std::vector<std::atomic<long>> progress(static_cast<std::size_t>(n));
+  for (auto& p : progress) p = -1;
+  std::atomic<bool> violated{false};
+  team.run([&](int rank) {
+    for (long s = 0; s < steps; ++s) {
+      if (rank > 0) {
+        sync.wait_for(rank - 1, s);
+        if (progress[static_cast<std::size_t>(rank - 1)].load(
+                std::memory_order_relaxed) < s)
+          violated = true;
+      }
+      progress[static_cast<std::size_t>(rank)].store(s, std::memory_order_relaxed);
+      sync.post(rank, s);
+    }
+  });
+  EXPECT_FALSE(violated.load());
+  for (auto& p : progress) EXPECT_EQ(p.load(), steps - 1);
+}
+
+TEST(PipelineSync, ResetAllowsReuse) {
+  PipelineSync sync(2);
+  sync.post(0, 5);
+  sync.wait_for(0, 5);  // returns immediately
+  sync.reset();
+  sync.post(0, 0);
+  sync.wait_for(0, 0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace npb

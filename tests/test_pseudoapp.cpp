@@ -1,0 +1,193 @@
+// Unit tests for the pseudo-application substrate: the synthetic system
+// constants, dense 5x5 helpers, block primitives, and field machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pseudoapp/block_impl.hpp"
+#include "pseudoapp/field_impl.hpp"
+#include "pseudoapp/system.hpp"
+
+namespace npb::pseudoapp {
+namespace {
+
+using npb::Unchecked;
+
+TEST(System, MatInverseRoundTrip) {
+  const System s = make_system(0.1);
+  for (const Mat5* m : {&s.tx, &s.ty, &s.tz}) {
+    const Mat5 inv = mat_inverse(*m);
+    const Mat5 prod = mat_mul(*m, inv);
+    for (int i = 0; i < kComps; ++i)
+      for (int j = 0; j < kComps; ++j)
+        EXPECT_NEAR(prod[static_cast<std::size_t>(i * kComps + j)], i == j ? 1.0 : 0.0,
+                    1e-12);
+  }
+}
+
+TEST(System, ConvectionMatricesHaveTheirEigenbasis) {
+  // Ad * Td == Td * diag(lambda_d): columns of Td are eigenvectors.
+  const System s = make_system(0.05);
+  auto check = [](const Mat5& A, const Mat5& T, const Vec5& lam) {
+    const Mat5 at = mat_mul(A, T);
+    for (int i = 0; i < kComps; ++i)
+      for (int j = 0; j < kComps; ++j)
+        EXPECT_NEAR(at[static_cast<std::size_t>(i * kComps + j)],
+                    T[static_cast<std::size_t>(i * kComps + j)] *
+                        lam[static_cast<std::size_t>(j)],
+                    1e-12);
+  };
+  check(s.ax, s.tx, s.lx);
+  check(s.ay, s.ty, s.ly);
+  check(s.az, s.tz, s.lz);
+}
+
+TEST(System, DirectionsAreGenuinelyDistinct) {
+  const System s = make_system(0.05);
+  EXPECT_NE(s.ax, s.ay);
+  EXPECT_NE(s.ay, s.az);
+  EXPECT_NE(s.lx, s.ly);
+}
+
+TEST(System, PhiFieldBoundedAndNonConstant) {
+  double lo = 1e9, hi = -1e9;
+  for (double x : {0.1, 0.3, 0.7})
+    for (double y : {0.2, 0.6})
+      for (double z : {0.15, 0.85}) {
+        const double p = phi_field(x, y, z);
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+      }
+  EXPECT_GE(lo, 0.8);
+  EXPECT_LE(hi, 1.2);
+  EXPECT_GT(hi - lo, 1e-3);
+}
+
+TEST(System, ExactSolutionIsSmoothPolynomial) {
+  const Vec5 a = exact_solution(0.0, 0.0, 0.0);
+  const Vec5 b = exact_solution(1.0, 1.0, 1.0);
+  for (int m = 0; m < kComps; ++m) {
+    EXPECT_TRUE(std::isfinite(a[static_cast<std::size_t>(m)]));
+    EXPECT_NE(a[static_cast<std::size_t>(m)], b[static_cast<std::size_t>(m)]);
+  }
+}
+
+// ---- block primitives -------------------------------------------------
+
+TEST(Block, Lu5SolveInvertsDenseSystem) {
+  Array1<double, Unchecked> a(25), x(5);
+  // A well-conditioned, diagonally dominant test block.
+  const double src[25] = {5, 1, 0.5, 0, 0.2, 1, 6, 1, 0.3, 0, 0.5, 1,  7,
+                          1, 0, 0,   1, 1,   8, 1, 0.2, 0, 0.3, 1,  9};
+  const double rhs[5] = {1, -2, 3, -4, 5};
+  for (int i = 0; i < 25; ++i) a[static_cast<std::size_t>(i)] = src[i];
+  for (int i = 0; i < 5; ++i) x[static_cast<std::size_t>(i)] = rhs[i];
+  lu5_factor<Unchecked>(a, 0);
+  lu5_solve_vec<Unchecked>(a, 0, x, 0);
+  // Check A*x == rhs with the original matrix.
+  for (int i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 5; ++j)
+      s += src[i * 5 + j] * x[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(s, rhs[i], 1e-10);
+  }
+}
+
+TEST(Block, Lu5SolveBlockInvertsAllColumns) {
+  Array1<double, Unchecked> a(25), x(25);
+  const double src[25] = {4, 1, 0, 0, 0, 1, 5, 1, 0, 0, 0, 1, 6,
+                          1, 0, 0, 0, 1, 7, 1, 0, 0, 0, 1, 8};
+  for (int i = 0; i < 25; ++i) {
+    a[static_cast<std::size_t>(i)] = src[i];
+    x[static_cast<std::size_t>(i)] = (i % 6 == 0) ? 1.0 : 0.0;  // identity
+  }
+  lu5_factor<Unchecked>(a, 0);
+  lu5_solve_block<Unchecked>(a, 0, x, 0);  // x = A^-1
+  // A * A^-1 == I.
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 5; ++k)
+        s += src[i * 5 + k] * x[static_cast<std::size_t>(k * 5 + j)];
+      EXPECT_NEAR(s, i == j ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(Block, MvSubAndMmSubMatchDenseAlgebra) {
+  Array1<double, Unchecked> a(25), b(25), c(25), x(5), y(5);
+  for (int i = 0; i < 25; ++i) {
+    a[static_cast<std::size_t>(i)] = 0.1 * i - 0.7;
+    b[static_cast<std::size_t>(i)] = 0.05 * i + 0.2;
+    c[static_cast<std::size_t>(i)] = 1.0;
+  }
+  for (int i = 0; i < 5; ++i) {
+    x[static_cast<std::size_t>(i)] = i + 1.0;
+    y[static_cast<std::size_t>(i)] = 10.0;
+  }
+  mv5_sub<Unchecked>(a, 0, x, 0, y, 0);
+  for (int i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 5; ++j)
+      s += a[static_cast<std::size_t>(i * 5 + j)] * (j + 1.0);
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 10.0 - s, 1e-12);
+  }
+  mm5_sub<Unchecked>(a, 0, b, 0, c, 0);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 5; ++k)
+        s += a[static_cast<std::size_t>(i * 5 + k)] * b[static_cast<std::size_t>(k * 5 + j)];
+      EXPECT_NEAR(c[static_cast<std::size_t>(i * 5 + j)], 1.0 - s, 1e-12);
+    }
+}
+
+// ---- fields ------------------------------------------------------------
+
+TEST(Fields, ForcingMakesExactSolutionStationary) {
+  // The defining property: with u == ue, the rhs must vanish identically.
+  Fields<Unchecked> f(10);
+  init_fields(f);
+  for (long i = 0; i < 10; ++i)
+    for (long j = 0; j < 10; ++j)
+      for (long k = 0; k < 10; ++k)
+        for (int m = 0; m < kComps; ++m)
+          f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+              static_cast<std::size_t>(k), static_cast<std::size_t>(m)) =
+              f.ue(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                   static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+  compute_rhs_planes(f, 1, 9);
+  const Vec5 norms = rhs_norms(f);
+  for (int m = 0; m < kComps; ++m)
+    EXPECT_LT(norms[static_cast<std::size_t>(m)], 1e-12) << "component " << m;
+}
+
+TEST(Fields, InitialGuessMatchesExactOnBoundaryOnly) {
+  Fields<Unchecked> f(8);
+  init_fields(f);
+  // Boundary equal.
+  for (long j = 0; j < 8; ++j)
+    for (long k = 0; k < 8; ++k)
+      for (int m = 0; m < kComps; ++m) {
+        EXPECT_EQ(f.u(0, static_cast<std::size_t>(j), static_cast<std::size_t>(k),
+                      static_cast<std::size_t>(m)),
+                  f.ue(0, static_cast<std::size_t>(j), static_cast<std::size_t>(k),
+                       static_cast<std::size_t>(m)));
+      }
+  // Interior perturbed.
+  const Vec5 err = error_norms(f);
+  for (int m = 0; m < kComps; ++m)
+    EXPECT_GT(err[static_cast<std::size_t>(m)], 1e-4);
+}
+
+TEST(Fields, RhsNormsSeeTheResidual) {
+  Fields<Unchecked> f(8);
+  init_fields(f);
+  compute_rhs_planes(f, 1, 7);
+  const Vec5 norms = rhs_norms(f);
+  for (int m = 0; m < kComps; ++m)
+    EXPECT_GT(norms[static_cast<std::size_t>(m)], 1e-6);
+}
+
+}  // namespace
+}  // namespace npb::pseudoapp

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include <vector>
+
+#include "common/randlc.hpp"
+
+namespace npb {
+namespace {
+
+TEST(Randlc, ValuesInUnitInterval) {
+  double x = kDefaultSeed;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = randlc(x, kDefaultMultiplier);
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Randlc, DeterministicForSameSeed) {
+  double x1 = kDefaultSeed, x2 = kDefaultSeed;
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(randlc(x1, kDefaultMultiplier), randlc(x2, kDefaultMultiplier));
+}
+
+TEST(Randlc, MeanIsOneHalf) {
+  double x = kDefaultSeed;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += randlc(x, kDefaultMultiplier);
+  EXPECT_NEAR(sum / n, 0.5, 2e-3);
+}
+
+TEST(Randlc, SeedStaysA46BitInteger) {
+  double x = kDefaultSeed;
+  for (int i = 0; i < 1000; ++i) {
+    randlc(x, kDefaultMultiplier);
+    EXPECT_EQ(x, std::trunc(x));
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 70368744177664.0);  // 2^46
+  }
+}
+
+TEST(Vranlc, MatchesRepeatedRandlc) {
+  double xa = kDefaultSeed, xb = kDefaultSeed;
+  std::vector<double> batch(257);
+  vranlc(batch.size(), xa, kDefaultMultiplier, batch.data());
+  for (double v : batch) EXPECT_EQ(v, randlc(xb, kDefaultMultiplier));
+  EXPECT_EQ(xa, xb);
+}
+
+class RandlcSkip : public ::testing::TestWithParam<unsigned long long> {};
+
+TEST_P(RandlcSkip, EqualsSequentialAdvance) {
+  const unsigned long long steps = GetParam();
+  double x = kDefaultSeed;
+  for (unsigned long long i = 0; i < steps; ++i) randlc(x, kDefaultMultiplier);
+  const double skipped = randlc_skip(kDefaultSeed, kDefaultMultiplier, steps);
+  EXPECT_EQ(skipped, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, RandlcSkip,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 3ULL, 7ULL, 64ULL,
+                                           1000ULL, 65536ULL, 100001ULL));
+
+TEST(RandlcSkip, DisjointStreamsDiffer) {
+  const double a = randlc_skip(kDefaultSeed, kDefaultMultiplier, 1u << 16);
+  const double b = randlc_skip(kDefaultSeed, kDefaultMultiplier, 1u << 17);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace npb

@@ -1,0 +1,96 @@
+// Suite-level integration tests: the registry is complete, lookups work,
+// and every registered benchmark runs and verifies end-to-end through the
+// same entry point the benches use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/reference.hpp"
+#include "npb/registry.hpp"
+
+namespace npb {
+namespace {
+
+TEST(Registry, ContainsTheWholeSuiteInPaperOrder) {
+  std::vector<std::string> names;
+  for (const auto& b : suite()) names.push_back(b.name);
+  // Paper table order BT, SP, LU, FT, IS, CG, MG; EP appended.
+  EXPECT_EQ(names, (std::vector<std::string>{"BT", "SP", "LU", "FT", "IS", "CG",
+                                             "MG", "EP"}));
+}
+
+TEST(Registry, StructuredGridSplitMatchesSection51) {
+  std::set<std::string> structured, unstructured;
+  for (const auto& b : suite())
+    (b.structured_grid ? structured : unstructured).insert(b.name);
+  EXPECT_EQ(structured, (std::set<std::string>{"BT", "SP", "LU", "FT", "MG"}));
+  EXPECT_EQ(unstructured, (std::set<std::string>{"CG", "IS", "EP"}));
+}
+
+TEST(Registry, LookupIsCaseInsensitiveAndTotal) {
+  EXPECT_NE(find_benchmark("bt"), nullptr);
+  EXPECT_NE(find_benchmark("Mg"), nullptr);
+  EXPECT_EQ(find_benchmark("XX"), nullptr);
+  EXPECT_EQ(find_benchmark(""), nullptr);
+  for (const auto& b : suite()) EXPECT_EQ(find_benchmark(b.name), b.fn);
+}
+
+class WholeSuite : public ::testing::TestWithParam<BenchmarkInfo> {};
+
+TEST_P(WholeSuite, ClassSRunsAndVerifiesThroughRegistry) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Native;
+  cfg.threads = 0;
+  const RunResult r = GetParam().fn(cfg);
+  EXPECT_TRUE(r.verified) << r.name << ": " << r.verify_detail;
+  EXPECT_TRUE(r.reference_checked) << r.name << " has no frozen reference";
+  EXPECT_EQ(r.name, GetParam().name);
+  EXPECT_FALSE(r.checksums.empty());
+}
+
+TEST_P(WholeSuite, ThreadedJavaModeVerifies) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Java;
+  cfg.threads = 3;
+  const RunResult r = GetParam().fn(cfg);
+  EXPECT_TRUE(r.verified) << r.name << ": " << r.verify_detail;
+  EXPECT_EQ(r.mode, Mode::Java);
+  EXPECT_EQ(r.threads, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WholeSuite, ::testing::ValuesIn(suite()),
+                         [](const auto& info) { return std::string(info.param.name); });
+
+TEST(References, FrozenTableCoversEveryBenchmarkForSWA) {
+  for (const auto& b : suite())
+    for (ProblemClass cls : {ProblemClass::S, ProblemClass::W, ProblemClass::A}) {
+      const auto ref = reference_checksums(b.name, cls);
+      ASSERT_TRUE(ref.has_value()) << b.name << "." << to_string(cls);
+      EXPECT_FALSE(ref->empty());
+      for (double v : *ref) EXPECT_TRUE(std::isfinite(v));
+    }
+}
+
+TEST(References, UnknownLookupsReturnEmpty) {
+  EXPECT_FALSE(reference_checksums("XX", ProblemClass::S).has_value());
+  EXPECT_FALSE(reference_checksums("BT", ProblemClass::C).has_value());
+}
+
+TEST(References, MgMatchesOfficialNpbVerificationConstants) {
+  // The strongest external validation in the repo: our self-calibrated MG
+  // references coincide with the published NPB verification values.
+  const auto s = reference_checksums("MG", ProblemClass::S);
+  const auto w = reference_checksums("MG", ProblemClass::W);
+  const auto a = reference_checksums("MG", ProblemClass::A);
+  ASSERT_TRUE(s && w && a);
+  EXPECT_NEAR((*s)[0], 0.530770700573e-04, 1e-15);
+  EXPECT_NEAR((*w)[0], 0.646732937534e-05, 1e-16);
+  EXPECT_NEAR((*a)[0], 0.243336530907e-05, 1e-16);
+}
+
+}  // namespace
+}  // namespace npb

@@ -1,0 +1,45 @@
+// Emits the frozen-reference table for src/common/reference.cpp.
+//
+// Runs every registered benchmark serially in native mode for the requested
+// classes and prints C++ initializer lines to paste at the
+// <<GENERATED-REFERENCES>> marker.  See DESIGN.md section 5 for why the
+// references are self-calibrated.
+//
+// Usage: gen_reference [classes]   e.g.  gen_reference SWA
+
+#include <cstdio>
+#include <string>
+
+#include "npb/registry.hpp"
+
+int main(int argc, char** argv) {
+  const std::string classes = argc > 1 ? argv[1] : "SW";
+  for (const auto& info : npb::suite()) {
+    for (char cc : classes) {
+      const auto cls = npb::parse_class(std::string_view(&cc, 1));
+      if (!cls) {
+        std::fprintf(stderr, "unknown class '%c'\n", cc);
+        return 1;
+      }
+      npb::RunConfig cfg;
+      cfg.cls = *cls;
+      cfg.mode = npb::Mode::Native;
+      cfg.threads = 0;
+      const npb::RunResult r = info.fn(cfg);
+      if (!r.verified) {
+        std::fprintf(stderr, "WARNING: %s.%s intrinsic verification failed:\n%s\n",
+                     info.name, npb::to_string(*cls), r.verify_detail.c_str());
+      }
+      std::printf("      {{\"%s\", ProblemClass::%s},\n       {", info.name,
+                  npb::to_string(*cls));
+      for (std::size_t i = 0; i < r.checksums.size(); ++i)
+        std::printf("%s%.17e", i ? ",\n        " : "", r.checksums[i]);
+      std::printf("}},\n");
+      std::fflush(stdout);
+      std::fprintf(stderr, "%s.%s done in %.2fs (%s)\n", info.name,
+                   npb::to_string(*cls), r.seconds,
+                   r.verified ? "intrinsics ok" : "INTRINSICS FAILED");
+    }
+  }
+  return 0;
+}

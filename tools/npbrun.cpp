@@ -1,0 +1,93 @@
+// Command-line suite driver (the analogue of NPB's run scripts): runs any
+// benchmark at any configuration and prints a paper-style result block.
+//
+//   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
+//          [--barrier=condvar|spin] [--warmup] [--verbose]
+//
+// Exit status is non-zero if any run fails verification, so the tool can
+// anchor CI jobs.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "npb/registry.hpp"
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java]\n"
+      "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
+      "benchmarks:",
+      stderr);
+  for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
+  std::fputs("\n", stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string which = argv[1];
+  npb::RunConfig cfg;
+  bool verbose = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--class=", 8) == 0) {
+      const auto c = npb::parse_class(a + 8);
+      if (!c) {
+        std::fprintf(stderr, "bad class '%s'\n", a + 8);
+        return 2;
+      }
+      cfg.cls = *c;
+    } else if (std::strcmp(a, "--mode=java") == 0) {
+      cfg.mode = npb::Mode::Java;
+    } else if (std::strcmp(a, "--mode=native") == 0) {
+      cfg.mode = npb::Mode::Native;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      cfg.threads = std::atoi(a + 10);
+    } else if (std::strcmp(a, "--barrier=spin") == 0) {
+      cfg.barrier = npb::BarrierKind::SpinSense;
+    } else if (std::strcmp(a, "--barrier=condvar") == 0) {
+      cfg.barrier = npb::BarrierKind::CondVar;
+    } else if (std::strcmp(a, "--warmup") == 0) {
+      cfg.warmup_spins = 1000000;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", a);
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<const npb::BenchmarkInfo*> todo;
+  if (which == "all" || which == "ALL") {
+    for (const auto& b : npb::suite()) todo.push_back(&b);
+  } else {
+    for (const auto& b : npb::suite())
+      if (npb::find_benchmark(which) == b.fn) todo.push_back(&b);
+    if (todo.empty()) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", which.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  for (const auto* b : todo) {
+    const npb::RunResult r = b->fn(cfg);
+    std::printf("%-3s class=%s mode=%-6s threads=%-2d  %8.3fs  %10.1f Mop/s  %s\n",
+                r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
+                r.threads, r.seconds, r.mops,
+                r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
+    if (verbose || !r.verified) std::fputs(r.verify_detail.c_str(), stdout);
+    if (!r.verified) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
