@@ -26,6 +26,11 @@ int main(int argc, char** argv) {
   using namespace npb;
   const benchutil::Args args = benchutil::parse(argc, argv);
 
+  // With --obs-report=FILE every run goes through run_instrumented and its
+  // per-region / team-counter snapshot lands in the report.
+  obs::ObsReport report;
+  obs::ObsReport* const rp = args.obs_report.empty() ? nullptr : &report;
+
   Table t("Tables 2-4. Benchmark times in seconds (this host; Java-mode vs "
           "native-mode rows; class " +
           std::string(to_string(args.cls)) + ")");
@@ -48,14 +53,14 @@ int main(int argc, char** argv) {
 
     cfg.mode = Mode::Java;
     cfg.threads = 0;
-    const double jser = benchutil::timed_run(info.fn, cfg);
+    const double jser = benchutil::timed_run(info.fn, cfg, rp);
     std::vector<std::string> jrow{benchutil::label(info.name, args.cls) + " Java",
                                   Table::cell(jser)};
     double j1 = -1.0;
     for (int th : args.threads) {
       if (th <= 0) continue;
       cfg.threads = th;
-      const double s = benchutil::timed_run(info.fn, cfg);
+      const double s = benchutil::timed_run(info.fn, cfg, rp);
       if (th == 1) j1 = s;
       jrow.push_back(Table::cell(s));
     }
@@ -63,13 +68,13 @@ int main(int argc, char** argv) {
 
     cfg.mode = Mode::Native;
     cfg.threads = 0;
-    const double nser = benchutil::timed_run(info.fn, cfg);
+    const double nser = benchutil::timed_run(info.fn, cfg, rp);
     std::vector<std::string> nrow{benchutil::label(info.name, args.cls) + " native",
                                   Table::cell(nser)};
     for (int th : args.threads) {
       if (th <= 0) continue;
       cfg.threads = th;
-      nrow.push_back(Table::cell(benchutil::timed_run(info.fn, cfg)));
+      nrow.push_back(Table::cell(benchutil::timed_run(info.fn, cfg, rp)));
     }
     t.add_row(nrow);
     t.add_separator();
@@ -105,5 +110,7 @@ int main(int argc, char** argv) {
   for (const auto& [name, r] : analysis)
     std::printf("  %-3s %+5.1f%%\n", name.c_str(), 100.0 * r.thread1_overhead);
   std::puts("  (paper: multithreading introduces an overhead of about 10%-20%)");
+
+  benchutil::maybe_write_report(args, report);
   return 0;
 }

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   defaults.threads = {0, 1, 2};
   const benchutil::Args args = benchutil::parse(argc, argv, defaults);
 
+  obs::ObsReport report;
+  obs::ObsReport* const rp = args.obs_report.empty() ? nullptr : &report;
+
   Table t("Tables 5-6. Benchmark times in seconds, 2-CPU desktop shape "
           "(Java mode, class " +
           std::string(to_string(args.cls)) + ")");
@@ -30,11 +33,11 @@ int main(int argc, char** argv) {
     cfg.warmup_spins = args.warmup ? 1000000 : 0;
 
     cfg.threads = 0;
-    const double ser = benchutil::timed_run(info.fn, cfg);
+    const double ser = benchutil::timed_run(info.fn, cfg, rp);
     cfg.threads = 1;
-    const double t1 = benchutil::timed_run(info.fn, cfg);
+    const double t1 = benchutil::timed_run(info.fn, cfg, rp);
     cfg.threads = 2;
-    const double t2 = benchutil::timed_run(info.fn, cfg);
+    const double t2 = benchutil::timed_run(info.fn, cfg, rp);
 
     char speedup[32];
     if (ser > 0 && t2 > 0) {
@@ -49,5 +52,7 @@ int main(int argc, char** argv) {
   std::fputs(t.render().c_str(), stdout);
   std::puts("\nPaper (Linux PC, 2x PIII): no speedup on any benchmark with 2 threads;\n"
             "(Apple Xserve, 2x G4): modest speedups on BT/SP/LU only.");
+
+  benchutil::maybe_write_report(args, report);
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "npb/registry.hpp"
+
 namespace npb::benchutil {
 namespace {
 
@@ -44,6 +46,8 @@ Args parse(int argc, char** argv, Args defaults) {
       if (!t.empty()) a.threads = t;
     } else if (std::strcmp(arg, "--warmup") == 0) {
       a.warmup = true;
+    } else if (std::strncmp(arg, "--obs-report=", 13) == 0) {
+      a.obs_report = arg + 13;
     } else {
       std::fprintf(stderr, "ignoring unknown argument '%s'\n", arg);
     }
@@ -55,8 +59,13 @@ std::string label(const std::string& name, ProblemClass cls) {
   return name + "." + to_string(cls);
 }
 
-double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg) {
-  const RunResult r = fn(cfg);
+double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg,
+                 obs::ObsReport* report) {
+  const RunResult r =
+      report != nullptr ? run_instrumented(fn, cfg) : fn(cfg);
+  if (report != nullptr)
+    report->add_run(r.name, to_string(r.cls), to_string(r.mode), r.threads,
+                    r.seconds, r.obs);
   if (!r.verified) {
     std::fprintf(stderr, "VERIFICATION FAILED: %s.%s %s threads=%d\n%s\n",
                  r.name.c_str(), to_string(r.cls), to_string(r.mode), r.threads,
@@ -64,6 +73,13 @@ double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg) {
     return -1.0;
   }
   return r.seconds;
+}
+
+void maybe_write_report(const Args& args, const obs::ObsReport& report) {
+  if (args.obs_report.empty()) return;
+  if (report.write(args.obs_report))
+    std::fprintf(stderr, "obs report (%zu runs) -> %s\n", report.size(),
+                 args.obs_report.c_str());
 }
 
 }  // namespace npb::benchutil

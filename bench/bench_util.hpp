@@ -8,6 +8,8 @@
 //                            regenerate at full size)
 //   --threads=0,1,2,4        thread counts; 0 means the serial code path
 //   --warmup                 enable the paper's CG thread warm-up fix
+//   --obs-report=FILE        write an observability report of every run to
+//                            FILE (JSON, or CSV when FILE ends in .csv)
 // plus NPB_CLASS / NPB_THREADS environment variables as fallbacks.
 
 #include <string>
@@ -15,6 +17,7 @@
 
 #include "common/classes.hpp"
 #include "npb/run.hpp"
+#include "obs/report.hpp"
 
 namespace npb::benchutil {
 
@@ -22,6 +25,7 @@ struct Args {
   ProblemClass cls = ProblemClass::S;
   std::vector<int> threads{0, 1, 2};
   bool warmup = false;
+  std::string obs_report;  ///< empty = no report
 };
 
 Args parse(int argc, char** argv, Args defaults = {});
@@ -31,6 +35,13 @@ std::string label(const std::string& name, ProblemClass cls);
 
 /// Runs one config and returns seconds, or -1 with a stderr note when the
 /// run fails verification (so tables show "-" rather than silent bad data).
-double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg);
+/// When `report` is non-null the run is instrumented and its region/team
+/// snapshot is appended to the report.
+double timed_run(RunResult (*fn)(const RunConfig&), const RunConfig& cfg,
+                 obs::ObsReport* report = nullptr);
+
+/// Writes `report` to args.obs_report if one was requested; prints the
+/// destination to stderr so table output stays clean.
+void maybe_write_report(const Args& args, const obs::ObsReport& report);
 
 }  // namespace npb::benchutil

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 #include "pseudoapp/app.hpp"
@@ -113,6 +114,14 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
     over_range(team, n, [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
   };
 
+  // NPB-style named section timers (cf. timer_start/timer_stop in the
+  // reference codes); interning is cold and idempotent.
+  const obs::RegionId r_rhs = obs::region("BT/rhs");
+  const obs::RegionId r_xsolve = obs::region("BT/x_solve");
+  const obs::RegionId r_ysolve = obs::region("BT/y_solve");
+  const obs::RegionId r_zsolve = obs::region("BT/z_solve");
+  const obs::RegionId r_add = obs::region("BT/add");
+
   AppOutput out;
   do_rhs();
   out.rhs_initial = rhs_norms(f);
@@ -120,8 +129,13 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
-    do_rhs();
+    {
+      obs::ScopedTimer ot(r_rhs);
+      do_rhs();
+    }
     // x sweep: lines along i, one per (j, k); partition j.
+    {
+    obs::ScopedTimer ot(r_xsolve);
     over_range(team, n, [&](long lo, long hi) {
       LineWork<P> ws(n);
       for (long j = lo; j < hi; ++j)
@@ -142,7 +156,10 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
               },
               ws, true);
     });
+    }
     // y sweep: lines along j, one per (i, k); partition i.
+    {
+    obs::ScopedTimer ot(r_ysolve);
     over_range(team, n, [&](long lo, long hi) {
       LineWork<P> ws(n);
       for (long i = lo; i < hi; ++i)
@@ -163,7 +180,10 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
               },
               ws, false);
     });
+    }
     // z sweep: lines along k, one per (i, j); partition i.
+    {
+    obs::ScopedTimer ot(r_zsolve);
     over_range(team, n, [&](long lo, long hi) {
       LineWork<P> ws(n);
       for (long i = lo; i < hi; ++i)
@@ -184,7 +204,10 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
               },
               ws, false);
     });
+    }
     // add: u += dv.
+    {
+    obs::ScopedTimer ot(r_add);
     over_range(team, n, [&](long lo, long hi) {
       for (long i = lo; i < hi; ++i)
         for (long j = 1; j < n - 1; ++j)
@@ -195,6 +218,7 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                   f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                         static_cast<std::size_t>(k), static_cast<std::size_t>(m));
     });
+    }
   }
   out.seconds = wtime() - t0;
 

@@ -12,6 +12,7 @@
 #include "cg/cg.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 
@@ -259,11 +260,18 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
   std::optional<WorkerTeam> team_storage;
   if (threads > 0) team_storage.emplace(threads, topts);
 
+  const obs::RegionId r_cg = obs::region("CG/conj_grad");
+  const obs::RegionId r_norm = obs::region("CG/norm");
+
   const double t0 = wtime();
   double zeta = 0.0;
   if (threads == 0) {
     for (int outer = 1; outer <= p.niter; ++outer) {
-      conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, partial, sc);
+      {
+        obs::ScopedTimer ot(r_cg);
+        conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, partial, sc);
+      }
+      obs::ScopedTimer ot(r_norm);
       double xz = 0.0, zz = 0.0;
       for (long i = 0; i < n; ++i) {
         xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
@@ -281,7 +289,11 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
       std::vector<detail::PaddedDouble> xz_p(static_cast<std::size_t>(threads));
       std::vector<detail::PaddedDouble> zz_p(static_cast<std::size_t>(threads));
       team.run([&](int rank) {
-        conj_grad(m, x, z, r, pvec, q, p.cg_iters, &team, rank, threads, partial, sc);
+        {
+          obs::ScopedTimer ot(r_cg);
+          conj_grad(m, x, z, r, pvec, q, p.cg_iters, &team, rank, threads, partial, sc);
+        }
+        obs::ScopedTimer ot(r_norm);
         const Range blk = partition(0, n, rank, threads);
         double xz = 0.0, zz = 0.0;
         for (long i = blk.lo; i < blk.hi; ++i) {

@@ -13,6 +13,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 
@@ -72,13 +73,18 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
   const long npairs = 1L << log2_pairs;
   const long nblocks = (npairs + kBlockPairs - 1) / kBlockPairs;
 
+  const obs::RegionId r_blocks = obs::region("EP/blocks");
+
   EpOutput out;
   const double t0 = wtime();
 
   if (threads == 0) {
     Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
     BlockAccum acc;
-    for (long b = 0; b < nblocks; ++b) ep_block<P>(b, buf, acc);
+    {
+      obs::ScopedTimer ot(r_blocks);
+      for (long b = 0; b < nblocks; ++b) ep_block<P>(b, buf, acc);
+    }
     out.sx = acc.sx;
     out.sy = acc.sy;
     out.accepted = acc.accepted;
@@ -90,7 +96,10 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
       Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
       BlockAccum acc;
       const Range r = partition(0, nblocks, rank, threads);
-      for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
+      {
+        obs::ScopedTimer ot(r_blocks);
+        for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
+      }
       partial[static_cast<std::size_t>(rank)] = acc;
     });
     // Rank-ordered combine keeps the result deterministic per thread count.

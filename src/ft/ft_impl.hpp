@@ -8,6 +8,7 @@
 // deficiency the paper's conclusions call out explicitly).  Layout is
 // (i1, i2, i3) row-major with i3 contiguous.
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <optional>
@@ -17,6 +18,7 @@
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
 #include "ft/ft.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 
@@ -212,12 +214,19 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
     }
   }
 
+  const obs::RegionId r_fft = obs::region("FT/fft");
+  const obs::RegionId r_evolve = obs::region("FT/evolve");
+  const obs::RegionId r_checksum = obs::region("FT/checksum");
+
   FtOutput out;
   const double t0 = wtime();
 
   // Forward transform of the initial field; vf then stays in frequency
   // space for the whole run.
-  st.fft3d(vfre, vfim, +1, team);
+  {
+    obs::ScopedTimer ot(r_fft);
+    st.fft3d(vfre, vfim, +1, team);
+  }
 
   // Per-dimension Gaussian decay factors, recomputed each timestep.
   std::vector<double> e1(static_cast<std::size_t>(p.n1));
@@ -257,18 +266,25 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
           }
         }
     };
-    if (team == nullptr) {
-      evolve(0, p.n1);
-    } else {
-      team->run([&](int rank) {
-        const Range rg = partition(0, p.n1, rank, threads);
-        evolve(rg.lo, rg.hi);
-      });
+    {
+      obs::ScopedTimer ot(r_evolve);
+      if (team == nullptr) {
+        evolve(0, p.n1);
+      } else {
+        team->run([&](int rank) {
+          const Range rg = partition(0, p.n1, rank, threads);
+          evolve(rg.lo, rg.hi);
+        });
+      }
     }
 
-    st.fft3d(wre, wim, -1, team);
+    {
+      obs::ScopedTimer ot(r_fft);
+      st.fft3d(wre, wim, -1, team);
+    }
 
     // Checksum 1024 scattered elements.
+    obs::ScopedTimer ot(r_checksum);
     double cre = 0.0, cim = 0.0;
     for (long j = 1; j <= 1024; ++j) {
       const auto i1 = static_cast<std::size_t>((5 * j) % p.n1);

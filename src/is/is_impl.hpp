@@ -9,6 +9,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 
@@ -65,15 +66,24 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
   for (int j = 0; j < kProbes; ++j) probe[static_cast<std::size_t>(j)] =
       (static_cast<long>(j) * nkeys / kProbes + j) % nkeys;
 
+  const obs::RegionId r_generate = obs::region("IS/generate");
+  const obs::RegionId r_rank = obs::region("IS/rank");
+
   IsOutput out;
 
   if (threads == 0) {
-    is_generate(keys, max_key, 0, nkeys);
+    {
+      obs::ScopedTimer ot(r_generate);
+      is_generate(keys, max_key, 0, nkeys);
+    }
     const double t0 = wtime();
     for (int it = 1; it <= iterations; ++it) {
       keys[static_cast<std::size_t>(it)] = it;
       keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
-      is_rank_serial(keys, nkeys, hist, max_key);
+      {
+        obs::ScopedTimer ot(r_rank);
+        is_rank_serial(keys, nkeys, hist, max_key);
+      }
       double ps = 0.0;
       for (long pi : probe)
         ps += hist[static_cast<std::size_t>(keys[static_cast<std::size_t>(pi)])];
@@ -85,14 +95,19 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
     // Per-thread private histograms (NPB OpenMP's work buffers).
     Array2<int, P> thread_hist(static_cast<std::size_t>(threads),
                                static_cast<std::size_t>(max_key));
-    parallel_ranges(team, 0, nkeys, [&](int, long lo, long hi) {
-      is_generate(keys, max_key, lo, hi);
-    });
+    {
+      obs::ScopedTimer ot(r_generate);
+      parallel_ranges(team, 0, nkeys, [&](int, long lo, long hi) {
+        is_generate(keys, max_key, lo, hi);
+      });
+    }
 
     const double t0 = wtime();
     for (int it = 1; it <= iterations; ++it) {
       keys[static_cast<std::size_t>(it)] = it;
       keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
+      {
+      obs::ScopedTimer ot(r_rank);
       team.run([&](int rank) {
         const auto r = static_cast<std::size_t>(rank);
         // Phase 1: private histogram over this rank's key slice.
@@ -118,6 +133,7 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
             hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
         }
       });
+      }
       double ps = 0.0;
       for (long pi : probe)
         ps += hist[static_cast<std::size_t>(keys[static_cast<std::size_t>(pi)])];

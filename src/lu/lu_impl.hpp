@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/pipeline.hpp"
 #include "par/team.hpp"
@@ -153,6 +154,11 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
     }
   };
 
+  const obs::RegionId r_rhs = obs::region("LU/rhs");
+  const obs::RegionId r_lower = obs::region("LU/lower");
+  const obs::RegionId r_upper = obs::region("LU/upper");
+  const obs::RegionId r_add = obs::region("LU/add");
+
   AppOutput out;
   do_rhs();
   out.rhs_initial = rhs_norms(f);
@@ -163,16 +169,26 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
-    do_rhs();
+    {
+      obs::ScopedTimer ot(r_rhs);
+      do_rhs();
+    }
 
     if (team == nullptr) {
       CellWork<P> ws;
-      for (long i = 1; i < n - 1; ++i)
-        for (long j = 1; j < n - 1; ++j)
-          for (long k = 1; k < n - 1; ++k) relax_lower(f, dt, i, j, k, ws);
-      for (long i = n - 2; i >= 1; --i)
-        for (long j = n - 2; j >= 1; --j)
-          for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
+      {
+        obs::ScopedTimer ot(r_lower);
+        for (long i = 1; i < n - 1; ++i)
+          for (long j = 1; j < n - 1; ++j)
+            for (long k = 1; k < n - 1; ++k) relax_lower(f, dt, i, j, k, ws);
+      }
+      {
+        obs::ScopedTimer ot(r_upper);
+        for (long i = n - 2; i >= 1; --i)
+          for (long j = n - 2; j >= 1; --j)
+            for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
+      }
+      obs::ScopedTimer ot(r_add);
       for (long i = 1; i < n - 1; ++i)
         for (long j = 1; j < n - 1; ++j)
           for (long k = 1; k < n - 1; ++k)
@@ -186,24 +202,33 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
       sync_upper.reset();
       // The paper's LU signature: synchronization *inside* the loop over one
       // grid dimension — a software pipeline over i-planes, j-slabs per rank.
+      // Phase timers run per rank here (the sweeps live inside one team
+      // dispatch), so LU/lower and LU/upper report per-rank pipeline skew.
       team->run([&](int rank) {
         CellWork<P> ws;
         const Range jr = partition(1, n - 1, rank, threads);
-        for (long i = 1; i < n - 1; ++i) {
-          if (rank > 0) sync_lower.wait_for(rank - 1, i);
-          for (long j = jr.lo; j < jr.hi; ++j)
-            for (long k = 1; k < n - 1; ++k) relax_lower(f, dt, i, j, k, ws);
-          sync_lower.post(rank, i);
+        {
+          obs::ScopedTimer ot(r_lower);
+          for (long i = 1; i < n - 1; ++i) {
+            if (rank > 0) sync_lower.wait_for(rank - 1, i);
+            for (long j = jr.lo; j < jr.hi; ++j)
+              for (long k = 1; k < n - 1; ++k) relax_lower(f, dt, i, j, k, ws);
+            sync_lower.post(rank, i);
+          }
         }
         team->barrier();
-        for (long i = n - 2; i >= 1; --i) {
-          const long step = (n - 2) - i;
-          if (rank < threads - 1) sync_upper.wait_for(rank + 1, step);
-          for (long j = jr.hi - 1; j >= jr.lo; --j)
-            for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
-          sync_upper.post(rank, step);
+        {
+          obs::ScopedTimer ot(r_upper);
+          for (long i = n - 2; i >= 1; --i) {
+            const long step = (n - 2) - i;
+            if (rank < threads - 1) sync_upper.wait_for(rank + 1, step);
+            for (long j = jr.hi - 1; j >= jr.lo; --j)
+              for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
+            sync_upper.post(rank, step);
+          }
         }
         team->barrier();
+        obs::ScopedTimer ot(r_add);
         for (long i = jr.lo; i < jr.hi; ++i)
           for (long j = 1; j < n - 1; ++j)
             for (long k = 1; k < n - 1; ++k)
@@ -264,6 +289,11 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
     }
   };
 
+  const obs::RegionId r_rhs = obs::region("LU/rhs");
+  const obs::RegionId r_lower = obs::region("LU/lower");
+  const obs::RegionId r_upper = obs::region("LU/upper");
+  const obs::RegionId r_add = obs::region("LU/add");
+
   AppOutput out;
   do_rhs();
   out.rhs_initial = rhs_norms(f);
@@ -271,15 +301,25 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
 
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
-    do_rhs();
+    {
+      obs::ScopedTimer ot(r_rhs);
+      do_rhs();
+    }
     if (team == nullptr) {
       CellWork<P> ws;
-      for (long l = 3; l <= 3 * hi; ++l)
-        plane_cells(l, 1, n - 1,
-                    [&](long i, long j, long k) { relax_lower(f, dt, i, j, k, ws); });
-      for (long l = 3 * hi; l >= 3; --l)
-        plane_cells(l, 1, n - 1,
-                    [&](long i, long j, long k) { relax_upper(f, dt, i, j, k, ws); });
+      {
+        obs::ScopedTimer ot(r_lower);
+        for (long l = 3; l <= 3 * hi; ++l)
+          plane_cells(l, 1, n - 1,
+                      [&](long i, long j, long k) { relax_lower(f, dt, i, j, k, ws); });
+      }
+      {
+        obs::ScopedTimer ot(r_upper);
+        for (long l = 3 * hi; l >= 3; --l)
+          plane_cells(l, 1, n - 1,
+                      [&](long i, long j, long k) { relax_upper(f, dt, i, j, k, ws); });
+      }
+      obs::ScopedTimer ot(r_add);
       for (long i = 1; i < n - 1; ++i)
         for (long j = 1; j < n - 1; ++j)
           for (long k = 1; k < n - 1; ++k)
@@ -294,16 +334,23 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
         const Range ir = partition(1, n - 1, rank, threads);
         // One barrier per hyperplane per sweep: ~6n barriers per iteration
         // versus the pipelined version's ~2n point-to-point handoffs.
-        for (long l = 3; l <= 3 * hi; ++l) {
-          plane_cells(l, ir.lo, ir.hi,
-                      [&](long i, long j, long k) { relax_lower(f, dt, i, j, k, ws); });
-          team->barrier();
+        {
+          obs::ScopedTimer ot(r_lower);
+          for (long l = 3; l <= 3 * hi; ++l) {
+            plane_cells(l, ir.lo, ir.hi,
+                        [&](long i, long j, long k) { relax_lower(f, dt, i, j, k, ws); });
+            team->barrier();
+          }
         }
-        for (long l = 3 * hi; l >= 3; --l) {
-          plane_cells(l, ir.lo, ir.hi,
-                      [&](long i, long j, long k) { relax_upper(f, dt, i, j, k, ws); });
-          team->barrier();
+        {
+          obs::ScopedTimer ot(r_upper);
+          for (long l = 3 * hi; l >= 3; --l) {
+            plane_cells(l, ir.lo, ir.hi,
+                        [&](long i, long j, long k) { relax_upper(f, dt, i, j, k, ws); });
+            team->barrier();
+          }
         }
+        obs::ScopedTimer ot(r_add);
         for (long i = ir.lo; i < ir.hi; ++i)
           for (long j = 1; j < n - 1; ++j)
             for (long k = 1; k < n - 1; ++k)

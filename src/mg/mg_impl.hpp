@@ -16,6 +16,7 @@
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
 #include "mg/mg.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 
@@ -255,22 +256,36 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   if (threads > 0) team_storage.emplace(threads, topts);
   WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
+  const obs::RegionId r_resid = obs::region("MG/resid");
+  const obs::RegionId r_smooth = obs::region("MG/smooth");
+  const obs::RegionId r_rprj3 = obs::region("MG/rprj3");
+  const obs::RegionId r_interp = obs::region("MG/interp");
+  const obs::RegionId r_comm3 = obs::region("MG/comm3");
+
   auto resid_level = [&](int l, const Grid<P>& vv) {
     const long nl = 1L << l;
     auto& ul = u[static_cast<std::size_t>(l)];
     auto& rl = r[static_cast<std::size_t>(l)];
-    over_planes(team, nl, [&](long lo, long hi) {
-      stencil27<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
-    });
+    {
+      obs::ScopedTimer ot(r_resid);
+      over_planes(team, nl, [&](long lo, long hi) {
+        stencil27<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
+      });
+    }
+    obs::ScopedTimer ot(r_comm3);
     comm3(rl, nl);
   };
   auto smooth_level = [&](int l) {
     const long nl = 1L << l;
     auto& ul = u[static_cast<std::size_t>(l)];
     auto& rl = r[static_cast<std::size_t>(l)];
-    over_planes(team, nl, [&](long lo, long hi) {
-      stencil27<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
-    });
+    {
+      obs::ScopedTimer ot(r_smooth);
+      over_planes(team, nl, [&](long lo, long hi) {
+        stencil27<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
+      });
+    }
+    obs::ScopedTimer ot(r_comm3);
     comm3(ul, nl);
   };
 
@@ -287,10 +302,14 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     // Down-leg: restrict the residual to the coarsest level.
     for (int l = lt; l >= 2; --l) {
       const long nc = 1L << (l - 1);
-      over_planes(team, nc, [&](long lo, long hi) {
-        rprj3(r[static_cast<std::size_t>(l)], r[static_cast<std::size_t>(l - 1)], nc,
-              lo, hi);
-      });
+      {
+        obs::ScopedTimer ot(r_rprj3);
+        over_planes(team, nc, [&](long lo, long hi) {
+          rprj3(r[static_cast<std::size_t>(l)], r[static_cast<std::size_t>(l - 1)], nc,
+                lo, hi);
+        });
+      }
+      obs::ScopedTimer ot(r_comm3);
       comm3(r[static_cast<std::size_t>(l - 1)], nc);
     }
     // Coarsest: one smoothing pass from a zero guess.
@@ -300,21 +319,33 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     for (int l = 2; l < lt; ++l) {
       const long nl = 1L << l;
       u[static_cast<std::size_t>(l)].fill(0.0);
-      over_planes(team, nl, [&](long lo, long hi) {
-        interp(u[static_cast<std::size_t>(l - 1)], u[static_cast<std::size_t>(l)], nl,
-               lo, hi);
-      });
-      comm3(u[static_cast<std::size_t>(l)], nl);
+      {
+        obs::ScopedTimer ot(r_interp);
+        over_planes(team, nl, [&](long lo, long hi) {
+          interp(u[static_cast<std::size_t>(l - 1)], u[static_cast<std::size_t>(l)], nl,
+                 lo, hi);
+        });
+      }
+      {
+        obs::ScopedTimer ot(r_comm3);
+        comm3(u[static_cast<std::size_t>(l)], nl);
+      }
       resid_level(l, r[static_cast<std::size_t>(l)]);
       // NOTE: resid_level overwrites r_l with r_l - A u_l via the vv alias.
       smooth_level(l);
     }
     // Finest level: add the correction, refresh the residual, smooth.
-    over_planes(team, n, [&](long lo, long hi) {
-      interp(u[static_cast<std::size_t>(lt - 1)], u[static_cast<std::size_t>(lt)], n,
-             lo, hi);
-    });
-    comm3(u[static_cast<std::size_t>(lt)], n);
+    {
+      obs::ScopedTimer ot(r_interp);
+      over_planes(team, n, [&](long lo, long hi) {
+        interp(u[static_cast<std::size_t>(lt - 1)], u[static_cast<std::size_t>(lt)], n,
+               lo, hi);
+      });
+    }
+    {
+      obs::ScopedTimer ot(r_comm3);
+      comm3(u[static_cast<std::size_t>(lt)], n);
+    }
     resid_level(lt, v);
     smooth_level(lt);
     resid_level(lt, v);

@@ -38,4 +38,12 @@ RunFn find_benchmark(std::string_view name) {
   return nullptr;
 }
 
+RunResult run_instrumented(RunFn fn, const RunConfig& cfg) {
+  auto& reg = obs::ObsRegistry::instance();
+  reg.reset();
+  RunResult r = fn(cfg);
+  r.obs = reg.snapshot();
+  return r;
+}
+
 }  // namespace npb

@@ -25,4 +25,10 @@ const std::vector<BenchmarkInfo>& suite();
 /// Case-insensitive lookup; nullptr when unknown.
 RunFn find_benchmark(std::string_view name);
 
+/// Runs `fn` with a clean observability registry and returns the result with
+/// its obs snapshot attached: reset -> run -> snapshot.  Safe to call from
+/// one thread at a time (benchmark drivers are sequential); with
+/// NPB_OBS_DISABLED the snapshot is empty and the overhead is zero.
+RunResult run_instrumented(RunFn fn, const RunConfig& cfg);
+
 }  // namespace npb

@@ -5,6 +5,7 @@
 
 #include "common/classes.hpp"
 #include "common/mode.hpp"
+#include "obs/obs.hpp"
 #include "par/barrier.hpp"
 
 namespace npb {
@@ -35,6 +36,9 @@ struct RunResult {
   std::string verify_detail;
   /// Benchmark-specific checksums, in the order tools/gen_reference freezes.
   std::vector<double> checksums;
+  /// Region timers and team counters captured for this run (empty unless the
+  /// run went through run_instrumented, or under NPB_OBS_DISABLED).
+  obs::Snapshot obs;
 };
 
 }  // namespace npb

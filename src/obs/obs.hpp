@@ -1,0 +1,204 @@
+#pragma once
+
+// Region-scoped observability for the thread runtime — the instrumentation
+// the paper's section 5 analysis presumes.  NPB's reference codes carry a
+// `timer_*` facility (timer_start/timer_stop per named section); this layer
+// extends that idea with *thread-level attribution*: every region keeps one
+// cache-line-padded accumulator per team rank (plus one for the master /
+// serial path), so a hot loop never writes a line another rank reads, and
+// the per-rank breakdown the paper reasons about — where the 10-20% thread
+// overhead goes, why LU's in-loop synchronization hurts — can be read back
+// directly.
+//
+// Reserved regions (fixed ids, recorded by the par runtime itself):
+//   team/run_span      master-side wall time of each WorkerTeam::run()
+//   team/dispatch      master notify -> worker start latency, per rank
+//   team/barrier_wait  arrive -> release time in team barriers, per rank
+//   team/pipeline_wait spin time in PipelineSync::wait_for, per rank
+//
+// Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
+// no-ops (distinct inline namespace, so mixed translation units stay
+// ODR-clean); the data structs below stay defined either way so RunResult's
+// snapshot field keeps one layout.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/wtime.hpp"
+
+namespace npb::obs {
+
+/// Stable index into the registry; negative means "not recorded".
+using RegionId = int;
+
+/// Aggregated view of one region.  Slot 0 is the master (rank -1, also the
+/// plain serial path); slot r+1 is worker rank r.  Vectors are trimmed to
+/// the highest slot that recorded anything.
+struct RegionStats {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t count = 0;
+  std::vector<double> rank_seconds;
+  std::vector<std::uint64_t> rank_count;
+};
+
+/// One run's worth of instrumentation: user regions plus the team counters
+/// (extracted from the reserved regions).
+struct Snapshot {
+  std::vector<RegionStats> regions;
+  double run_span_seconds = 0.0;
+  std::uint64_t run_count = 0;
+  double dispatch_seconds = 0.0;
+  std::uint64_t dispatch_count = 0;
+  double barrier_wait_seconds = 0.0;
+  std::uint64_t barrier_wait_count = 0;
+  double pipeline_wait_seconds = 0.0;
+  std::uint64_t pipeline_wait_count = 0;
+};
+
+inline constexpr RegionId kRegionRunSpan = 0;
+inline constexpr RegionId kRegionDispatch = 1;
+inline constexpr RegionId kRegionBarrierWait = 2;
+inline constexpr RegionId kRegionPipelineWait = 3;
+inline constexpr int kReservedRegions = 4;
+
+/// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
+inline constexpr int kMaxRanks = 32;
+inline constexpr int kMaxRegions = 256;
+
+#ifndef NPB_OBS_DISABLED
+
+inline constexpr bool kActive = true;
+
+inline namespace enabled {
+
+/// Rank of the calling thread inside its WorkerTeam (-1 on the master or
+/// any non-team thread).  Set by the team runtime; lets ScopedTimer
+/// attribute without plumbing rank through every call chain.
+void set_thread_rank(int rank) noexcept;
+int thread_rank() noexcept;
+
+class ObsRegistry {
+ public:
+  static ObsRegistry& instance();
+
+  ObsRegistry(const ObsRegistry&) = delete;
+  ObsRegistry& operator=(const ObsRegistry&) = delete;
+
+  /// Interns `path` and returns its stable id (cold path, thread-safe).
+  /// Ids survive reset(); returns -1 once kMaxRegions names exist.
+  RegionId intern(std::string_view path);
+
+  /// Adds `seconds` to (region, rank) and bumps its count.  Hot path:
+  /// no locks, no allocation; each (region, rank) cell is one cache line
+  /// written only by that rank's thread.
+  void record(RegionId id, int rank, double seconds) noexcept {
+    if (!enabled_relaxed() || id < 0 || id >= n_regions_hint()) return;
+    const int slot = rank + 1;
+    if (slot < 0 || slot > kMaxRanks) return;
+    Cell& c = cells_[static_cast<std::size_t>(id) * kSlots +
+                     static_cast<std::size_t>(slot)];
+    c.seconds += seconds;
+    ++c.count;
+  }
+
+  /// Runtime switch (compile-time one is NPB_OBS_DISABLED).  Disabled
+  /// recording is a single relaxed atomic load.
+  void set_enabled(bool on) noexcept;
+  bool enabled() const noexcept { return enabled_relaxed(); }
+
+  /// Zeroes every accumulator; interned names and ids are kept so cached
+  /// RegionIds in benchmark code stay valid across runs.
+  void reset() noexcept;
+
+  /// Aggregates the current counters.  Caller must ensure no thread is
+  /// recording concurrently (i.e. call between runs, not inside one).
+  Snapshot snapshot() const;
+
+ private:
+  ObsRegistry();
+
+  struct alignas(64) Cell {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  static constexpr std::size_t kSlots = static_cast<std::size_t>(kMaxRanks) + 1;
+
+  bool enabled_relaxed() const noexcept;
+  int n_regions_hint() const noexcept;
+
+  struct Impl;
+  Impl* impl_;   // names + interning lock (cold state)
+  Cell* cells_;  // kMaxRegions * kSlots, one flat allocation, never moved
+};
+
+/// Interns a region path ("BT/x_solve" — '/' expresses the hierarchy).
+inline RegionId region(std::string_view path) {
+  return ObsRegistry::instance().intern(path);
+}
+
+/// RAII region timer.  Attribution rank defaults to the calling thread's
+/// team rank.  Construction/destruction cost two wtime() calls when the
+/// registry is enabled and nothing at all when it is runtime-disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(RegionId id) noexcept : ScopedTimer(id, thread_rank()) {}
+  ScopedTimer(RegionId id, int rank) noexcept
+      : id_(id), rank_(rank),
+        start_(ObsRegistry::instance().enabled() ? wtime() : -1.0) {}
+  ~ScopedTimer() {
+    if (start_ >= 0.0)
+      ObsRegistry::instance().record(id_, rank_, wtime() - start_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  RegionId id_;
+  int rank_;
+  double start_;
+};
+
+}  // inline namespace enabled
+
+#else  // NPB_OBS_DISABLED
+
+inline constexpr bool kActive = false;
+
+inline namespace disabled {
+
+inline void set_thread_rank(int) noexcept {}
+inline int thread_rank() noexcept { return -1; }
+
+class ObsRegistry {
+ public:
+  static ObsRegistry& instance() noexcept {
+    static ObsRegistry r;
+    return r;
+  }
+  RegionId intern(std::string_view) noexcept { return -1; }
+  void record(RegionId, int, double) noexcept {}
+  void set_enabled(bool) noexcept {}
+  bool enabled() const noexcept { return false; }
+  void reset() noexcept {}
+  Snapshot snapshot() const { return {}; }
+};
+
+inline RegionId region(std::string_view) noexcept { return -1; }
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(RegionId) noexcept {}
+  ScopedTimer(RegionId, int) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+}  // inline namespace disabled
+
+#endif  // NPB_OBS_DISABLED
+
+}  // namespace npb::obs

@@ -1,0 +1,139 @@
+#include "obs/report.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <type_traits>
+#include <utility>
+
+namespace npb::obs {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+template <class T>
+void append_array(std::string& out, const std::vector<T>& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    if constexpr (std::is_same_v<T, double>) {
+      append_number(out, v[i]);
+    } else {
+      out += std::to_string(v[i]);
+    }
+  }
+  out += ']';
+}
+
+}  // namespace
+
+void ObsReport::add_run(std::string benchmark, std::string cls, std::string mode,
+                        int threads, double seconds, Snapshot snap) {
+  entries_.push_back(Entry{std::move(benchmark), std::move(cls), std::move(mode),
+                           threads, seconds, std::move(snap)});
+}
+
+std::string ObsReport::json() const {
+  std::string out = "{\"runs\":[";
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    const Entry& en = entries_[e];
+    if (e > 0) out += ',';
+    out += "{\"benchmark\":\"";
+    append_escaped(out, en.benchmark);
+    out += "\",\"class\":\"";
+    append_escaped(out, en.cls);
+    out += "\",\"mode\":\"";
+    append_escaped(out, en.mode);
+    out += "\",\"threads\":" + std::to_string(en.threads);
+    out += ",\"seconds\":";
+    append_number(out, en.seconds);
+    const Snapshot& s = en.snap;
+    out += ",\"team\":{\"run_count\":" + std::to_string(s.run_count);
+    out += ",\"run_span_seconds\":";
+    append_number(out, s.run_span_seconds);
+    out += ",\"dispatch_count\":" + std::to_string(s.dispatch_count);
+    out += ",\"dispatch_seconds\":";
+    append_number(out, s.dispatch_seconds);
+    out += ",\"barrier_wait_count\":" + std::to_string(s.barrier_wait_count);
+    out += ",\"barrier_wait_seconds\":";
+    append_number(out, s.barrier_wait_seconds);
+    out += ",\"pipeline_wait_count\":" + std::to_string(s.pipeline_wait_count);
+    out += ",\"pipeline_wait_seconds\":";
+    append_number(out, s.pipeline_wait_seconds);
+    out += "},\"regions\":[";
+    for (std::size_t r = 0; r < s.regions.size(); ++r) {
+      const RegionStats& st = s.regions[r];
+      if (r > 0) out += ',';
+      out += "{\"name\":\"";
+      append_escaped(out, st.name);
+      out += "\",\"seconds\":";
+      append_number(out, st.seconds);
+      out += ",\"count\":" + std::to_string(st.count);
+      out += ",\"rank_seconds\":";
+      append_array(out, st.rank_seconds);
+      out += ",\"rank_count\":";
+      append_array(out, st.rank_count);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ObsReport::csv() const {
+  std::string out = "benchmark,class,mode,threads,run_seconds,region,seconds,count\n";
+  auto row = [&out](const Entry& en, const std::string& region, double seconds,
+                    std::uint64_t count) {
+    out += en.benchmark + ',' + en.cls + ',' + en.mode + ',' +
+           std::to_string(en.threads) + ',';
+    append_number(out, en.seconds);
+    out += ',' + region + ',';
+    append_number(out, seconds);
+    out += ',' + std::to_string(count) + '\n';
+  };
+  for (const Entry& en : entries_) {
+    const Snapshot& s = en.snap;
+    row(en, "team/run_span", s.run_span_seconds, s.run_count);
+    row(en, "team/dispatch", s.dispatch_seconds, s.dispatch_count);
+    row(en, "team/barrier_wait", s.barrier_wait_seconds, s.barrier_wait_count);
+    row(en, "team/pipeline_wait", s.pipeline_wait_seconds, s.pipeline_wait_count);
+    for (const RegionStats& st : s.regions) row(en, st.name, st.seconds, st.count);
+  }
+  return out;
+}
+
+bool ObsReport::write(const std::string& path) const {
+  const bool as_csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const std::string body = as_csv ? csv() : json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write report to '%s'\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "obs: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+}  // namespace npb::obs

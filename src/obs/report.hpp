@@ -1,0 +1,49 @@
+#pragma once
+
+// Machine-readable emitters for obs snapshots.  One ObsReport collects the
+// snapshots of many benchmark runs (one per table row, typically) and
+// serializes them as JSON ({"runs": [...]}) or CSV (one line per region per
+// run).  Always compiled — with NPB_OBS_DISABLED the snapshots it receives
+// are simply empty.
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace npb::obs {
+
+class ObsReport {
+ public:
+  /// Appends one run's snapshot, tagged the way bench tables tag rows.
+  void add_run(std::string benchmark, std::string cls, std::string mode,
+               int threads, double seconds, Snapshot snap);
+
+  /// {"runs":[{benchmark, class, mode, threads, seconds,
+  ///           team:{run_count, run_span_seconds, dispatch_seconds,
+  ///                 barrier_wait_seconds, pipeline_wait_seconds, ...counts},
+  ///           regions:[{name, seconds, count, rank_seconds, rank_count}]}]}
+  std::string json() const;
+
+  /// Header + one row per (run, region); team counters appear as regions
+  /// named team/* so the flat file is self-contained.
+  std::string csv() const;
+
+  /// Writes json() — or csv() when `path` ends in ".csv" — to `path`.
+  /// Returns false (with a stderr note) when the file cannot be written.
+  bool write(const std::string& path) const;
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string benchmark, cls, mode;
+    int threads = 0;
+    double seconds = 0.0;
+    Snapshot snap;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace npb::obs

@@ -1,7 +1,5 @@
 #pragma once
 
-#include <vector>
-
 #include "par/partition.hpp"
 #include "par/team.hpp"
 
@@ -28,27 +26,22 @@ void parallel_ranges(WorkerTeam& team, long lo, long hi, const Body& body) {
   });
 }
 
-namespace detail {
-struct alignas(64) PaddedDouble {
-  double v = 0.0;
-};
-}  // namespace detail
-
 /// Sum-reduction over [lo, hi): each rank accumulates a private partial over
-/// its block; the master adds partials in rank order, which makes the result
+/// its block (into the team's padded per-rank scratch, so the hot path never
+/// allocates); the master adds partials in rank order, which makes the result
 /// deterministic for a fixed thread count (required for thread-vs-serial
 /// verification to a tight tolerance).
 template <class Body>
 double parallel_reduce_sum(WorkerTeam& team, long lo, long hi, const Body& body) {
-  std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(team.size()));
+  detail::PaddedDouble* partial = team.reduce_scratch();
   team.run([&](int rank) {
     const Range r = partition(lo, hi, rank, team.size());
     double s = 0.0;
     for (long i = r.lo; i < r.hi; ++i) s += body(i);
-    partial[static_cast<std::size_t>(rank)].v = s;
+    partial[rank].v = s;
   });
   double total = 0.0;
-  for (const auto& p : partial) total += p.v;
+  for (int t = 0; t < team.size(); ++t) total += partial[t].v;
   return total;
 }
 

@@ -4,6 +4,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/wtime.hpp"
+#include "obs/obs.hpp"
+
 namespace npb {
 
 /// Point-to-point progress synchronization for software-pipelined wavefront
@@ -27,16 +30,30 @@ class PipelineSync {
     progress_[static_cast<std::size_t>(rank)].v.store(step, std::memory_order_release);
   }
 
-  /// Blocks until `rank` has posted a step >= `step`.
+  /// Blocks until `rank` has posted a step >= `step`.  Time spent spinning
+  /// is charged to the team/pipeline_wait counter (the paper's LU-specific
+  /// overhead: synchronization inside a loop over one grid dimension).
   void wait_for(int rank, long step) const {
     const auto& cell = progress_[static_cast<std::size_t>(rank)].v;
+    if (cell.load(std::memory_order_acquire) >= step) return;
+    if (obs::kActive && obs::ObsRegistry::instance().enabled()) {
+      const double t0 = wtime();
+      spin(cell, step);
+      obs::ObsRegistry::instance().record(obs::kRegionPipelineWait,
+                                          obs::thread_rank(), wtime() - t0);
+    } else {
+      spin(cell, step);
+    }
+  }
+
+ private:
+  static void spin(const std::atomic<long>& cell, long step) {
     int spins = 0;
     while (cell.load(std::memory_order_acquire) < step) {
       if (++spins > 64) std::this_thread::yield();
     }
   }
 
- private:
   struct alignas(64) Cell {
     std::atomic<long> v{-1};
   };

@@ -19,7 +19,10 @@ void warmup_spin(long spins) {
 }  // namespace
 
 WorkerTeam::WorkerTeam(int nthreads, TeamOptions opts)
-    : n_(nthreads), opts_(opts), barrier_(make_barrier(opts.barrier, nthreads)) {
+    : n_(nthreads),
+      opts_(opts),
+      barrier_(make_barrier(opts.barrier, nthreads)),
+      scratch_(static_cast<std::size_t>(nthreads)) {
   threads_.reserve(static_cast<std::size_t>(n_));
   for (int rank = 0; rank < n_; ++rank)
     threads_.emplace_back([this, rank] { worker_main(rank); });
@@ -34,36 +37,53 @@ WorkerTeam::~WorkerTeam() {
   for (auto& t : threads_) t.join();
 }
 
-void WorkerTeam::run(const std::function<void(int)>& fn) {
-  std::unique_lock<std::mutex> lk(m_);
-  job_ = &fn;
-  done_ = 0;
-  ++generation_;
-  cv_start_.notify_all();
-  cv_done_.wait(lk, [&] { return done_ == n_; });
-  job_ = nullptr;
-  if (first_error_) {
-    const std::exception_ptr e = first_error_;
+void WorkerTeam::dispatch(JobFn invoke, void* ctx) {
+  const bool obs_on = obs::kActive && obs::ObsRegistry::instance().enabled();
+  const double t0 = obs_on ? wtime() : 0.0;
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    job_invoke_ = invoke;
+    job_ctx_ = ctx;
+    job_issued_at_ = obs_on ? wtime() : 0.0;
+    done_ = 0;
+    ++generation_;
+    cv_start_.notify_all();
+    cv_done_.wait(lk, [&] { return done_ == n_; });
+    job_invoke_ = nullptr;
+    job_ctx_ = nullptr;
+    err = first_error_;
     first_error_ = nullptr;
-    std::rethrow_exception(e);
   }
+  if (obs_on)
+    obs::ObsRegistry::instance().record(obs::kRegionRunSpan, -1, wtime() - t0);
+  if (err) std::rethrow_exception(err);
 }
 
 void WorkerTeam::worker_main(int rank) {
+  obs::set_thread_rank(rank);
   if (opts_.warmup_spins > 0) warmup_spin(opts_.warmup_spins);
   unsigned long seen = 0;
   for (;;) {
-    const std::function<void(int)>* job = nullptr;
+    JobFn invoke = nullptr;
+    void* ctx = nullptr;
+    double issued = 0.0;
     {
       std::unique_lock<std::mutex> lk(m_);
       cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       seen = generation_;
-      job = job_;
+      invoke = job_invoke_;
+      ctx = job_ctx_;
+      issued = job_issued_at_;
     }
+    if (obs::kActive && issued > 0.0 &&
+        obs::ObsRegistry::instance().enabled())
+      obs::ObsRegistry::instance().record(obs::kRegionDispatch, rank,
+                                          wtime() - issued);
     std::exception_ptr err;
     try {
-      (*job)(rank);
+      invoke(ctx, rank);
     } catch (...) {
       err = std::current_exception();
     }

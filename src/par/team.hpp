@@ -1,15 +1,26 @@
 #pragma once
 
+#include <condition_variable>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
+#include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/barrier.hpp"
 
 namespace npb {
+
+namespace detail {
+/// One cache line per rank, so concurrent per-rank writes (reduction
+/// partials, scratch results) never share a line.
+struct alignas(64) PaddedDouble {
+  double v = 0.0;
+};
+}  // namespace detail
 
 struct TeamOptions {
   BarrierKind barrier = BarrierKind::CondVar;
@@ -29,6 +40,12 @@ struct TeamOptions {
 /// broadcasts one work item, executes it on every worker, and blocks the
 /// master until all workers have finished (implicit join barrier, like the
 /// end of an OpenMP parallel region).
+///
+/// Instrumentation (compiled out under NPB_OBS_DISABLED): every run()
+/// records its master-side span, every worker records the notify->start
+/// dispatch latency, and barrier() records each rank's arrive->release wait
+/// — the raw ingredients of the paper's section 5.2 thread-overhead
+/// decomposition.
 class WorkerTeam {
  public:
   explicit WorkerTeam(int nthreads, TeamOptions opts = {});
@@ -40,22 +57,56 @@ class WorkerTeam {
   int size() const noexcept { return n_; }
 
   /// Executes fn(rank) on all workers; rethrows the first worker exception.
-  void run(const std::function<void(int)>& fn);
+  /// The callable is dispatched as a (function-pointer, context) pair, so
+  /// per-iteration lambdas in tight ADI sweeps pay no std::function
+  /// type-erasure, allocation, or copy.
+  template <class F>
+  void run(F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    dispatch(&invoke_as<Fn>,
+             const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   /// Callable from inside a run() body: blocks until all workers arrive.
-  void barrier() { barrier_->arrive_and_wait(); }
+  void barrier() {
+    if (obs::kActive && obs::ObsRegistry::instance().enabled()) {
+      const double t0 = wtime();
+      barrier_->arrive_and_wait();
+      obs::ObsRegistry::instance().record(obs::kRegionBarrierWait,
+                                          obs::thread_rank(), wtime() - t0);
+    } else {
+      barrier_->arrive_and_wait();
+    }
+  }
+
+  /// Per-team padded scratch with one slot per rank, reused by
+  /// parallel_reduce_sum (and friends) so reductions never allocate per
+  /// call.  Valid while the team lives; contents are overwritten by each
+  /// reduction.
+  detail::PaddedDouble* reduce_scratch() noexcept { return scratch_.data(); }
 
  private:
+  using JobFn = void (*)(void*, int);
+
+  template <class Fn>
+  static void invoke_as(void* ctx, int rank) {
+    (*static_cast<Fn*>(ctx))(rank);
+  }
+
+  void dispatch(JobFn invoke, void* ctx);
   void worker_main(int rank);
 
   const int n_;
   const TeamOptions opts_;
   std::unique_ptr<Barrier> barrier_;
+  std::vector<detail::PaddedDouble> scratch_;
 
   std::mutex m_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
+  JobFn job_invoke_ = nullptr;
+  void* job_ctx_ = nullptr;
+  double job_issued_at_ = 0.0;
   unsigned long generation_ = 0;
   int done_ = 0;
   bool stop_ = false;

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 #include "pseudoapp/app.hpp"
@@ -165,10 +166,18 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   if (threads > 0) team_storage.emplace(threads, topts);
   WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
+  const obs::RegionId r_rhs = obs::region("SP/rhs");
+  const obs::RegionId r_transform = obs::region("SP/transform");
+  const obs::RegionId r_xsolve = obs::region("SP/x_solve");
+  const obs::RegionId r_ysolve = obs::region("SP/y_solve");
+  const obs::RegionId r_zsolve = obs::region("SP/z_solve");
+  const obs::RegionId r_add = obs::region("SP/add");
+
   auto do_rhs = [&] {
     over_range(team, n, [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
   };
   auto transform = [&](const Mat5& m, double scale) {
+    obs::ScopedTimer ot(r_transform);
     over_range(team, n, [&](long lo, long hi) { transform_planes(f, m, scale, lo, hi); });
   };
 
@@ -179,10 +188,15 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
-    do_rhs();
+    {
+      obs::ScopedTimer ot(r_rhs);
+      do_rhs();
+    }
 
     // x sweep (dt folded into the first characteristic transform).
     transform(f.sys.txinv, dt);
+    {
+    obs::ScopedTimer ot(r_xsolve);
     over_range(team, n, [&](long lo, long hi) {
       PentaWork<P> ws(n);
       for (long j = lo; j < hi; ++j)
@@ -204,10 +218,13 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                 },
                 ws);
     });
+    }
     transform(f.sys.tx, 1.0);
 
     // y sweep.
     transform(f.sys.tyinv, 1.0);
+    {
+    obs::ScopedTimer ot(r_ysolve);
     over_range(team, n, [&](long lo, long hi) {
       PentaWork<P> ws(n);
       for (long i = lo; i < hi; ++i)
@@ -229,10 +246,13 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                 },
                 ws);
     });
+    }
     transform(f.sys.ty, 1.0);
 
     // z sweep.
     transform(f.sys.tzinv, 1.0);
+    {
+    obs::ScopedTimer ot(r_zsolve);
     over_range(team, n, [&](long lo, long hi) {
       PentaWork<P> ws(n);
       for (long i = lo; i < hi; ++i)
@@ -254,9 +274,12 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                 },
                 ws);
     });
+    }
     transform(f.sys.tz, 1.0);
 
     // add: u += dv.
+    {
+    obs::ScopedTimer ot(r_add);
     over_range(team, n, [&](long lo, long hi) {
       for (long i = lo; i < hi; ++i)
         for (long j = 1; j < n - 1; ++j)
@@ -267,6 +290,7 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                   f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                         static_cast<std::size_t>(k), static_cast<std::size_t>(m));
     });
+    }
   }
   out.seconds = wtime() - t0;
 

@@ -1,0 +1,116 @@
+// Differential thread-vs-serial matrix: every registered benchmark runs
+// serially (threads=0) and then at 1, 2, 3, and 7 worker threads, and the
+// threaded checksums must match the serial run via verify_checksums.  This
+// pins the property the whole paper reproduction rests on: the master-workers
+// translation computes the same answer as the serial code, at any team size
+// (including sizes that do not divide the grid, hence 3 and 7).
+//
+// Matrix sizing: the full suite runs at class S.  Class W is covered for the
+// benchmarks whose W runtime is sub-second (FT, IS, CG, MG); the pseudo-apps
+// and EP at W cost seconds each per cell (~15s serial for the four of them),
+// which is fine once per benchmark plainly but prohibitive under TSan's
+// 10-20x slowdown, so they run one representative threaded W cell and that
+// cell is compiled out under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/verify.hpp"
+#include "npb/registry.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define NPB_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define NPB_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef NPB_UNDER_SANITIZER
+#define NPB_UNDER_SANITIZER 0
+#endif
+
+namespace npb {
+namespace {
+
+struct Cell {
+  const char* name;
+  ProblemClass cls;
+  int threads;
+};
+
+std::string cell_name(const ::testing::TestParamInfo<Cell>& info) {
+  return std::string(info.param.name) + "_" + to_string(info.param.cls) + "_t" +
+         std::to_string(info.param.threads);
+}
+
+bool fast_at_w(std::string_view name) {
+  return name == "FT" || name == "IS" || name == "CG" || name == "MG";
+}
+
+std::vector<Cell> build_matrix() {
+  constexpr int kThreadCounts[] = {1, 2, 3, 7};
+  std::vector<Cell> cells;
+  for (const auto& b : suite()) {
+    for (int th : kThreadCounts) cells.push_back({b.name, ProblemClass::S, th});
+    if (fast_at_w(b.name)) {
+      for (int th : kThreadCounts) cells.push_back({b.name, ProblemClass::W, th});
+    } else if (!NPB_UNDER_SANITIZER) {
+      cells.push_back({b.name, ProblemClass::W, 3});
+    }
+  }
+  return cells;
+}
+
+class Differential : public ::testing::TestWithParam<Cell> {
+ protected:
+  // Serial baselines are shared across all cells of a (benchmark, class):
+  // one serial run anchors four threaded comparisons.
+  static const RunResult& serial_baseline(const char* name, ProblemClass cls) {
+    static std::map<std::pair<std::string, ProblemClass>, RunResult> cache;
+    const auto key = std::make_pair(std::string(name), cls);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      RunConfig cfg;
+      cfg.cls = cls;
+      cfg.mode = Mode::Native;
+      cfg.threads = 0;
+      RunFn fn = find_benchmark(name);
+      it = cache.emplace(key, fn(cfg)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(Differential, ThreadedChecksumsMatchSerial) {
+  const Cell cell = GetParam();
+  const RunResult& serial = serial_baseline(cell.name, cell.cls);
+  ASSERT_TRUE(serial.verified) << serial.verify_detail;
+  ASSERT_FALSE(serial.checksums.empty());
+
+  RunConfig cfg;
+  cfg.cls = cell.cls;
+  cfg.mode = Mode::Native;
+  cfg.threads = cell.threads;
+  RunFn fn = find_benchmark(cell.name);
+  ASSERT_NE(fn, nullptr);
+  const RunResult threaded = fn(cfg);
+
+  EXPECT_TRUE(threaded.verified) << threaded.verify_detail;
+  const VerifyResult diff =
+      verify_checksums(threaded.checksums, serial.checksums);
+  EXPECT_TRUE(diff.passed)
+      << cell.name << "." << to_string(cell.cls) << " threads=" << cell.threads
+      << " diverged from serial:\n"
+      << diff.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, Differential,
+                         ::testing::ValuesIn(build_matrix()), cell_name);
+
+}  // namespace
+}  // namespace npb

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <vector>
 
@@ -101,6 +102,47 @@ TEST(WorkerTeam, WarmupOptionStillRunsWork) {
   EXPECT_EQ(n.load(), 2);
 }
 
+// run() is templated over the callable (type-erased to a function pointer
+// internally, not std::function), so any callable shape must behave the same:
+// generic lambda, capturing lambda, mutable functor, and an actual
+// std::function passed straight through.
+TEST(WorkerTeam, TemplatedRunAcceptsAnyCallableWithIdenticalResults) {
+  WorkerTeam team(4);
+  auto compute = [](int rank) { return std::sin(static_cast<double>(rank + 1)); };
+
+  std::vector<double> from_lambda(4, 0.0);
+  team.run([&](int rank) {
+    from_lambda[static_cast<std::size_t>(rank)] = compute(rank);
+  });
+
+  std::vector<double> from_function(4, 0.0);
+  const std::function<void(int)> fn = [&](int rank) {
+    from_function[static_cast<std::size_t>(rank)] = compute(rank);
+  };
+  team.run(fn);
+
+  struct Functor {
+    std::vector<double>* out;
+    std::atomic<int> calls{0};
+    void operator()(int rank) {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      (*out)[static_cast<std::size_t>(rank)] =
+          std::sin(static_cast<double>(rank + 1));
+    }
+  };
+  std::vector<double> from_functor(4, 0.0);
+  Functor functor{&from_functor};
+  team.run(functor);
+  // run() must have invoked the caller's object, not a copy.
+  EXPECT_EQ(functor.calls.load(), 4);
+
+  for (int r = 0; r < 4; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    EXPECT_EQ(from_lambda[i], from_function[i]);
+    EXPECT_EQ(from_lambda[i], from_functor[i]);
+  }
+}
+
 class BarrierKinds : public ::testing::TestWithParam<BarrierKind> {};
 
 TEST_P(BarrierKinds, ManyIterationsStayInLockstep) {
@@ -159,6 +201,31 @@ TEST(ParallelReduce, DeterministicForFixedThreadCount) {
   const double a = parallel_reduce_sum(team, 0, 50000, body);
   const double b = parallel_reduce_sum(team, 0, 50000, body);
   EXPECT_EQ(a, b);
+}
+
+// Regression for the scratch-buffer reduction: the partials must be combined
+// in rank order (bitwise-reproducible against a hand-rolled rank-ordered
+// sum), and the scratch is the team's own reusable buffer, not a fresh
+// allocation per call.
+TEST(ParallelReduce, CombinesPartialsInRankOrderUsingTeamScratch) {
+  const int nthreads = 3;
+  const long lo = 0, hi = 10007;  // prime extent: uneven blocks
+  WorkerTeam team(nthreads);
+  auto body = [](long i) { return std::sin(static_cast<double>(i)) * 1e-3; };
+
+  double expected = 0.0;
+  for (int rank = 0; rank < nthreads; ++rank) {
+    const Range r = partition(lo, hi, rank, nthreads);
+    double s = 0.0;
+    for (long i = r.lo; i < r.hi; ++i) s += body(i);
+    expected += s;  // rank order, like the master's combine loop
+  }
+  EXPECT_EQ(parallel_reduce_sum(team, lo, hi, body), expected);
+
+  detail::PaddedDouble* scratch = team.reduce_scratch();
+  parallel_reduce_sum(team, lo, hi, body);
+  EXPECT_EQ(team.reduce_scratch(), scratch)
+      << "reduction must reuse the per-team scratch buffer";
 }
 
 // ---- PipelineSync ----------------------------------------------------------

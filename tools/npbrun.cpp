@@ -3,6 +3,7 @@
 //
 //   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
 //          [--barrier=condvar|spin] [--warmup] [--verbose]
+//          [--obs-report=FILE]   (JSON, or CSV when FILE ends in .csv)
 //
 // Exit status is non-zero if any run fails verification, so the tool can
 // anchor CI jobs.
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "npb/registry.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -20,6 +22,7 @@ void usage() {
   std::fputs(
       "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java]\n"
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
+      "              [--obs-report=FILE]\n"
       "benchmarks:",
       stderr);
   for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
   const std::string which = argv[1];
   npb::RunConfig cfg;
   bool verbose = false;
+  std::string obs_report;
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--class=", 8) == 0) {
@@ -59,6 +63,8 @@ int main(int argc, char** argv) {
       cfg.warmup_spins = 1000000;
     } else if (std::strcmp(a, "--verbose") == 0) {
       verbose = true;
+    } else if (std::strncmp(a, "--obs-report=", 13) == 0) {
+      obs_report = a + 13;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", a);
       usage();
@@ -79,9 +85,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  npb::obs::ObsReport report;
   int failures = 0;
   for (const auto* b : todo) {
-    const npb::RunResult r = b->fn(cfg);
+    const npb::RunResult r = obs_report.empty()
+                                 ? b->fn(cfg)
+                                 : npb::run_instrumented(b->fn, cfg);
+    if (!obs_report.empty())
+      report.add_run(r.name, npb::to_string(r.cls), npb::to_string(r.mode),
+                     r.threads, r.seconds, r.obs);
     std::printf("%-3s class=%s mode=%-6s threads=%-2d  %8.3fs  %10.1f Mop/s  %s\n",
                 r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
                 r.threads, r.seconds, r.mops,
@@ -89,5 +101,8 @@ int main(int argc, char** argv) {
     if (verbose || !r.verified) std::fputs(r.verify_detail.c_str(), stdout);
     if (!r.verified) ++failures;
   }
+  if (!obs_report.empty() && report.write(obs_report))
+    std::fprintf(stderr, "obs report (%zu runs) -> %s\n", report.size(),
+                 obs_report.c_str());
   return failures == 0 ? 0 : 1;
 }
