@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     RunConfig cfg;
     cfg.cls = args.cls;
     cfg.warmup_spins = args.warmup ? 1000000 : 0;
+    cfg.schedule = args.schedule;
 
     cfg.mode = Mode::Java;
     cfg.threads = 0;

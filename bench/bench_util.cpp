@@ -46,6 +46,12 @@ Args parse(int argc, char** argv, Args defaults) {
       if (!t.empty()) a.threads = t;
     } else if (std::strcmp(arg, "--warmup") == 0) {
       a.warmup = true;
+    } else if (std::strncmp(arg, "--schedule=", 11) == 0) {
+      if (const auto s = parse_schedule(arg + 11)) {
+        a.schedule = *s;
+      } else {
+        std::fprintf(stderr, "unknown schedule '%s'\n", arg + 11);
+      }
     } else if (std::strncmp(arg, "--obs-report=", 13) == 0) {
       a.obs_report = arg + 13;
     } else {

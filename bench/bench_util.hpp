@@ -8,6 +8,8 @@
 //                            regenerate at full size)
 //   --threads=0,1,2,4        thread counts; 0 means the serial code path
 //   --warmup                 enable the paper's CG thread warm-up fix
+//   --schedule=SPEC          loop schedule for CG/IS/MG/EP threaded loops:
+//                            static | dynamic[,CHUNK] | guided[,MIN_CHUNK]
 //   --obs-report=FILE        write an observability report of every run to
 //                            FILE (JSON, or CSV when FILE ends in .csv)
 // plus NPB_CLASS / NPB_THREADS environment variables as fallbacks.
@@ -25,6 +27,7 @@ struct Args {
   ProblemClass cls = ProblemClass::S;
   std::vector<int> threads{0, 1, 2};
   bool warmup = false;
+  Schedule schedule{};     ///< loop schedule forwarded to RunConfig
   std::string obs_report;  ///< empty = no report
 };
 

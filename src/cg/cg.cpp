@@ -22,7 +22,7 @@ CgParams cg_params(ProblemClass cls) noexcept {
 RunResult run_cg(const RunConfig& cfg) {
   using namespace cg_detail;
   const CgParams p = cg_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
 
   const CgOutput o = cfg.mode == Mode::Native
                          ? cg_run<Unchecked>(p, cfg.threads, topts)

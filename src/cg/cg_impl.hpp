@@ -154,12 +154,22 @@ struct CgScalars {
 /// 25 CG iterations solving A z = x; returns ||x - A z||.  `lo`/`hi` is this
 /// rank's row block; single-threaded callers pass the whole range and a null
 /// team.  Reductions go through `partial` (rank-ordered, deterministic).
+///
+/// `queue` (nullable) schedules the sparse mat-vec rows — the loop whose
+/// per-row work varies with the nonzero count, the paper's load-imbalance
+/// case.  Row writes are disjoint so any claim order yields the same q
+/// bit-for-bit; the dot products stay on the static block partition, so the
+/// whole solve remains deterministic under every schedule.  Rank 0 re-arms
+/// the queue right after the barrier that follows each mat-vec: the next
+/// claim is always separated from the reset by at least one more barrier
+/// (the reduction's), which publishes it.
 template <class P>
 void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z,
                Array1<double, P>& r, Array1<double, P>& pvec,
                Array1<double, P>& q, int cg_iters, WorkerTeam* team, int rank,
                int nranks, std::vector<detail::PaddedDouble>& partial,
-               CgScalars& sc) {
+               CgScalars& sc, ChunkQueue* queue = nullptr,
+               Schedule sched = {}) {
   const Range blk = partition(0, m.n, rank, nranks);
   const long lo = blk.lo, hi = blk.hi;
   auto reduce = [&](double mine) -> double {
@@ -170,6 +180,18 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
     for (int t = 0; t < nranks; ++t) s += partial[static_cast<std::size_t>(t)].v;
     team->barrier();
     return s;
+  };
+  // Scheduled mat-vec followed by the join barrier and the queue re-arm.
+  auto spmv_sync = [&](const Array1<double, P>& in, Array1<double, P>& out) {
+    if (queue == nullptr) {
+      spmv_rows(m, in, out, lo, hi);
+      if (team != nullptr) detail::record_loop_iters(rank, hi - lo);
+    } else {
+      claim_chunks(*queue, rank,
+                   [&](long rlo, long rhi) { spmv_rows(m, in, out, rlo, rhi); });
+    }
+    if (team != nullptr) team->barrier();
+    if (queue != nullptr && rank == 0) queue->reset(0, m.n, sched, nranks);
   };
 
   for (long i = lo; i < hi; ++i) {
@@ -183,8 +205,7 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
   if (team != nullptr) team->barrier();
 
   for (int it = 0; it < cg_iters; ++it) {
-    spmv_rows(m, pvec, q, lo, hi);
-    if (team != nullptr) team->barrier();
+    spmv_sync(pvec, q);
     const double pq = reduce(dot_rows<P>(pvec, q, lo, hi));
     const double alpha = sc.rho / pq;
     const double rho0 = sc.rho;
@@ -208,8 +229,7 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
   }
 
   // True residual ||x - A z||.
-  spmv_rows(m, z, q, lo, hi);
-  if (team != nullptr) team->barrier();
+  spmv_sync(z, q);
   double local = 0.0;
   for (long i = lo; i < hi; ++i) {
     const double d = x[static_cast<std::size_t>(i)] - q[static_cast<std::size_t>(i)];
@@ -260,6 +280,14 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
   std::optional<WorkerTeam> team_storage;
   if (threads > 0) team_storage.emplace(threads, topts);
 
+  // Shared row queue for the scheduled mat-vec; armed here (the dispatch
+  // publishes it), re-armed by rank 0 inside conj_grad between mat-vecs.
+  const Schedule sched = topts.schedule;
+  const bool scheduled = threads > 0 && sched.kind != Schedule::Kind::Static;
+  ChunkQueue row_queue;
+  if (scheduled) row_queue.reset(0, n, sched, threads);
+  ChunkQueue* const queue = scheduled ? &row_queue : nullptr;
+
   const obs::RegionId r_cg = obs::region("CG/conj_grad");
   const obs::RegionId r_norm = obs::region("CG/norm");
 
@@ -269,7 +297,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
     for (int outer = 1; outer <= p.niter; ++outer) {
       {
         obs::ScopedTimer ot(r_cg);
-        conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, partial, sc);
+        conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, partial, sc,
+                  nullptr, sched);
       }
       obs::ScopedTimer ot(r_norm);
       double xz = 0.0, zz = 0.0;
@@ -291,7 +320,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
       team.run([&](int rank) {
         {
           obs::ScopedTimer ot(r_cg);
-          conj_grad(m, x, z, r, pvec, q, p.cg_iters, &team, rank, threads, partial, sc);
+          conj_grad(m, x, z, r, pvec, q, p.cg_iters, &team, rank, threads, partial,
+                    sc, queue, sched);
         }
         obs::ScopedTimer ot(r_norm);
         const Range blk = partition(0, n, rank, threads);

@@ -22,7 +22,7 @@ EpParams ep_params(ProblemClass cls) noexcept {
 RunResult run_ep(const RunConfig& cfg) {
   using namespace ep_detail;
   const EpParams p = ep_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
 
   const EpOutput o = cfg.mode == Mode::Native
                          ? ep_run<Unchecked>(p.log2_pairs, cfg.threads, topts)

@@ -92,13 +92,25 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
   } else {
     WorkerTeam team(threads, topts);
     std::vector<BlockAccum> partial(static_cast<std::size_t>(threads));
+    // Blocks are independent (each seeds itself by skip-ahead), so any
+    // schedule partitions them safely; per-rank accumulators keep the
+    // combine below rank-ordered whatever the claim interleaving.
+    const Schedule sched = topts.schedule;
+    ChunkQueue queue;
+    if (sched.kind != Schedule::Kind::Static)
+      queue.reset(0, nblocks, sched, threads);
     team.run([&](int rank) {
       Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
       BlockAccum acc;
-      const Range r = partition(0, nblocks, rank, threads);
-      {
-        obs::ScopedTimer ot(r_blocks);
+      obs::ScopedTimer ot(r_blocks);
+      if (sched.kind == Schedule::Kind::Static) {
+        const Range r = partition(0, nblocks, rank, threads);
         for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
+        detail::record_loop_iters(rank, r.size());
+      } else {
+        claim_chunks(queue, rank, [&](long blo, long bhi) {
+          for (long b = blo; b < bhi; ++b) ep_block<P>(b, buf, acc);
+        });
       }
       partial[static_cast<std::size_t>(rank)] = acc;
     });

@@ -20,7 +20,7 @@ IsParams is_params(ProblemClass cls) noexcept {
 RunResult run_is(const RunConfig& cfg) {
   using namespace is_detail;
   const IsParams p = is_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
 
   const IsOutput o =
       cfg.mode == Mode::Native

@@ -102,28 +102,58 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
       });
     }
 
+    // Both ranking phases accumulate integers, so any claim order produces
+    // the same histogram; Dynamic/Guided let ranks whose key slices hash
+    // into cold cache lines hand work over instead of stretching the
+    // barrier — the paper's "small per-thread work in IS" pain point.
+    const Schedule sched = topts.schedule;
+    const bool scheduled = sched.kind != Schedule::Kind::Static;
+    ChunkQueue key_queue, bucket_queue;
+
     const double t0 = wtime();
     for (int it = 1; it <= iterations; ++it) {
       keys[static_cast<std::size_t>(it)] = it;
       keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
+      if (scheduled) {
+        // Armed by the master between runs; the dispatch publishes both.
+        key_queue.reset(0, nkeys, sched, threads);
+        bucket_queue.reset(0, max_key, sched, threads);
+      }
       {
       obs::ScopedTimer ot(r_rank);
       team.run([&](int rank) {
         const auto r = static_cast<std::size_t>(rank);
-        // Phase 1: private histogram over this rank's key slice.
-        const Range ks = partition(0, nkeys, rank, threads);
+        // Phase 1: private histogram over this rank's share of the keys.
         for (long k = 0; k < max_key; ++k)
           thread_hist(r, static_cast<std::size_t>(k)) = 0;
-        for (long i = ks.lo; i < ks.hi; ++i)
-          thread_hist(r, static_cast<std::size_t>(keys[static_cast<std::size_t>(i)]))++;
+        auto count_keys = [&](long lo, long hi) {
+          for (long i = lo; i < hi; ++i)
+            thread_hist(r, static_cast<std::size_t>(keys[static_cast<std::size_t>(i)]))++;
+        };
+        if (scheduled) {
+          claim_chunks(key_queue, rank, count_keys);
+        } else {
+          const Range ks = partition(0, nkeys, rank, threads);
+          count_keys(ks.lo, ks.hi);
+          detail::record_loop_iters(rank, ks.size());
+        }
         team.barrier();
-        // Phase 2: merge private histograms over this rank's bucket slice.
-        const Range bs = partition(0, max_key, rank, threads);
-        for (long k = bs.lo; k < bs.hi; ++k) {
-          int sum = 0;
-          for (int t = 0; t < threads; ++t)
-            sum += thread_hist(static_cast<std::size_t>(t), static_cast<std::size_t>(k));
-          hist[static_cast<std::size_t>(k)] = sum;
+        // Phase 2: merge private histograms over this rank's share of the
+        // buckets (each bucket written exactly once).
+        auto merge_buckets = [&](long lo, long hi) {
+          for (long k = lo; k < hi; ++k) {
+            int sum = 0;
+            for (int t = 0; t < threads; ++t)
+              sum += thread_hist(static_cast<std::size_t>(t), static_cast<std::size_t>(k));
+            hist[static_cast<std::size_t>(k)] = sum;
+          }
+        };
+        if (scheduled) {
+          claim_chunks(bucket_queue, rank, merge_buckets);
+        } else {
+          const Range bs = partition(0, max_key, rank, threads);
+          merge_buckets(bs.lo, bs.hi);
+          detail::record_loop_iters(rank, bs.size());
         }
         team.barrier();
         // Phase 3: the scan is inherently sequential over buckets; rank 0

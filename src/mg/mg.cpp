@@ -22,7 +22,7 @@ MgParams mg_params(ProblemClass cls) noexcept {
 RunResult run_mg(const RunConfig& cfg) {
   using namespace mg_detail;
   const MgParams p = mg_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
 
   const MgOutput o = cfg.mode == Mode::Native
                          ? mg_run<Unchecked>(p, cfg.threads, topts)

@@ -223,16 +223,26 @@ void zran3(Grid<P>& v, long n) {
 
 /// Executes body(lo3, hi3) over interior planes [1, n], either inline or
 /// fork-joined over the team — the MG operators' shared parallel shape.
+/// Every operator writes disjoint output planes, so any schedule yields the
+/// same grid bit-for-bit; on the coarse levels (n < nranks) Dynamic/Guided
+/// let idle ranks pick up planes instead of sitting on empty static blocks.
 template <class F>
-void over_planes(WorkerTeam* team, long n, const F& body) {
+void over_planes(WorkerTeam* team, Schedule sched, long n, const F& body) {
   if (team == nullptr) {
     body(1, n + 1);
-  } else {
+    return;
+  }
+  if (sched.kind == Schedule::Kind::Static) {
     team->run([&](int rank) {
       const Range r = partition(1, n + 1, rank, team->size());
       body(r.lo, r.hi);
+      detail::record_loop_iters(rank, r.size());
     });
+    return;
   }
+  ChunkQueue queue;
+  queue.reset(1, n + 1, sched, team->size());
+  team->run([&](int rank) { claim_chunks(queue, rank, body); });
 }
 
 template <class P>
@@ -255,6 +265,7 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   std::optional<WorkerTeam> team_storage;
   if (threads > 0) team_storage.emplace(threads, topts);
   WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const Schedule sched = topts.schedule;
 
   const obs::RegionId r_resid = obs::region("MG/resid");
   const obs::RegionId r_smooth = obs::region("MG/smooth");
@@ -268,7 +279,7 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     auto& rl = r[static_cast<std::size_t>(l)];
     {
       obs::ScopedTimer ot(r_resid);
-      over_planes(team, nl, [&](long lo, long hi) {
+      over_planes(team, sched, nl, [&](long lo, long hi) {
         stencil27<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
       });
     }
@@ -281,7 +292,7 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     auto& rl = r[static_cast<std::size_t>(l)];
     {
       obs::ScopedTimer ot(r_smooth);
-      over_planes(team, nl, [&](long lo, long hi) {
+      over_planes(team, sched, nl, [&](long lo, long hi) {
         stencil27<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
       });
     }
@@ -304,7 +315,7 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
       const long nc = 1L << (l - 1);
       {
         obs::ScopedTimer ot(r_rprj3);
-        over_planes(team, nc, [&](long lo, long hi) {
+        over_planes(team, sched, nc, [&](long lo, long hi) {
           rprj3(r[static_cast<std::size_t>(l)], r[static_cast<std::size_t>(l - 1)], nc,
                 lo, hi);
         });
@@ -321,7 +332,7 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
       u[static_cast<std::size_t>(l)].fill(0.0);
       {
         obs::ScopedTimer ot(r_interp);
-        over_planes(team, nl, [&](long lo, long hi) {
+        over_planes(team, sched, nl, [&](long lo, long hi) {
           interp(u[static_cast<std::size_t>(l - 1)], u[static_cast<std::size_t>(l)], nl,
                  lo, hi);
         });
@@ -337,7 +348,7 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     // Finest level: add the correction, refresh the residual, smooth.
     {
       obs::ScopedTimer ot(r_interp);
-      over_planes(team, n, [&](long lo, long hi) {
+      over_planes(team, sched, n, [&](long lo, long hi) {
         interp(u[static_cast<std::size_t>(lt - 1)], u[static_cast<std::size_t>(lt)], n,
                lo, hi);
       });

@@ -7,6 +7,7 @@
 #include "common/mode.hpp"
 #include "obs/obs.hpp"
 #include "par/barrier.hpp"
+#include "par/schedule.hpp"
 
 namespace npb {
 
@@ -20,6 +21,10 @@ struct RunConfig {
   int threads = 0;
   BarrierKind barrier = BarrierKind::CondVar;
   long warmup_spins = 0;
+  /// Loop schedule for the benchmarks with imbalance-sensitive loops (CG's
+  /// sparse mat-vec rows, IS's histogram phases, MG's per-plane operators,
+  /// EP's blocks).  The structured pseudo-apps keep their static slabs.
+  Schedule schedule{};
 };
 
 struct RunResult {

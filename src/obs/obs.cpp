@@ -34,6 +34,7 @@ ObsRegistry::ObsRegistry()
   intern("team/dispatch");
   intern("team/barrier_wait");
   intern("team/pipeline_wait");
+  intern("team/loop_iters");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -111,6 +112,12 @@ Snapshot ObsRegistry::snapshot() const {
       case kRegionPipelineWait:
         snap.pipeline_wait_seconds = st.seconds;
         snap.pipeline_wait_count = st.count;
+        break;
+      case kRegionLoopIters:
+        snap.loop_iters_total = st.seconds;
+        snap.loop_record_count = st.count;
+        snap.loop_rank_iters = std::move(st.rank_seconds);
+        snap.loop_rank_count = std::move(st.rank_count);
         break;
       default:
         snap.regions.push_back(std::move(st));

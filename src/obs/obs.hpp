@@ -15,6 +15,10 @@
 //   team/dispatch      master notify -> worker start latency, per rank
 //   team/barrier_wait  arrive -> release time in team barriers, per rank
 //   team/pipeline_wait spin time in PipelineSync::wait_for, per rank
+//   team/loop_iters    iterations executed per rank in scheduled loops (the
+//                      "seconds" accumulator holds an iteration count here;
+//                      reports derive the per-rank distribution and its
+//                      max/mean imbalance from it)
 //
 // Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
 // no-ops (distinct inline namespace, so mixed translation units stay
@@ -56,13 +60,43 @@ struct Snapshot {
   std::uint64_t barrier_wait_count = 0;
   double pipeline_wait_seconds = 0.0;
   std::uint64_t pipeline_wait_count = 0;
+  /// team/loop_iters: total iterations executed in scheduled loops, the
+  /// per-slot distribution (slot 0 = master/serial, slot r+1 = rank r), and
+  /// how many per-rank loop passes recorded.
+  double loop_iters_total = 0.0;
+  std::uint64_t loop_record_count = 0;
+  std::vector<double> loop_rank_iters;
+  std::vector<std::uint64_t> loop_rank_count;
+
+  /// Max-over-mean of per-worker iteration counts in scheduled loops: 1.0 is
+  /// perfectly balanced, nranks is one rank doing everything, 0.0 means no
+  /// scheduled loop recorded.  Worker slots only (slot 0 falls back in when
+  /// only the serial path recorded).
+  double loop_imbalance() const noexcept {
+    double mx = 0.0, sum = 0.0;
+    int n = 0;
+    for (std::size_t s = 1; s < loop_rank_count.size(); ++s) {
+      if (loop_rank_count[s] == 0) continue;
+      const double v = loop_rank_iters[s];
+      if (v > mx) mx = v;
+      sum += v;
+      ++n;
+    }
+    if (n == 0) {
+      if (loop_rank_count.empty() || loop_rank_count[0] == 0) return 0.0;
+      return 1.0;  // serial path: trivially balanced
+    }
+    const double mean = sum / static_cast<double>(n);
+    return mean > 0.0 ? mx / mean : 0.0;
+  }
 };
 
 inline constexpr RegionId kRegionRunSpan = 0;
 inline constexpr RegionId kRegionDispatch = 1;
 inline constexpr RegionId kRegionBarrierWait = 2;
 inline constexpr RegionId kRegionPipelineWait = 3;
-inline constexpr int kReservedRegions = 4;
+inline constexpr RegionId kRegionLoopIters = 4;
+inline constexpr int kReservedRegions = 5;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;

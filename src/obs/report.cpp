@@ -78,6 +78,13 @@ std::string ObsReport::json() const {
     out += ",\"pipeline_wait_count\":" + std::to_string(s.pipeline_wait_count);
     out += ",\"pipeline_wait_seconds\":";
     append_number(out, s.pipeline_wait_seconds);
+    out += ",\"loop_record_count\":" + std::to_string(s.loop_record_count);
+    out += ",\"loop_iters_total\":";
+    append_number(out, s.loop_iters_total);
+    out += ",\"loop_rank_iters\":";
+    append_array(out, s.loop_rank_iters);
+    out += ",\"loop_imbalance\":";
+    append_number(out, s.loop_imbalance());
     out += "},\"regions\":[";
     for (std::size_t r = 0; r < s.regions.size(); ++r) {
       const RegionStats& st = s.regions[r];
@@ -116,6 +123,10 @@ std::string ObsReport::csv() const {
     row(en, "team/dispatch", s.dispatch_seconds, s.dispatch_count);
     row(en, "team/barrier_wait", s.barrier_wait_seconds, s.barrier_wait_count);
     row(en, "team/pipeline_wait", s.pipeline_wait_seconds, s.pipeline_wait_count);
+    // loop_iters abuses the seconds column for an iteration count; the
+    // imbalance row makes the flat file self-contained for schedule tables.
+    row(en, "team/loop_iters", s.loop_iters_total, s.loop_record_count);
+    row(en, "team/loop_imbalance", s.loop_imbalance(), s.loop_record_count);
     for (const RegionStats& st : s.regions) row(en, st.name, st.seconds, st.count);
   }
   return out;

@@ -1,48 +1,128 @@
 #pragma once
 
+#include <atomic>
+#include <vector>
+
 #include "par/partition.hpp"
+#include "par/schedule.hpp"
 #include "par/team.hpp"
 
 namespace npb {
 
-/// Runs body(i) for i in [lo, hi), statically block-partitioned over the
-/// team — the analogue of the OpenMP `parallel do` regions the paper's Java
-/// translation mirrors.
+/// Runs body(i) for i in [lo, hi) under an explicit loop schedule.  Static
+/// is the paper's block partition (one contiguous slab per rank); Dynamic
+/// and Guided deal chunks from a shared atomic cursor so ranks that finish
+/// early keep working — the knob the paper's section 5.2 load-imbalance
+/// discussion lacks.  Every variant records per-rank iteration counts under
+/// team/loop_iters.
+template <class Body>
+void parallel_for(WorkerTeam& team, Schedule sched, long lo, long hi,
+                  const Body& body) {
+  if (sched.kind == Schedule::Kind::Static) {
+    team.run([&](int rank) {
+      const Range r = partition(lo, hi, rank, team.size());
+      for (long i = r.lo; i < r.hi; ++i) body(i);
+      detail::record_loop_iters(rank, r.size());
+    });
+    return;
+  }
+  ChunkQueue queue;
+  queue.reset(lo, hi, sched, team.size());
+  team.run([&](int rank) {
+    claim_chunks(queue, rank, [&](long clo, long chi) {
+      for (long i = clo; i < chi; ++i) body(i);
+    });
+  });
+}
+
+/// Runs body(i) under the team's default schedule (TeamOptions::schedule).
 template <class Body>
 void parallel_for(WorkerTeam& team, long lo, long hi, const Body& body) {
+  parallel_for(team, team.schedule(), lo, hi, body);
+}
+
+/// Runs body(rank, lo_r, hi_r) per assigned range under an explicit
+/// schedule — used when the body wants to iterate slabs itself (stencils,
+/// solves, seed-skipping generators).  Under Static the body runs exactly
+/// once per rank with its block; under Dynamic/Guided it runs once per
+/// claimed chunk, possibly several times per rank, so bodies must not assume
+/// one contiguous slab per rank.
+template <class Body>
+void parallel_ranges(WorkerTeam& team, Schedule sched, long lo, long hi,
+                     const Body& body) {
+  if (sched.kind == Schedule::Kind::Static) {
+    team.run([&](int rank) {
+      const Range r = partition(lo, hi, rank, team.size());
+      body(rank, r.lo, r.hi);
+      detail::record_loop_iters(rank, r.size());
+    });
+    return;
+  }
+  ChunkQueue queue;
+  queue.reset(lo, hi, sched, team.size());
   team.run([&](int rank) {
-    const Range r = partition(lo, hi, rank, team.size());
-    for (long i = r.lo; i < r.hi; ++i) body(i);
+    claim_chunks(queue, rank,
+                 [&](long clo, long chi) { body(rank, clo, chi); });
   });
 }
 
-/// Runs body(rank, lo_r, hi_r) once per rank with that rank's block — used
-/// when the body wants to iterate slabs itself (stencils, solves).
+/// Runs body(rank, lo_r, hi_r) under the team's default schedule.
 template <class Body>
 void parallel_ranges(WorkerTeam& team, long lo, long hi, const Body& body) {
-  team.run([&](int rank) {
-    const Range r = partition(lo, hi, rank, team.size());
-    body(rank, r.lo, r.hi);
-  });
+  parallel_ranges(team, team.schedule(), lo, hi, body);
 }
 
-/// Sum-reduction over [lo, hi): each rank accumulates a private partial over
-/// its block (into the team's padded per-rank scratch, so the hot path never
-/// allocates); the master adds partials in rank order, which makes the result
-/// deterministic for a fixed thread count (required for thread-vs-serial
-/// verification to a tight tolerance).
+/// Sum-reduction over [lo, hi), deterministic for a fixed (schedule, thread
+/// count) — bit-identical across repeated runs, whatever the claim
+/// interleaving:
+///   Static   per-rank partials in the team's padded scratch, combined in
+///            rank order (the legacy path, allocation-free).
+///   Dynamic/ per-chunk partials combined in chunk order.  Chunk boundaries
+///   Guided   are a pure function of the claim sequence (schedule_chunks),
+///            and each chunk is summed serially by whichever rank claims it,
+///            so the combine sees the same addends in the same order every
+///            run.  Costs one partials allocation per call — reductions on a
+///            dynamic schedule trade that for balance.
 template <class Body>
-double parallel_reduce_sum(WorkerTeam& team, long lo, long hi, const Body& body) {
-  detail::PaddedDouble* partial = team.reduce_scratch();
+double parallel_reduce_sum(WorkerTeam& team, Schedule sched, long lo, long hi,
+                           const Body& body) {
+  if (sched.kind == Schedule::Kind::Static) {
+    detail::PaddedDouble* partial = team.reduce_scratch();
+    team.run([&](int rank) {
+      const Range r = partition(lo, hi, rank, team.size());
+      double s = 0.0;
+      for (long i = r.lo; i < r.hi; ++i) s += body(i);
+      partial[rank].v = s;
+      detail::record_loop_iters(rank, r.size());
+    });
+    double total = 0.0;
+    for (int t = 0; t < team.size(); ++t) total += partial[t].v;
+    return total;
+  }
+  const std::vector<Range> chunks = schedule_chunks(lo, hi, sched, team.size());
+  std::vector<double> partial(chunks.size(), 0.0);
+  std::atomic<std::size_t> next{0};
   team.run([&](int rank) {
-    const Range r = partition(lo, hi, rank, team.size());
-    double s = 0.0;
-    for (long i = r.lo; i < r.hi; ++i) s += body(i);
-    partial[rank].v = s;
+    long iters = 0;
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks.size()) break;
+      double s = 0.0;
+      for (long i = chunks[c].lo; i < chunks[c].hi; ++i) s += body(i);
+      partial[c] = s;
+      iters += chunks[c].size();
+    }
+    detail::record_loop_iters(rank, iters);
   });
   double total = 0.0;
-  for (int t = 0; t < team.size(); ++t) total += partial[t].v;
+  for (const double p : partial) total += p;  // chunk order: deterministic
   return total;
+}
+
+/// Sum-reduction under the team's default schedule.
+template <class Body>
+double parallel_reduce_sum(WorkerTeam& team, long lo, long hi, const Body& body) {
+  return parallel_reduce_sum(team, team.schedule(), lo, hi, body);
 }
 
 }  // namespace npb

@@ -11,6 +11,7 @@
 #include "common/wtime.hpp"
 #include "obs/obs.hpp"
 #include "par/barrier.hpp"
+#include "par/schedule.hpp"
 
 namespace npb {
 
@@ -31,6 +32,10 @@ struct TeamOptions {
   /// runtime doesn't need it, but the knob exists so bench_ablation_sync can
   /// measure what the fix itself costs.
   long warmup_spins = 0;
+  /// Default loop schedule for this team's parallel_for / parallel_ranges /
+  /// parallel_reduce_sum calls (call sites can still pass an explicit
+  /// Schedule).  Static reproduces the paper's block partition bit-for-bit.
+  Schedule schedule{};
 };
 
 /// Master-workers thread team, structured exactly like the paper's Java
@@ -55,6 +60,9 @@ class WorkerTeam {
   WorkerTeam& operator=(const WorkerTeam&) = delete;
 
   int size() const noexcept { return n_; }
+
+  /// The team's default loop schedule (TeamOptions::schedule).
+  const Schedule& schedule() const noexcept { return opts_.schedule; }
 
   /// Executes fn(rank) on all workers; rethrows the first worker exception.
   /// The callable is dispatched as a (function-pointer, context) pair, so

@@ -367,11 +367,62 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   const std::string csv = rep.csv();
   std::size_t lines = 0;
   for (char c : csv) lines += c == '\n' ? 1 : 0;
-  // header + 4 team rows + 1 user region
-  EXPECT_EQ(lines, 6u);
+  // header + 6 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
+  // loop_iters, loop_imbalance) + 1 user region
+  EXPECT_EQ(lines, 8u);
   EXPECT_EQ(csv.rfind("benchmark,class,mode,threads,run_seconds,region,seconds,count\n", 0), 0u);
   EXPECT_NE(csv.find("team/run_span"), std::string::npos);
   EXPECT_NE(csv.find("team/barrier_wait"), std::string::npos);
+  EXPECT_NE(csv.find("team/loop_iters"), std::string::npos);
+  EXPECT_NE(csv.find("team/loop_imbalance"), std::string::npos);
+}
+
+// ---- scheduled-loop iteration counters -------------------------------------
+
+TEST(ObsLoopIters, SnapshotSplitsPerRankAndComputesImbalance) {
+  auto& reg = obs::ObsRegistry::instance();
+  reg.reset();
+  // Three workers recorded 100/200/300 iterations; rank 1 did two passes.
+  reg.record(obs::kRegionLoopIters, 0, 100.0);
+  reg.record(obs::kRegionLoopIters, 1, 150.0);
+  reg.record(obs::kRegionLoopIters, 1, 50.0);
+  reg.record(obs::kRegionLoopIters, 2, 300.0);
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.loop_iters_total, 600.0);
+  EXPECT_EQ(snap.loop_record_count, 4u);
+  ASSERT_EQ(snap.loop_rank_iters.size(), 4u);  // slots 0..3, rank r -> slot r+1
+  EXPECT_DOUBLE_EQ(snap.loop_rank_iters[1], 100.0);
+  EXPECT_DOUBLE_EQ(snap.loop_rank_iters[2], 200.0);
+  EXPECT_DOUBLE_EQ(snap.loop_rank_iters[3], 300.0);
+  EXPECT_EQ(snap.loop_rank_count[2], 2u);
+  // max/mean = 300 / 200
+  EXPECT_DOUBLE_EQ(snap.loop_imbalance(), 1.5);
+}
+
+TEST(ObsLoopIters, ImbalanceEdgeCases) {
+  auto& reg = obs::ObsRegistry::instance();
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.snapshot().loop_imbalance(), 0.0) << "nothing recorded";
+  reg.record(obs::kRegionLoopIters, -1, 42.0);  // serial path -> slot 0
+  EXPECT_DOUBLE_EQ(reg.snapshot().loop_imbalance(), 1.0)
+      << "serial-only records are trivially balanced";
+  reg.reset();
+}
+
+TEST(ObsLoopIters, JsonCarriesLoopFields) {
+  auto& reg = obs::ObsRegistry::instance();
+  reg.reset();
+  reg.record(obs::kRegionLoopIters, 0, 10.0);
+  reg.record(obs::kRegionLoopIters, 1, 30.0);
+  obs::ObsReport rep;
+  rep.add_run("CG", "S", "native", 2, 1.0, reg.snapshot());
+  const std::string j = rep.json();
+  JsonChecker check(j);
+  EXPECT_TRUE(check.valid()) << j;
+  EXPECT_NE(j.find("\"loop_record_count\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"loop_iters_total\":40"), std::string::npos);
+  EXPECT_NE(j.find("\"loop_rank_iters\""), std::string::npos);
+  EXPECT_NE(j.find("\"loop_imbalance\":1.5"), std::string::npos);
 }
 
 }  // namespace

@@ -165,6 +165,46 @@ INSTANTIATE_TEST_SUITE_P(Both, BarrierKinds,
                          ::testing::Values(BarrierKind::CondVar,
                                            BarrierKind::SpinSense));
 
+// Every (barrier kind x schedule) combination must rethrow a worker
+// exception to the master, leave the team usable, and run a correct
+// scheduled loop immediately afterwards — a throwing rank abandons its
+// claiming loop, so the queue-drain path is exercised too.
+class BarrierBySchedule
+    : public ::testing::TestWithParam<std::tuple<BarrierKind, Schedule>> {};
+
+TEST_P(BarrierBySchedule, WorkerExceptionRethrowsAndTeamRecovers) {
+  const auto [kind, sched] = GetParam();
+  WorkerTeam team(4, TeamOptions{kind, 0, sched});
+  EXPECT_EQ(team.schedule().kind, sched.kind);
+
+  EXPECT_THROW(
+      parallel_for(team, 0, 1000,
+                   [&](long i) {
+                     if (i == 437) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+
+  // The team (and the default-schedule path through team.schedule()) must
+  // still produce exactly-once coverage after the aborted run.
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(team, 0, 1000,
+               [&](long i) { hits[static_cast<std::size_t>(i)]++; });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+
+  // Reductions stay deterministic on the recovered team.
+  auto body = [](long i) { return std::cos(static_cast<double>(i)); };
+  EXPECT_EQ(parallel_reduce_sum(team, 0, 5000, body),
+            parallel_reduce_sum(team, 0, 5000, body));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BarrierBySchedule,
+    ::testing::Combine(::testing::Values(BarrierKind::CondVar,
+                                         BarrierKind::SpinSense),
+                       ::testing::Values(Schedule::static_(),
+                                         Schedule::dynamic(16),
+                                         Schedule::guided())));
+
 // ---- parallel_for / reduce -------------------------------------------------
 
 TEST(ParallelFor, TouchesEachIndexOnce) {

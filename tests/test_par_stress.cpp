@@ -1,0 +1,141 @@
+// Race-detector stress for the two reusable synchronization objects that get
+// re-armed between parallel passes: the chunk-claiming ChunkQueue (reset by
+// one rank behind a team barrier between sweeps) and PipelineSync::reset
+// (same protocol, between wavefront sweeps).  The assertions double as
+// functional checks, but the real target is the TSan preset: every write the
+// sweeps make to plain (non-atomic) shared memory is ordered only by the
+// barrier/claim protocol under test, so any missing happens-before edge
+// shows up as a reported race.
+//
+// 7 ranks everywhere: odd and larger than the typical core count, so claims
+// interleave and at least some ranks contend on every cursor transition.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "par/pipeline.hpp"
+#include "par/schedule.hpp"
+#include "par/team.hpp"
+
+namespace npb {
+namespace {
+
+constexpr int kRanks = 7;
+
+class StressBarrierKinds : public ::testing::TestWithParam<BarrierKind> {};
+
+// Sweeps alternate dynamic and guided so the queue is re-armed with a
+// different claiming mode each time.  Each sweep writes the sweep number
+// into a plain int per claimed index; exactly-once claiming plus the
+// barrier+reset protocol make those writes race-free, and the final pass
+// checks every cell saw the last sweep.
+TEST_P(StressBarrierKinds, ChunkQueueResetBehindBarrierIsRaceFree) {
+  const long n = 4096;
+  const int sweeps = 200;
+  WorkerTeam team(kRanks, TeamOptions{GetParam(), 0});
+  ChunkQueue queue;
+  queue.reset(0, n, Schedule::dynamic(13), kRanks);
+  std::vector<int> cell(static_cast<std::size_t>(n), -1);
+  std::atomic<long> claimed_total{0};
+
+  team.run([&](int rank) {
+    for (int s = 0; s < sweeps; ++s) {
+      long mine = 0;
+      Range c;
+      while (queue.try_claim(c)) {
+        for (long i = c.lo; i < c.hi; ++i)
+          cell[static_cast<std::size_t>(i)] = s;  // plain write: exactly-once
+        mine += c.size();
+      }
+      claimed_total.fetch_add(mine, std::memory_order_relaxed);
+      team.barrier();
+      if (rank == 0) {
+        // Re-arm for the next sweep, alternating the claiming mode.  Claims
+        // are separated from this write by the barriers on both sides.
+        const Schedule next = (s % 2 == 0) ? Schedule::guided(3)
+                                           : Schedule::dynamic(13);
+        queue.reset(0, n, next, kRanks);
+      }
+      team.barrier();
+    }
+  });
+
+  EXPECT_EQ(claimed_total.load(), static_cast<long>(sweeps) * n);
+  for (long i = 0; i < n; ++i)
+    ASSERT_EQ(cell[static_cast<std::size_t>(i)], sweeps - 1)
+        << "index " << i << " missed the final sweep";
+}
+
+// Wavefront pipeline with plain per-(rank, step) payload cells: rank r
+// writes its slot at each step, rank r+1 reads the neighbour's slot after
+// wait_for.  post/wait_for must provide the release/acquire edge, and the
+// rank-0 reset between sweeps must be fully ordered by the surrounding
+// barriers.
+TEST_P(StressBarrierKinds, PipelineResetBetweenSweepsIsRaceFree) {
+  const long steps = 64;
+  const int sweeps = 100;
+  WorkerTeam team(kRanks, TeamOptions{GetParam(), 0});
+  PipelineSync sync(kRanks);
+  sync.reset();
+  std::vector<long> payload(static_cast<std::size_t>(kRanks * steps), 0);
+  auto slot = [&](int rank, long step) -> long& {
+    return payload[static_cast<std::size_t>(rank) *
+                       static_cast<std::size_t>(steps) +
+                   static_cast<std::size_t>(step)];
+  };
+  std::atomic<bool> bad{false};
+
+  team.run([&](int rank) {
+    for (int s = 0; s < sweeps; ++s) {
+      for (long step = 0; step < steps; ++step) {
+        if (rank > 0) {
+          sync.wait_for(rank - 1, step);
+          // Neighbour's payload write for this step must be visible now.
+          if (slot(rank - 1, step) != s * 1000 + step) bad = true;
+        }
+        slot(rank, step) = s * 1000 + step;  // plain write
+        sync.post(rank, step);
+      }
+      team.barrier();
+      if (rank == 0) sync.reset();
+      team.barrier();
+    }
+  });
+
+  EXPECT_FALSE(bad.load()) << "a rank observed a stale neighbour payload";
+  for (int r = 0; r < kRanks; ++r)
+    for (long step = 0; step < steps; ++step)
+      ASSERT_EQ(slot(r, step), (sweeps - 1) * 1000 + step);
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, StressBarrierKinds,
+                         ::testing::Values(BarrierKind::CondVar,
+                                           BarrierKind::SpinSense));
+
+// Two queues drained back-to-back inside one dispatch (the IS ranking
+// pattern: keys then buckets), re-armed by the master between dispatches.
+TEST(ChunkQueueStress, TwoQueuesPerDispatchMatchIsRankingProtocol) {
+  const long nkeys = 8192, nbuckets = 1024;
+  const int iterations = 50;
+  WorkerTeam team(kRanks);
+  ChunkQueue keys, buckets;
+  std::atomic<long> key_total{0}, bucket_total{0};
+  for (int it = 0; it < iterations; ++it) {
+    keys.reset(0, nkeys, Schedule::guided(), kRanks);
+    buckets.reset(0, nbuckets, Schedule::dynamic(32), kRanks);
+    team.run([&](int rank) {
+      long mine = claim_chunks(keys, rank, [](long, long) {});
+      key_total.fetch_add(mine, std::memory_order_relaxed);
+      team.barrier();
+      mine = claim_chunks(buckets, rank, [](long, long) {});
+      bucket_total.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(key_total.load(), static_cast<long>(iterations) * nkeys);
+  EXPECT_EQ(bucket_total.load(), static_cast<long>(iterations) * nbuckets);
+}
+
+}  // namespace
+}  // namespace npb

@@ -2,7 +2,8 @@
 // benchmark at any configuration and prints a paper-style result block.
 //
 //   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
-//          [--barrier=condvar|spin] [--warmup] [--verbose]
+//          [--barrier=condvar|spin] [--schedule=static|dynamic[,C]|guided[,M]]
+//          [--warmup] [--verbose]
 //          [--obs-report=FILE]   (JSON, or CSV when FILE ends in .csv)
 //
 // Exit status is non-zero if any run fails verification, so the tool can
@@ -22,7 +23,11 @@ void usage() {
   std::fputs(
       "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java]\n"
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
+      "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
       "              [--obs-report=FILE]\n"
+      "--schedule picks the loop schedule for CG/IS/MG/EP threaded loops\n"
+      "(pseudo-apps keep static slabs); dynamic/guided default CHUNK to\n"
+      "n/(16*threads) and MIN_CHUNK to 1.\n"
       "benchmarks:",
       stderr);
   for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
@@ -59,6 +64,13 @@ int main(int argc, char** argv) {
       cfg.barrier = npb::BarrierKind::SpinSense;
     } else if (std::strcmp(a, "--barrier=condvar") == 0) {
       cfg.barrier = npb::BarrierKind::CondVar;
+    } else if (std::strncmp(a, "--schedule=", 11) == 0) {
+      const auto s = npb::parse_schedule(a + 11);
+      if (!s) {
+        std::fprintf(stderr, "bad schedule '%s'\n", a + 11);
+        return 2;
+      }
+      cfg.schedule = *s;
     } else if (std::strcmp(a, "--warmup") == 0) {
       cfg.warmup_spins = 1000000;
     } else if (std::strcmp(a, "--verbose") == 0) {
