@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     RunConfig cfg;
     cfg.cls = args.cls;
     cfg.mode = row.mode;
+    cfg.mem = args.mem;
     cfg.threads = 0;
     std::vector<std::string> cells{row.label,
                                    Table::cell(benchutil::timed_run(row.fn, cfg))};

@@ -116,6 +116,7 @@ void schedule_table(const npb::benchutil::Args& args) {
       cfg.threads = threads;
       cfg.warmup_spins = args.warmup ? 1000000 : 0;
       cfg.schedule = sched;
+      cfg.mem = args.mem;
       const npb::RunResult r = npb::run_instrumented(fn, cfg);
       if (!r.verified) {
         row.push_back("FAILED");

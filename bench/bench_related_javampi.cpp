@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       RunConfig cfg;
       cfg.cls = args.cls;
       cfg.mode = Mode::Native;
+      cfg.mem = args.mem;
       cfg.threads = th;
       row.push_back(Table::cell(benchutil::timed_run(fn, cfg)));
     }

@@ -24,8 +24,9 @@ constexpr npb::CfdOp kOps[] = {npb::CfdOp::Assignment, npb::CfdOp::FirstOrderSte
 }  // namespace
 
 int main(int argc, char** argv) {
-  npb::benchutil::Args args =
-      npb::benchutil::parse(argc, argv, {npb::ProblemClass::S, {0, 1, 2, 4}, false});
+  npb::benchutil::Args defaults;
+  defaults.threads = {0, 1, 2, 4};
+  npb::benchutil::Args args = npb::benchutil::parse(argc, argv, defaults);
   int reps = 10;
   for (int i = 1; i < argc; ++i)
     if (std::strncmp(argv[i], "--reps=", 7) == 0) reps = std::atoi(argv[i] + 7);
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   for (npb::CfdOp op : kOps) {
     npb::CfdConfig cfg;
     cfg.reps = reps;
+    cfg.mem = args.mem;
     cfg.mode = npb::Mode::Native;
     cfg.threads = 0;
     const double f77 = npb::run_cfd_op(op, cfg).seconds;

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     cfg.cls = args.cls;
     cfg.warmup_spins = args.warmup ? 1000000 : 0;
     cfg.schedule = args.schedule;
+    cfg.mem = args.mem;
 
     cfg.mode = Mode::Java;
     cfg.threads = 0;

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     cfg.cls = args.cls;
     cfg.mode = Mode::Java;
     cfg.warmup_spins = args.warmup ? 1000000 : 0;
+    cfg.mem = args.mem;
 
     cfg.threads = 0;
     const double ser = benchutil::timed_run(info.fn, cfg, rp);

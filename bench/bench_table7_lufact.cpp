@@ -9,7 +9,10 @@
 // Fortran while the NPB (Tables 2-4) show far larger gaps.  DGETRF's
 // blocked MMULT update exposes the compiler again.
 //
-// Flags: --skip-c   (omit the 2000x2000 column for quick runs)
+// Flags: --skip-c            (omit the 2000x2000 column for quick runs)
+//        --mem-align=BYTES / --huge-pages
+//                             allocation policy for the matrix buffers
+//                             (serial bench, so --first-touch is moot)
 
 #include <cstdio>
 #include <cstring>
@@ -21,8 +24,15 @@
 int main(int argc, char** argv) {
   using namespace npb;
   bool skip_c = false;
-  for (int i = 1; i < argc; ++i)
+  mem::MemOptions memopt;
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skip-c") == 0) skip_c = true;
+    if (std::strncmp(argv[i], "--mem-align=", 12) == 0) {
+      if (const auto al = mem::parse_alignment(argv[i] + 12))
+        memopt.alignment = *al;
+    }
+    if (std::strcmp(argv[i], "--huge-pages") == 0) memopt.huge_pages = true;
+  }
 
   std::vector<ProblemClass> classes{ProblemClass::A, ProblemClass::B};
   if (!skip_c) classes.push_back(ProblemClass::C);
@@ -56,6 +66,7 @@ int main(int argc, char** argv) {
       cfg.n = lufact_order(c);
       cfg.mode = row.mode;
       cfg.alg = row.alg;
+      cfg.mem = memopt;
       const LufactResult r = run_lufact(cfg);
       if (r.residual_normalized > 100.0) {
         std::fprintf(stderr, "RESIDUAL CHECK FAILED: %s class %s (%.1f)\n",

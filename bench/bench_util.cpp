@@ -52,6 +52,16 @@ Args parse(int argc, char** argv, Args defaults) {
       } else {
         std::fprintf(stderr, "unknown schedule '%s'\n", arg + 11);
       }
+    } else if (std::strncmp(arg, "--mem-align=", 12) == 0) {
+      if (const auto al = mem::parse_alignment(arg + 12)) {
+        a.mem.alignment = *al;
+      } else {
+        std::fprintf(stderr, "bad alignment '%s'\n", arg + 12);
+      }
+    } else if (std::strcmp(arg, "--first-touch") == 0) {
+      a.mem.placement = mem::Placement::FirstTouch;
+    } else if (std::strcmp(arg, "--huge-pages") == 0) {
+      a.mem.huge_pages = true;
     } else if (std::strncmp(arg, "--obs-report=", 13) == 0) {
       a.obs_report = arg + 13;
     } else {

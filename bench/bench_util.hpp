@@ -10,6 +10,9 @@
 //   --warmup                 enable the paper's CG thread warm-up fix
 //   --schedule=SPEC          loop schedule for CG/IS/MG/EP threaded loops:
 //                            static | dynamic[,CHUNK] | guided[,MIN_CHUNK]
+//   --mem-align=BYTES        allocation alignment (power of two, K/M suffix)
+//   --first-touch            initialize large arrays on the worker team
+//   --huge-pages             2 MiB page hint for buffers that large
 //   --obs-report=FILE        write an observability report of every run to
 //                            FILE (JSON, or CSV when FILE ends in .csv)
 // plus NPB_CLASS / NPB_THREADS environment variables as fallbacks.
@@ -18,6 +21,7 @@
 #include <vector>
 
 #include "common/classes.hpp"
+#include "mem/options.hpp"
 #include "npb/run.hpp"
 #include "obs/report.hpp"
 
@@ -28,6 +32,7 @@ struct Args {
   std::vector<int> threads{0, 1, 2};
   bool warmup = false;
   Schedule schedule{};     ///< loop schedule forwarded to RunConfig
+  mem::MemOptions mem{};   ///< allocation policy forwarded to RunConfig
   std::string obs_report;  ///< empty = no report
 };
 

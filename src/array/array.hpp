@@ -1,9 +1,9 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
 #include "array/policies.hpp"
+#include "mem/buffer.hpp"
 
 namespace npb {
 
@@ -12,6 +12,13 @@ namespace npb {
 /// A single flat buffer is indexed with an explicitly computed offset and,
 /// under the Checked policy, a single bounds test per access, exactly like a
 /// linearized Java array.  Row-major: the *last* index is fastest.
+///
+/// Storage is a mem::AlignedBuffer: base address aligned per the installed
+/// MemOptions (64 B default, optional 2 MiB huge-page hint) and pages
+/// committed by the construction fill — on the worker team under
+/// Placement::FirstTouch, so each rank faults in the slab it will compute
+/// on.  fill() after construction is always a serial rewrite of the already
+/// committed pages.
 
 template <class T, class P>
 class Array1 {
@@ -33,10 +40,10 @@ class Array1 {
   std::size_t size() const noexcept { return n_; }
   T* data() noexcept { return store_.data(); }
   const T* data() const noexcept { return store_.data(); }
-  void fill(T v) { store_.assign(n_, v); }
+  void fill(T v) { store_.fill(v); }
 
  private:
-  std::vector<T> store_;
+  mem::AlignedBuffer<T> store_;
   std::size_t n_ = 0;
 };
 
@@ -64,10 +71,10 @@ class Array2 {
   std::size_t size() const noexcept { return store_.size(); }
   T* data() noexcept { return store_.data(); }
   const T* data() const noexcept { return store_.data(); }
-  void fill(T v) { store_.assign(store_.size(), v); }
+  void fill(T v) { store_.fill(v); }
 
  private:
-  std::vector<T> store_;
+  mem::AlignedBuffer<T> store_;
   std::size_t n1_ = 0, n2_ = 0;
 };
 
@@ -97,10 +104,10 @@ class Array3 {
   std::size_t size() const noexcept { return store_.size(); }
   T* data() noexcept { return store_.data(); }
   const T* data() const noexcept { return store_.data(); }
-  void fill(T v) { store_.assign(store_.size(), v); }
+  void fill(T v) { store_.fill(v); }
 
  private:
-  std::vector<T> store_;
+  mem::AlignedBuffer<T> store_;
   std::size_t n1_ = 0, n2_ = 0, n3_ = 0;
 };
 
@@ -130,10 +137,10 @@ class Array4 {
   std::size_t size() const noexcept { return store_.size(); }
   T* data() noexcept { return store_.data(); }
   const T* data() const noexcept { return store_.data(); }
-  void fill(T v) { store_.assign(store_.size(), v); }
+  void fill(T v) { store_.fill(v); }
 
  private:
-  std::vector<T> store_;
+  mem::AlignedBuffer<T> store_;
   std::size_t n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0;
 };
 
@@ -166,10 +173,10 @@ class Array5 {
   std::size_t size() const noexcept { return store_.size(); }
   T* data() noexcept { return store_.data(); }
   const T* data() const noexcept { return store_.data(); }
-  void fill(T v) { store_.assign(store_.size(), v); }
+  void fill(T v) { store_.fill(v); }
 
  private:
-  std::vector<T> store_;
+  mem::AlignedBuffer<T> store_;
   std::size_t n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0, n5_ = 0;
 };
 

@@ -4,21 +4,30 @@
 #include <vector>
 
 #include "array/policies.hpp"
+#include "mem/buffer.hpp"
 
 namespace npb {
 
 /// Dimension-preserving 3-D array — the translation option the paper
 /// *rejected*.  A Java `double[a][b][c]` is an array of arrays of arrays:
 /// each access chases two pointers and performs a bounds test per dimension.
-/// We model it with nested std::vectors; under the Checked policy each level
-/// is tested, under Unchecked the pointer chasing alone remains (isolating
-/// indirection cost from check cost in bench_ablation_arrays).
+/// We model it with nested std::vectors whose innermost line is a
+/// mem::AlignedBuffer, so each leaf row starts cache-line aligned (a JVM
+/// guarantees at most 8-byte alignment per leaf array; we give the
+/// dimension-preserving model the same base-alignment treatment as the
+/// linearized arrays to keep the ablation about indirection, not alignment).
+/// Leaf rows are line-sized — far below the first-touch page threshold — so
+/// placement stays with whichever thread constructs them.  Under the Checked
+/// policy each level is tested, under Unchecked the pointer chasing alone
+/// remains (isolating indirection cost from check cost in
+/// bench_ablation_arrays).
 template <class T, class P>
 class MdArray3 {
  public:
   MdArray3() = default;
   MdArray3(std::size_t n1, std::size_t n2, std::size_t n3, T init = T{})
-      : rows_(n1, std::vector<std::vector<T>>(n2, std::vector<T>(n3, init))),
+      : rows_(n1, std::vector<mem::AlignedBuffer<T>>(
+                      n2, mem::AlignedBuffer<T>(n3, init))),
         n1_(n1), n2_(n2), n3_(n3) {}
 
   T& operator()(std::size_t i, std::size_t j, std::size_t k) {
@@ -45,7 +54,7 @@ class MdArray3 {
   }
 
  private:
-  std::vector<std::vector<std::vector<T>>> rows_;
+  std::vector<std::vector<mem::AlignedBuffer<T>>> rows_;
   std::size_t n1_ = 0, n2_ = 0, n3_ = 0;
 };
 
@@ -55,8 +64,9 @@ class MdArray4 {
  public:
   MdArray4() = default;
   MdArray4(std::size_t n1, std::size_t n2, std::size_t n3, std::size_t n4, T init = T{})
-      : rows_(n1, std::vector<std::vector<std::vector<T>>>(
-                      n2, std::vector<std::vector<T>>(n3, std::vector<T>(n4, init)))),
+      : rows_(n1, std::vector<std::vector<mem::AlignedBuffer<T>>>(
+                      n2, std::vector<mem::AlignedBuffer<T>>(
+                              n3, mem::AlignedBuffer<T>(n4, init)))),
         n1_(n1), n2_(n2), n3_(n3), n4_(n4) {}
 
   T& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t m) {
@@ -87,7 +97,7 @@ class MdArray4 {
   }
 
  private:
-  std::vector<std::vector<std::vector<std::vector<T>>>> rows_;
+  std::vector<std::vector<std::vector<mem::AlignedBuffer<T>>>> rows_;
   std::size_t n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0;
 };
 
@@ -101,9 +111,10 @@ class MdArray5 {
   MdArray5(std::size_t n1, std::size_t n2, std::size_t n3, std::size_t n4,
            std::size_t n5, T init = T{})
       : rows_(n1,
-              std::vector<std::vector<std::vector<std::vector<T>>>>(
-                  n2, std::vector<std::vector<std::vector<T>>>(
-                          n3, std::vector<std::vector<T>>(n4, std::vector<T>(n5, init))))),
+              std::vector<std::vector<std::vector<mem::AlignedBuffer<T>>>>(
+                  n2, std::vector<std::vector<mem::AlignedBuffer<T>>>(
+                          n3, std::vector<mem::AlignedBuffer<T>>(
+                                  n4, mem::AlignedBuffer<T>(n5, init))))),
         n1_(n1), n2_(n2), n3_(n3), n4_(n4), n5_(n5) {}
 
   T& operator()(std::size_t i, std::size_t j, std::size_t k, std::size_t m,
@@ -140,7 +151,7 @@ class MdArray5 {
   }
 
  private:
-  std::vector<std::vector<std::vector<std::vector<std::vector<T>>>>> rows_;
+  std::vector<std::vector<std::vector<std::vector<mem::AlignedBuffer<T>>>>> rows_;
   std::size_t n1_ = 0, n2_ = 0, n3_ = 0, n4_ = 0, n5_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "bt/bt.hpp"
 
 #include "bt/bt_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -21,6 +22,7 @@ RunResult run_bt(const RunConfig& cfg) {
   using namespace bt_detail;
   const AppParams p = bt_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native
                           ? bt_run<Unchecked>(p, cfg.threads, topts)

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
@@ -101,14 +102,18 @@ void over_range(WorkerTeam* team, long n, const F& body) {
 
 template <class P>
 AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+  // Team before the fields: under FirstTouch each rank commits the
+  // k-plane slabs it will sweep, instead of every page faulting in on
+  // the master during init_fields.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const mem::ScopedTeamPlacement placement(team, topts.schedule);
+
   Fields<P> f(prm.n);
   init_fields(f);
   const long n = prm.n;
   const double dt = prm.dt;
-
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
   auto do_rhs = [&] {
     over_range(team, n, [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });

@@ -3,6 +3,7 @@
 #include "array/policies.hpp"
 #include "common/classes.hpp"
 #include "common/mode.hpp"
+#include "mem/options.hpp"
 #include "par/barrier.hpp"
 
 namespace npb {
@@ -36,6 +37,8 @@ struct CfdConfig {
   int threads = 0;  ///< 0 = serial path
   BarrierKind barrier = BarrierKind::CondVar;
   long warmup_spins = 0;
+  /// Allocation policy for the operand arrays (checksum-neutral).
+  mem::MemOptions mem{};
 };
 
 struct CfdResult {

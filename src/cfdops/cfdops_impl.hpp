@@ -10,6 +10,7 @@
 #include "array/mdarray.hpp"
 #include "cfdops/cfdops.hpp"
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
 
@@ -219,10 +220,14 @@ struct Kernels {
   }
 
   static CfdResult run(CfdOp op, const CfdConfig& cfg) {
+    const mem::ScopedMemConfig mem_scope(cfg.mem);
     std::optional<WorkerTeam> team_storage;
     if (cfg.threads > 0)
       team_storage.emplace(cfg.threads, TeamOptions{cfg.barrier, cfg.warmup_spins});
     WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+    // cfdops kernels partition statically (over()), so first-touch uses the
+    // default static schedule too.
+    const mem::ScopedTeamPlacement placement(team, Schedule{});
     switch (op) {
       case CfdOp::Assignment: return assignment(cfg, team);
       case CfdOp::FirstOrderStencil: return stencil(cfg, team, 1);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cg/cg_impl.hpp"
+#include "mem/mem.hpp"
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 
@@ -23,6 +24,7 @@ RunResult run_cg(const RunConfig& cfg) {
   using namespace cg_detail;
   const CgParams p = cg_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const CgOutput o = cfg.mode == Mode::Native
                          ? cg_run<Unchecked>(p, cfg.threads, topts)

@@ -12,6 +12,7 @@
 #include "cg/cg.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
@@ -242,6 +243,15 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
 
 template <class P>
 CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
+  // Thread creation happens at initialization (untimed), as in the paper —
+  // and *before* any allocation, so a FirstTouch placement can fault the
+  // matrix and vectors in on the ranks that will traverse them (the
+  // co-location the paper's CG warm-up trick was after).
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  const mem::ScopedTeamPlacement placement(
+      team_storage ? &*team_storage : nullptr, topts.schedule);
+
   const Csr<P> m = make_matrix<P>(p);
   const long n = m.n;
 
@@ -275,10 +285,6 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
   const int nranks = threads == 0 ? 1 : threads;
   std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(nranks));
   CgScalars sc;
-
-  // Thread creation happens at initialization (untimed), as in the paper.
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
 
   // Shared row queue for the scheduled mat-vec; armed here (the dispatch
   // publishes it), re-armed by rank 0 inside conj_grad between mat-vecs.

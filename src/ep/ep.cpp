@@ -5,6 +5,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "ep/ep_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -23,6 +24,7 @@ RunResult run_ep(const RunConfig& cfg) {
   using namespace ep_detail;
   const EpParams p = ep_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const EpOutput o = cfg.mode == Mode::Native
                          ? ep_run<Unchecked>(p.log2_pairs, cfg.threads, topts)

@@ -13,6 +13,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
@@ -91,6 +92,10 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
     out.q = acc.q;
   } else {
     WorkerTeam team(threads, topts);
+    // EP's only buffers are per-rank block scratch allocated on the workers
+    // themselves (already the right first touch); the scope keeps the mem
+    // context uniform across benchmarks.
+    const mem::ScopedTeamPlacement placement(&team, topts.schedule);
     std::vector<BlockAccum> partial(static_cast<std::size_t>(threads));
     // Blocks are independent (each seeds itself by skip-ahead), so any
     // schedule partitions them safely; per-rank accumulators keep the

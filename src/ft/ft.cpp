@@ -5,6 +5,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "ft/ft_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -23,6 +24,7 @@ RunResult run_ft(const RunConfig& cfg) {
   using namespace ft_detail;
   const FtParams p = ft_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const FtOutput o = cfg.mode == Mode::Native
                          ? ft_run<Unchecked>(p, cfg.threads, topts)

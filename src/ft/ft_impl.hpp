@@ -18,6 +18,7 @@
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
 #include "ft/ft.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
@@ -175,15 +176,20 @@ inline void initial_value(std::size_t e, double& vre, double& vim) {
 
 template <class P>
 FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
+  // Team first, then allocation: under FirstTouch the big field arrays are
+  // committed slab-by-slab on the ranks whose i1-planes they hold — FT's
+  // memory-pressure collapse in the paper is exactly the cost of streaming
+  // the whole field out of one node.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const mem::ScopedTeamPlacement placement(team, topts.schedule);
+
   const FtState<P> st(p.n1, p.n2, p.n3);
   const std::size_t total = st.total();
 
   Array1<double, P> vfre(total), vfim(total);  // frequency state
   Array1<double, P> wre(total), wim(total);    // per-timestep working copy
-
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
   // Untimed initialization: the random field, filled in flat order with two
   // randlc values per element (parallel-safe via skip-ahead).
@@ -228,14 +234,16 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
     st.fft3d(vfre, vfim, +1, team);
   }
 
-  // Per-dimension Gaussian decay factors, recomputed each timestep.
-  std::vector<double> e1(static_cast<std::size_t>(p.n1));
-  std::vector<double> e2(static_cast<std::size_t>(p.n2));
-  std::vector<double> e3(static_cast<std::size_t>(p.n3));
+  // Per-dimension Gaussian decay factors, recomputed each timestep.  Array1
+  // (not std::vector) so they get the same alignment/placement treatment —
+  // and the same java-mode bounds accounting — as every other buffer.
+  Array1<double, P> e1(static_cast<std::size_t>(p.n1));
+  Array1<double, P> e2(static_cast<std::size_t>(p.n2));
+  Array1<double, P> e3(static_cast<std::size_t>(p.n3));
   const double c = -4.0 * p.alpha * std::numbers::pi * std::numbers::pi;
 
   for (int t = 1; t <= p.iterations; ++t) {
-    auto fill_decay = [&](std::vector<double>& e, long n) {
+    auto fill_decay = [&](Array1<double, P>& e, long n) {
       for (long k = 0; k < n; ++k) {
         const long kt = k <= n / 2 ? k : k - n;
         e[static_cast<std::size_t>(k)] =

@@ -3,6 +3,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "is/is_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -21,6 +22,7 @@ RunResult run_is(const RunConfig& cfg) {
   using namespace is_detail;
   const IsParams p = is_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const IsOutput o =
       cfg.mode == Mode::Native

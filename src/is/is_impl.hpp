@@ -4,11 +4,13 @@
 // is_java.cpp (see ep_impl.hpp for the pattern).
 
 #include <array>
+#include <optional>
 #include <vector>
 
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
@@ -59,6 +61,13 @@ void is_rank_serial(const Array1<int, P>& keys, long nkeys, Array1<int, P>& hist
 template <class P>
 IsOutput is_run(const long nkeys, const long max_key, const int iterations,
                 int threads, const TeamOptions& topts) {
+  // Team before the key/histogram arrays so FirstTouch commits each rank's
+  // key slice locally.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  const mem::ScopedTeamPlacement placement(
+      team_storage ? &*team_storage : nullptr, topts.schedule);
+
   Array1<int, P> keys(static_cast<std::size_t>(nkeys));
   Array1<int, P> hist(static_cast<std::size_t>(max_key));
 
@@ -91,7 +100,7 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
     }
     out.seconds = wtime() - t0;
   } else {
-    WorkerTeam team(threads, topts);
+    WorkerTeam& team = *team_storage;
     // Per-thread private histograms (NPB OpenMP's work buffers).
     Array2<int, P> thread_hist(static_cast<std::size_t>(threads),
                                static_cast<std::size_t>(max_key));

@@ -1,6 +1,7 @@
 #include "lu/lu.hpp"
 
 #include "lu/lu_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -21,6 +22,7 @@ RunResult run_lu(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native
                           ? lu_run<Unchecked>(p, cfg.threads, topts)
@@ -39,6 +41,7 @@ RunResult run_lu_hp(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native
                           ? lu_run_hp<Unchecked>(p, cfg.threads, topts)

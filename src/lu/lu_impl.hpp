@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/pipeline.hpp"
@@ -133,15 +134,19 @@ void relax_upper(Fields<P>& f, double dt, long i, long j, long k, CellWork<P>& w
 
 template <class P>
 AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+  // Team before the fields: under FirstTouch each rank commits the
+  // k-plane slabs it will sweep, instead of every page faulting in on
+  // the master during init_fields.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const mem::ScopedTeamPlacement placement(team, topts.schedule);
+
   Fields<P> f(prm.n);
   init_fields(f);
   const long n = prm.n;
   const double dt = prm.dt;
   const double tmp = 1.0 / (kOmega * (2.0 - kOmega));
-
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
   auto do_rhs = [&] {
     if (team == nullptr) {
@@ -256,16 +261,20 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 /// pattern (and hence scalability) differs.
 template <class P>
 AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts) {
+  // Team before the fields: under FirstTouch each rank commits the
+  // k-plane slabs it will sweep, instead of every page faulting in on
+  // the master during init_fields.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const mem::ScopedTeamPlacement placement(team, topts.schedule);
+
   Fields<P> f(prm.n);
   init_fields(f);
   const long n = prm.n;
   const double dt = prm.dt;
   const double tmp = 1.0 / (kOmega * (2.0 - kOmega));
   const long hi = n - 2;  // interior indices 1..hi
-
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
   auto do_rhs = [&] {
     if (team == nullptr) {

@@ -2,6 +2,7 @@
 
 #include "common/classes.hpp"
 #include "common/mode.hpp"
+#include "mem/options.hpp"
 
 namespace npb {
 
@@ -21,6 +22,8 @@ struct LufactConfig {
   Mode mode = Mode::Native;
   LuAlgorithm alg = LuAlgorithm::Blas1;
   long block = 40;  ///< panel width for the blocked algorithm
+  /// Allocation policy for the matrix/vector buffers (checksum-neutral).
+  mem::MemOptions mem{};
 };
 
 struct LufactResult {

@@ -13,6 +13,7 @@
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
 #include "lufact/lufact.hpp"
+#include "mem/mem.hpp"
 
 namespace npb::lufact_detail {
 
@@ -186,6 +187,8 @@ void getrs_blocked(const Buf<P>& a, long n, const std::vector<long>& ipvt, Buf<P
 
 template <class P>
 LufactResult lufact_run(const LufactConfig& cfg) {
+  // Serial benchmark: the scope still honors alignment/huge-page options.
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
   const long n = cfg.n;
   Buf<P> a(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   Buf<P> aorig(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));

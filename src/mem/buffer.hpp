@@ -1,0 +1,110 @@
+#pragma once
+
+// AlignedBuffer<T>: the storage primitive under every benchmark array
+// (src/array).  Replaces the seed's std::vector backing with memory whose
+// alignment, page-commit policy, and lifetime are controlled by the mem
+// context:
+//
+//   * base address aligned to MemOptions::alignment (>= alignof(T)), with
+//     the optional 2 MiB huge-page hint,
+//   * no hidden value-initialization — the pages are committed by the
+//     explicit construction fill, which under Placement::FirstTouch runs on
+//     the worker team (place_fill) so each rank faults in its own slab,
+//   * released into the installed Arena (when one is live at construction),
+//     so a rep that re-creates the same arrays gets its warm pages back.
+//
+// T must be trivially copyable/destructible: these are raw numeric grids,
+// and the buffer memcpy-copies and never runs destructors.
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "mem/mem.hpp"
+
+namespace npb::mem {
+
+/// Tag: allocate without touching the pages at all (no fill, no commit).
+struct Uninitialized {};
+inline constexpr Uninitialized uninitialized{};
+
+template <class T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds raw numeric data only");
+
+ public:
+  AlignedBuffer() = default;
+
+  /// Allocates n elements and performs the committing touch with `value`
+  /// under the current placement policy.
+  explicit AlignedBuffer(std::size_t n, T value = T{}) : n_(n) {
+    alloc_ = acquire(n * sizeof(T), alignof(T));
+    place_fill(data(), n_, value);
+  }
+
+  /// Allocates n elements without touching the pages.  For buffers that are
+  /// fully written before first read (FFT scratch, per-rank workspaces).
+  AlignedBuffer(std::size_t n, Uninitialized) : n_(n) {
+    alloc_ = acquire(n * sizeof(T), alignof(T));
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : n_(other.n_) {
+    alloc_ = acquire(n_ * sizeof(T), alignof(T));
+    // A copy's pages are committed by the memcpy on the copying thread —
+    // copies are row-prototypes and result snapshots, not placed grids.
+    if (n_ > 0) std::memcpy(alloc_.p, other.alloc_.p, n_ * sizeof(T));
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : alloc_(std::exchange(other.alloc_, {})), n_(std::exchange(other.n_, 0)) {}
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    if (n_ != other.n_) {
+      release(alloc_);
+      n_ = other.n_;
+      alloc_ = acquire(n_ * sizeof(T), alignof(T));
+    }
+    if (n_ > 0) std::memcpy(alloc_.p, other.alloc_.p, n_ * sizeof(T));
+    return *this;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    release(alloc_);
+    alloc_ = std::exchange(other.alloc_, {});
+    n_ = std::exchange(other.n_, 0);
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(alloc_); }
+
+  T* data() noexcept { return static_cast<T*>(alloc_.p); }
+  const T* data() const noexcept { return static_cast<const T*>(alloc_.p); }
+  std::size_t size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + n_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + n_; }
+
+  /// Serial refill.  The pages are already committed (and placed) by
+  /// construction; mid-run fills must not re-dispatch onto the team.
+  void fill(T value) noexcept {
+    T* p = data();
+    for (std::size_t i = 0; i < n_; ++i) p[i] = value;
+  }
+
+ private:
+  Allocation alloc_{};
+  std::size_t n_ = 0;
+};
+
+}  // namespace npb::mem

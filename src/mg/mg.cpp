@@ -5,6 +5,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "mg/mg_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -23,6 +24,7 @@ RunResult run_mg(const RunConfig& cfg) {
   using namespace mg_detail;
   const MgParams p = mg_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const MgOutput o = cfg.mode == Mode::Native
                          ? mg_run<Unchecked>(p, cfg.threads, topts)

@@ -15,6 +15,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "mg/mg.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -250,6 +251,14 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   const int lt = prm.log2_n;
   const long n = 1L << lt;
 
+  // Team before grids: a FirstTouch placement then commits every level's
+  // pages plane-slab by plane-slab on the ranks that will smooth them.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const Schedule sched = topts.schedule;
+  const mem::ScopedTeamPlacement placement(team, sched);
+
   // Level l in [1, lt] has interior 2^l; index 0 unused.
   std::vector<Grid<P>> u(static_cast<std::size_t>(lt) + 1);
   std::vector<Grid<P>> r(static_cast<std::size_t>(lt) + 1);
@@ -261,11 +270,6 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   const auto sf = static_cast<std::size_t>(n + 2);
   Grid<P> v(sf, sf, sf);
   zran3(v, n);
-
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
-  const Schedule sched = topts.schedule;
 
   const obs::RegionId r_resid = obs::region("MG/resid");
   const obs::RegionId r_smooth = obs::region("MG/smooth");

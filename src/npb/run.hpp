@@ -5,6 +5,7 @@
 
 #include "common/classes.hpp"
 #include "common/mode.hpp"
+#include "mem/options.hpp"
 #include "obs/obs.hpp"
 #include "par/barrier.hpp"
 #include "par/schedule.hpp"
@@ -25,6 +26,11 @@ struct RunConfig {
   /// sparse mat-vec rows, IS's histogram phases, MG's per-plane operators,
   /// EP's blocks).  The structured pseudo-apps keep their static slabs.
   Schedule schedule{};
+  /// Allocation policy for the benchmark's arrays: alignment, serial vs
+  /// team first-touch page placement, huge-page hint.  Placement never
+  /// changes the values written, so checksums are identical under every
+  /// setting — only where the pages land differs.
+  mem::MemOptions mem{};
 };
 
 struct RunResult {

@@ -35,6 +35,9 @@ ObsRegistry::ObsRegistry()
   intern("team/barrier_wait");
   intern("team/pipeline_wait");
   intern("team/loop_iters");
+  intern("mem/bytes");
+  intern("mem/arena_hit");
+  intern("mem/first_touch");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -118,6 +121,18 @@ Snapshot ObsRegistry::snapshot() const {
         snap.loop_record_count = st.count;
         snap.loop_rank_iters = std::move(st.rank_seconds);
         snap.loop_rank_count = std::move(st.rank_count);
+        break;
+      case kRegionMemBytes:
+        snap.mem_bytes_allocated = st.seconds;
+        snap.mem_alloc_count = st.count;
+        break;
+      case kRegionMemArenaHit:
+        snap.mem_arena_hit_bytes = st.seconds;
+        snap.mem_arena_hit_count = st.count;
+        break;
+      case kRegionMemFirstTouch:
+        snap.first_touch_seconds = st.seconds;
+        snap.first_touch_count = st.count;
         break;
       default:
         snap.regions.push_back(std::move(st));

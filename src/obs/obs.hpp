@@ -19,6 +19,13 @@
 //                      "seconds" accumulator holds an iteration count here;
 //                      reports derive the per-rank distribution and its
 //                      max/mean imbalance from it)
+//   mem/bytes          fresh bytes obtained from the allocator by the mem
+//                      subsystem ("seconds" holds a byte count, like
+//                      loop_iters holds iterations; count = allocations)
+//   mem/arena_hit      bytes served from the arena pool instead of a fresh
+//                      allocation (count = pool hits)
+//   mem/first_touch    wall time of team-executed first-touch fills (real
+//                      seconds; count = placed fills)
 //
 // Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
 // no-ops (distinct inline namespace, so mixed translation units stay
@@ -68,6 +75,15 @@ struct Snapshot {
   std::vector<double> loop_rank_iters;
   std::vector<std::uint64_t> loop_rank_count;
 
+  /// mem/*: allocation traffic of the mem subsystem (bytes ride in the
+  /// seconds accumulators, exactly like loop_iters rides iterations).
+  double mem_bytes_allocated = 0.0;
+  std::uint64_t mem_alloc_count = 0;
+  double mem_arena_hit_bytes = 0.0;
+  std::uint64_t mem_arena_hit_count = 0;
+  double first_touch_seconds = 0.0;
+  std::uint64_t first_touch_count = 0;
+
   /// Max-over-mean of per-worker iteration counts in scheduled loops: 1.0 is
   /// perfectly balanced, nranks is one rank doing everything, 0.0 means no
   /// scheduled loop recorded.  Worker slots only (slot 0 falls back in when
@@ -96,7 +112,10 @@ inline constexpr RegionId kRegionDispatch = 1;
 inline constexpr RegionId kRegionBarrierWait = 2;
 inline constexpr RegionId kRegionPipelineWait = 3;
 inline constexpr RegionId kRegionLoopIters = 4;
-inline constexpr int kReservedRegions = 5;
+inline constexpr RegionId kRegionMemBytes = 5;
+inline constexpr RegionId kRegionMemArenaHit = 6;
+inline constexpr RegionId kRegionMemFirstTouch = 7;
+inline constexpr int kReservedRegions = 8;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;

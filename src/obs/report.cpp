@@ -85,6 +85,15 @@ std::string ObsReport::json() const {
     append_array(out, s.loop_rank_iters);
     out += ",\"loop_imbalance\":";
     append_number(out, s.loop_imbalance());
+    out += "},\"mem\":{\"alloc_count\":" + std::to_string(s.mem_alloc_count);
+    out += ",\"bytes_allocated\":";
+    append_number(out, s.mem_bytes_allocated);
+    out += ",\"arena_hit_count\":" + std::to_string(s.mem_arena_hit_count);
+    out += ",\"arena_hit_bytes\":";
+    append_number(out, s.mem_arena_hit_bytes);
+    out += ",\"first_touch_count\":" + std::to_string(s.first_touch_count);
+    out += ",\"first_touch_seconds\":";
+    append_number(out, s.first_touch_seconds);
     out += "},\"regions\":[";
     for (std::size_t r = 0; r < s.regions.size(); ++r) {
       const RegionStats& st = s.regions[r];
@@ -127,6 +136,11 @@ std::string ObsReport::csv() const {
     // imbalance row makes the flat file self-contained for schedule tables.
     row(en, "team/loop_iters", s.loop_iters_total, s.loop_record_count);
     row(en, "team/loop_imbalance", s.loop_imbalance(), s.loop_record_count);
+    // mem/bytes and mem/arena_hit ride byte counts in the seconds column,
+    // the same convention as loop_iters; mem/first_touch is real seconds.
+    row(en, "mem/bytes", s.mem_bytes_allocated, s.mem_alloc_count);
+    row(en, "mem/arena_hit", s.mem_arena_hit_bytes, s.mem_arena_hit_count);
+    row(en, "mem/first_touch", s.first_touch_seconds, s.first_touch_count);
     for (const RegionStats& st : s.regions) row(en, st.name, st.seconds, st.count);
   }
   return out;

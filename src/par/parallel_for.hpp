@@ -81,8 +81,9 @@ void parallel_ranges(WorkerTeam& team, long lo, long hi, const Body& body) {
 ///   Guided   are a pure function of the claim sequence (schedule_chunks),
 ///            and each chunk is summed serially by whichever rank claims it,
 ///            so the combine sees the same addends in the same order every
-///            run.  Costs one partials allocation per call — reductions on a
-///            dynamic schedule trade that for balance.
+///            run.  The chunk list and partials live in per-team scratch
+///            (chunk_scratch / partial_scratch), so this path is also
+///            allocation-free once the capacity has grown.
 template <class Body>
 double parallel_reduce_sum(WorkerTeam& team, Schedule sched, long lo, long hi,
                            const Body& body) {
@@ -99,8 +100,10 @@ double parallel_reduce_sum(WorkerTeam& team, Schedule sched, long lo, long hi,
     for (int t = 0; t < team.size(); ++t) total += partial[t].v;
     return total;
   }
-  const std::vector<Range> chunks = schedule_chunks(lo, hi, sched, team.size());
-  std::vector<double> partial(chunks.size(), 0.0);
+  std::vector<Range>& chunks = team.chunk_scratch();
+  schedule_chunks_into(chunks, lo, hi, sched, team.size());
+  std::vector<double>& partial = team.partial_scratch();
+  partial.assign(chunks.size(), 0.0);
   std::atomic<std::size_t> next{0};
   team.run([&](int rank) {
     long iters = 0;

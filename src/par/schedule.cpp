@@ -42,7 +42,14 @@ std::optional<Schedule> parse_schedule(std::string_view spec) {
 
 std::vector<Range> schedule_chunks(long lo, long hi, Schedule s, int nranks) {
   std::vector<Range> out;
-  if (hi <= lo) return out;
+  schedule_chunks_into(out, lo, hi, s, nranks);
+  return out;
+}
+
+void schedule_chunks_into(std::vector<Range>& out, long lo, long hi,
+                          Schedule s, int nranks) {
+  out.clear();
+  if (hi <= lo) return;
   if (nranks <= 0) nranks = 1;
   switch (s.kind) {
     case Schedule::Kind::Static:
@@ -67,7 +74,6 @@ std::vector<Range> schedule_chunks(long lo, long hi, Schedule s, int nranks) {
       break;
     }
   }
-  return out;
 }
 
 }  // namespace npb

@@ -86,6 +86,11 @@ inline long guided_next(long remaining, long min_chunk, int nranks) noexcept {
 /// chunk-ordered reduction and the property tests.
 std::vector<Range> schedule_chunks(long lo, long hi, Schedule s, int nranks);
 
+/// schedule_chunks into a caller-owned vector (cleared first), so hot paths
+/// can reuse one buffer's capacity across passes instead of allocating.
+void schedule_chunks_into(std::vector<Range>& out, long lo, long hi,
+                          Schedule s, int nranks);
+
 /// Atomic chunk-claiming work queue: one cache-line-padded cursor that ranks
 /// advance with relaxed increments (Dynamic) or a relaxed CAS loop (Guided).
 /// Relaxed is sufficient for the partitioning itself — claims only carve up

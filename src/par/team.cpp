@@ -5,6 +5,14 @@
 namespace npb {
 namespace {
 
+thread_local bool t_on_team_thread = false;
+
+}  // namespace
+
+bool on_team_thread() noexcept { return t_on_team_thread; }
+
+namespace {
+
 /// Floating-point busy work whose result escapes through a volatile so the
 /// optimizer cannot delete it.  Mirrors the "initialization section
 /// performing a large work in each thread" from the paper's CG study.
@@ -61,6 +69,7 @@ void WorkerTeam::dispatch(JobFn invoke, void* ctx) {
 }
 
 void WorkerTeam::worker_main(int rank) {
+  t_on_team_thread = true;
   obs::set_thread_rank(rank);
   if (opts_.warmup_spins > 0) warmup_spin(opts_.warmup_spins);
   unsigned long seen = 0;

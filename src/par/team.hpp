@@ -15,6 +15,13 @@
 
 namespace npb {
 
+/// True when the calling thread is a WorkerTeam worker (i.e. we are inside a
+/// run() body or worker startup).  The mem layer uses it to keep worker-side
+/// allocations from trying to dispatch a first-touch fill onto the team they
+/// are already part of — which would deadlock — and it stays meaningful in
+/// NPB_OBS_DISABLED builds where obs::thread_rank() is compiled to a stub.
+bool on_team_thread() noexcept;
+
 namespace detail {
 /// One cache line per rank, so concurrent per-rank writes (reduction
 /// partials, scratch results) never share a line.
@@ -93,6 +100,15 @@ class WorkerTeam {
   /// reduction.
   detail::PaddedDouble* reduce_scratch() noexcept { return scratch_.data(); }
 
+  /// Per-team scratch for the dynamic/guided reduction path: the chunk list
+  /// and the per-chunk partials, reused across calls so scheduled reductions
+  /// are allocation-free after their first invocation (the capacity sticks).
+  /// Valid while the team lives; contents are overwritten by each reduction,
+  /// so only one scheduled reduction may be in flight per team — the same
+  /// contract reduce_scratch() already imposes.
+  std::vector<Range>& chunk_scratch() noexcept { return chunk_scratch_; }
+  std::vector<double>& partial_scratch() noexcept { return partial_scratch_; }
+
  private:
   using JobFn = void (*)(void*, int);
 
@@ -108,6 +124,8 @@ class WorkerTeam {
   const TeamOptions opts_;
   std::unique_ptr<Barrier> barrier_;
   std::vector<detail::PaddedDouble> scratch_;
+  std::vector<Range> chunk_scratch_;
+  std::vector<double> partial_scratch_;
 
   std::mutex m_;
   std::condition_variable cv_start_;

@@ -1,6 +1,7 @@
 #include "sp/sp.hpp"
 
 #include "sp/sp_impl.hpp"
+#include "mem/mem.hpp"
 
 namespace npb {
 
@@ -21,6 +22,7 @@ RunResult run_sp(const RunConfig& cfg) {
   using namespace sp_detail;
   const AppParams p = sp_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native
                           ? sp_run<Unchecked>(p, cfg.threads, topts)

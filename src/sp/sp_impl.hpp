@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/team.hpp"
@@ -157,14 +158,18 @@ void over_range(WorkerTeam* team, long n, const F& body) {
 
 template <class P>
 AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+  // Team before the fields: under FirstTouch each rank commits the
+  // k-plane slabs it will sweep, instead of every page faulting in on
+  // the master during init_fields.
+  std::optional<WorkerTeam> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts);
+  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  const mem::ScopedTeamPlacement placement(team, topts.schedule);
+
   Fields<P> f(prm.n);
   init_fields(f);
   const long n = prm.n;
   const double dt = prm.dt;
-
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
 
   const obs::RegionId r_rhs = obs::region("SP/rhs");
   const obs::RegionId r_transform = obs::region("SP/transform");

@@ -368,13 +368,17 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   std::size_t lines = 0;
   for (char c : csv) lines += c == '\n' ? 1 : 0;
   // header + 6 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
-  // loop_iters, loop_imbalance) + 1 user region
-  EXPECT_EQ(lines, 8u);
+  // loop_iters, loop_imbalance) + 3 mem rows (bytes, arena_hit, first_touch)
+  // + 1 user region
+  EXPECT_EQ(lines, 11u);
   EXPECT_EQ(csv.rfind("benchmark,class,mode,threads,run_seconds,region,seconds,count\n", 0), 0u);
   EXPECT_NE(csv.find("team/run_span"), std::string::npos);
   EXPECT_NE(csv.find("team/barrier_wait"), std::string::npos);
   EXPECT_NE(csv.find("team/loop_iters"), std::string::npos);
   EXPECT_NE(csv.find("team/loop_imbalance"), std::string::npos);
+  EXPECT_NE(csv.find("mem/bytes"), std::string::npos);
+  EXPECT_NE(csv.find("mem/arena_hit"), std::string::npos);
+  EXPECT_NE(csv.find("mem/first_touch"), std::string::npos);
 }
 
 // ---- scheduled-loop iteration counters -------------------------------------

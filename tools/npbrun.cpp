@@ -3,6 +3,7 @@
 //
 //   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
 //          [--barrier=condvar|spin] [--schedule=static|dynamic[,C]|guided[,M]]
+//          [--mem-align=BYTES] [--first-touch] [--huge-pages]
 //          [--warmup] [--verbose]
 //          [--obs-report=FILE]   (JSON, or CSV when FILE ends in .csv)
 //
@@ -14,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/mem.hpp"
 #include "npb/registry.hpp"
 #include "obs/report.hpp"
 
@@ -24,7 +26,11 @@ void usage() {
       "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java]\n"
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
       "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
+      "              [--mem-align=BYTES] [--first-touch] [--huge-pages]\n"
       "              [--obs-report=FILE]\n"
+      "--mem-align takes a power of two (K/M suffixes allowed); --first-touch\n"
+      "initializes large arrays on the worker team with the compute schedule;\n"
+      "--huge-pages requests 2 MiB pages for buffers that large (Linux hint).\n"
       "--schedule picks the loop schedule for CG/IS/MG/EP threaded loops\n"
       "(pseudo-apps keep static slabs); dynamic/guided default CHUNK to\n"
       "n/(16*threads) and MIN_CHUNK to 1.\n"
@@ -71,6 +77,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.schedule = *s;
+    } else if (std::strncmp(a, "--mem-align=", 12) == 0) {
+      const auto al = npb::mem::parse_alignment(a + 12);
+      if (!al) {
+        std::fprintf(stderr, "bad alignment '%s' (want a power of two)\n", a + 12);
+        return 2;
+      }
+      cfg.mem.alignment = *al;
+    } else if (std::strcmp(a, "--first-touch") == 0) {
+      cfg.mem.placement = npb::mem::Placement::FirstTouch;
+    } else if (std::strcmp(a, "--huge-pages") == 0) {
+      cfg.mem.huge_pages = true;
     } else if (std::strcmp(a, "--warmup") == 0) {
       cfg.warmup_spins = 1000000;
     } else if (std::strcmp(a, "--verbose") == 0) {
@@ -96,6 +113,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // One arena per invocation: "all" runs reuse same-shape buffers across
+  // benchmarks instead of round-tripping through the OS allocator.
+  npb::mem::Arena arena;
+  const npb::mem::ScopedArena arena_scope(&arena);
 
   npb::obs::ObsReport report;
   int failures = 0;
