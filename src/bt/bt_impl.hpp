@@ -9,6 +9,7 @@
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 #include "pseudoapp/app.hpp"
 #include "pseudoapp/block_impl.hpp"
@@ -132,97 +133,149 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   out.rhs_initial = rhs_norms(f);
   out.err_initial = error_norms(f);
 
-  const double t0 = wtime();
-  for (int it = 0; it < prm.iterations; ++it) {
-    {
-      obs::ScopedTimer ot(r_rhs);
-      do_rhs();
-    }
-    // x sweep: lines along i, one per (j, k); partition j.
-    {
-    obs::ScopedTimer ot(r_xsolve);
-    over_range(team, n, [&](long lo, long hi) {
-      LineWork<P> ws(n);
-      for (long j = lo; j < hi; ++j)
+  // Phase bodies over a slab [lo, hi), shared verbatim by the fused and
+  // forked drivers below so both partition identically (bit-identical
+  // results either way).
+  // x sweep: lines along i, one per (j, k); partition j.
+  auto x_sweep = [&](long lo, long hi, LineWork<P>& ws) {
+    for (long j = lo; j < hi; ++j)
+      for (long k = 1; k < n - 1; ++k)
+        solve_line<P>(
+            f.sys, f.sys.ax, f.h, dt, n,
+            [&](long c) {
+              return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(k));
+            },
+            [&](long c, int m) {
+              return f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+            },
+            [&](long c, int m, double v) {
+              f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                    static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+            },
+            ws, true);
+  };
+  // y sweep: lines along j, one per (i, k); partition i.
+  auto y_sweep = [&](long lo, long hi, LineWork<P>& ws) {
+    for (long i = lo; i < hi; ++i)
+      for (long k = 1; k < n - 1; ++k)
+        solve_line<P>(
+            f.sys, f.sys.ay, f.h, dt, n,
+            [&](long c) {
+              return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                           static_cast<std::size_t>(k));
+            },
+            [&](long c, int m) {
+              return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                           static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+            },
+            [&](long c, int m, double v) {
+              f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                    static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+            },
+            ws, false);
+  };
+  // z sweep: lines along k, one per (i, j); partition i.
+  auto z_sweep = [&](long lo, long hi, LineWork<P>& ws) {
+    for (long i = lo; i < hi; ++i)
+      for (long j = 1; j < n - 1; ++j)
+        solve_line<P>(
+            f.sys, f.sys.az, f.h, dt, n,
+            [&](long c) {
+              return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(c));
+            },
+            [&](long c, int m) {
+              return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                           static_cast<std::size_t>(c), static_cast<std::size_t>(m));
+            },
+            [&](long c, int m, double v) {
+              f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                    static_cast<std::size_t>(c), static_cast<std::size_t>(m)) = v;
+            },
+            ws, false);
+  };
+  // add: u += dv.
+  auto add_phase = [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i)
+      for (long j = 1; j < n - 1; ++j)
         for (long k = 1; k < n - 1; ++k)
-          solve_line<P>(
-              f.sys, f.sys.ax, f.h, dt, n,
-              [&](long c) {
-                return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
-                             static_cast<std::size_t>(k));
-              },
-              [&](long c, int m) {
-                return f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
-                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-              },
-              [&](long c, int m, double v) {
-                f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
-                      static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
-              },
-              ws, true);
-    });
-    }
-    // y sweep: lines along j, one per (i, k); partition i.
-    {
-    obs::ScopedTimer ot(r_ysolve);
-    over_range(team, n, [&](long lo, long hi) {
-      LineWork<P> ws(n);
-      for (long i = lo; i < hi; ++i)
-        for (long k = 1; k < n - 1; ++k)
-          solve_line<P>(
-              f.sys, f.sys.ay, f.h, dt, n,
-              [&](long c) {
-                return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
-                             static_cast<std::size_t>(k));
-              },
-              [&](long c, int m) {
-                return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
-                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-              },
-              [&](long c, int m, double v) {
-                f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
-                      static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
-              },
-              ws, false);
-    });
-    }
-    // z sweep: lines along k, one per (i, j); partition i.
-    {
-    obs::ScopedTimer ot(r_zsolve);
-    over_range(team, n, [&](long lo, long hi) {
-      LineWork<P> ws(n);
-      for (long i = lo; i < hi; ++i)
-        for (long j = 1; j < n - 1; ++j)
-          solve_line<P>(
-              f.sys, f.sys.az, f.h, dt, n,
-              [&](long c) {
-                return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                             static_cast<std::size_t>(c));
-              },
-              [&](long c, int m) {
-                return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                             static_cast<std::size_t>(c), static_cast<std::size_t>(m));
-              },
-              [&](long c, int m, double v) {
+          for (int m = 0; m < kComps; ++m)
+            f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
                 f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                      static_cast<std::size_t>(c), static_cast<std::size_t>(m)) = v;
-              },
-              ws, false);
-    });
+                      static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+  };
+
+  const double t0 = wtime();
+  if (team != nullptr && topts.fused) {
+    // Fused: one team dispatch per time step.  All five ADI phases run
+    // resident inside one SPMD region, separated by in-region barriers; the
+    // line workspace is allocated once per rank per step instead of once
+    // per phase dispatch.
+    for (int it = 0; it < prm.iterations; ++it) {
+      spmd(*team, [&](ParallelRegion& rg, int rank) {
+        const Range r = partition(1, n - 1, rank, team->size());
+        LineWork<P> ws(n);
+        {
+          obs::ScopedTimer ot(r_rhs);
+          compute_rhs_planes(f, r.lo, r.hi);
+        }
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_xsolve);
+          x_sweep(r.lo, r.hi, ws);
+        }
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_ysolve);
+          y_sweep(r.lo, r.hi, ws);
+        }
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_zsolve);
+          z_sweep(r.lo, r.hi, ws);
+        }
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_add);
+          add_phase(r.lo, r.hi);
+        }
+      });
     }
-    // add: u += dv.
-    {
-    obs::ScopedTimer ot(r_add);
-    over_range(team, n, [&](long lo, long hi) {
-      for (long i = lo; i < hi; ++i)
-        for (long j = 1; j < n - 1; ++j)
-          for (long k = 1; k < n - 1; ++k)
-            for (int m = 0; m < kComps; ++m)
-              f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                  static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
-                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                        static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-    });
+  } else {
+    // Forked: one fork/join dispatch per phase (the paper's cost model).
+    for (int it = 0; it < prm.iterations; ++it) {
+      {
+        obs::ScopedTimer ot(r_rhs);
+        do_rhs();
+      }
+      {
+        obs::ScopedTimer ot(r_xsolve);
+        over_range(team, n, [&](long lo, long hi) {
+          LineWork<P> ws(n);
+          x_sweep(lo, hi, ws);
+        });
+      }
+      {
+        obs::ScopedTimer ot(r_ysolve);
+        over_range(team, n, [&](long lo, long hi) {
+          LineWork<P> ws(n);
+          y_sweep(lo, hi, ws);
+        });
+      }
+      {
+        obs::ScopedTimer ot(r_zsolve);
+        over_range(team, n, [&](long lo, long hi) {
+          LineWork<P> ws(n);
+          z_sweep(lo, hi, ws);
+        });
+      }
+      {
+        obs::ScopedTimer ot(r_add);
+        over_range(team, n, add_phase);
+      }
     }
   }
   out.seconds = wtime() - t0;

@@ -37,6 +37,9 @@ struct CfdConfig {
   int threads = 0;  ///< 0 = serial path
   BarrierKind barrier = BarrierKind::CondVar;
   long warmup_spins = 0;
+  /// One fused SPMD region across all reps (true) vs one fork/join per rep
+  /// (false); checksums are identical either way.
+  bool fused = true;
   /// Allocation policy for the operand arrays (checksum-neutral).
   mem::MemOptions mem{};
 };

@@ -12,6 +12,7 @@
 #include "common/wtime.hpp"
 #include "mem/mem.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb::cfdops_detail {
@@ -27,6 +28,31 @@ void over(WorkerTeam* team, long lo0, long hi0, const F& body) {
       body(r.lo, r.hi);
     });
   }
+}
+
+/// Runs body(lo, hi) over [lo0, hi0) `reps` times: serially, as one
+/// fork/join dispatch per repetition (fused=false, the paper's per-loop
+/// cost model), or as a single SPMD region whose ranks stay resident across
+/// repetitions separated by barriers (fused=true).  The static partition is
+/// identical in all three shapes, so checksums match bit-for-bit.
+template <class F>
+void over_reps(WorkerTeam* team, bool fused, int reps, long lo0, long hi0,
+               const F& body) {
+  if (team == nullptr) {
+    for (int rep = 0; rep < reps; ++rep) body(lo0, hi0);
+    return;
+  }
+  if (fused) {
+    spmd(*team, [&](ParallelRegion& rg, int rank) {
+      const Range r = partition(lo0, hi0, rank, rg.size());
+      for (int rep = 0; rep < reps; ++rep) {
+        body(r.lo, r.hi);
+        rg.barrier();
+      }
+    });
+    return;
+  }
+  for (int rep = 0; rep < reps; ++rep) over(team, lo0, hi0, body);
 }
 
 /// All five kernels over one (policy, array-family) combination.  A3/A4/A5
@@ -67,17 +93,15 @@ struct Kernels {
     fill3(in, cfg.n1, cfg.n2, cfg.n3, 1.0e-3);
     P::reset_counts();
     const double t0 = wtime();
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      over(team, 0, cfg.n1, [&](long lo, long hi) {
-        for (long i = lo; i < hi; ++i)
-          for (long j = 0; j < cfg.n2; ++j)
-            for (long k = 0; k < cfg.n3; ++k)
-              out(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                  static_cast<std::size_t>(k)) =
-                  in(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                     static_cast<std::size_t>(k));
-      });
-    }
+    over_reps(team, cfg.fused, cfg.reps, 0, cfg.n1, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i)
+        for (long j = 0; j < cfg.n2; ++j)
+          for (long k = 0; k < cfg.n3; ++k)
+            out(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k)) =
+                in(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                   static_cast<std::size_t>(k));
+    });
     const double secs = wtime() - t0;
     P::take_snapshot();
     return {secs, sum3(out, cfg.n1, cfg.n2, cfg.n3)};
@@ -95,27 +119,25 @@ struct Kernels {
     const long r = radius;
     P::reset_counts();
     const double t0 = wtime();
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      over(team, r, cfg.n1 - r, [&](long lo, long hi) {
-        for (long i = lo; i < hi; ++i)
-          for (long j = r; j < cfg.n2 - r; ++j)
-            for (long k = r; k < cfg.n3 - r; ++k) {
-              const auto I = static_cast<std::size_t>(i);
-              const auto J = static_cast<std::size_t>(j);
-              const auto K = static_cast<std::size_t>(k);
-              double v = c0 * in(I, J, K) +
-                         c1 * (in(I - 1, J, K) + in(I + 1, J, K) + in(I, J - 1, K) +
-                               in(I, J + 1, K) + in(I, J, K - 1) + in(I, J, K + 1));
-              P::flops(13);
-              if (radius == 2) {
-                v += c2 * (in(I - 2, J, K) + in(I + 2, J, K) + in(I, J - 2, K) +
-                           in(I, J + 2, K) + in(I, J, K - 2) + in(I, J, K + 2));
-                P::flops(7);
-              }
-              out(I, J, K) = v;
+    over_reps(team, cfg.fused, cfg.reps, r, cfg.n1 - r, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i)
+        for (long j = r; j < cfg.n2 - r; ++j)
+          for (long k = r; k < cfg.n3 - r; ++k) {
+            const auto I = static_cast<std::size_t>(i);
+            const auto J = static_cast<std::size_t>(j);
+            const auto K = static_cast<std::size_t>(k);
+            double v = c0 * in(I, J, K) +
+                       c1 * (in(I - 1, J, K) + in(I + 1, J, K) + in(I, J - 1, K) +
+                             in(I, J + 1, K) + in(I, J, K - 1) + in(I, J, K + 1));
+            P::flops(13);
+            if (radius == 2) {
+              v += c2 * (in(I - 2, J, K) + in(I + 2, J, K) + in(I, J - 2, K) +
+                         in(I, J + 2, K) + in(I, J, K - 2) + in(I, J, K + 2));
+              P::flops(7);
             }
-      });
-    }
+            out(I, J, K) = v;
+          }
+    });
     const double secs = wtime() - t0;
     P::take_snapshot();
     return {secs, sum3(out, cfg.n1, cfg.n2, cfg.n3)};
@@ -143,26 +165,24 @@ struct Kernels {
         }
     P::reset_counts();
     const double t0 = wtime();
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      over(team, 0, cfg.n1, [&](long lo, long hi) {
-        for (long i = lo; i < hi; ++i)
-          for (long j = 0; j < cfg.n2; ++j)
-            for (long k = 0; k < cfg.n3; ++k) {
-              const auto I = static_cast<std::size_t>(i);
-              const auto J = static_cast<std::size_t>(j);
-              const auto K = static_cast<std::size_t>(k);
-              for (std::size_t m = 0; m < 5; ++m) {
-                double s = 0.0;
-                for (std::size_t l = 0; l < 5; ++l) {
-                  s += mats(I, J, K, m, l) * vin(I, J, K, l);
-                  P::muladds(1);
-                }
-                vout(I, J, K, m) = s;
-                P::flops(10);
+    over_reps(team, cfg.fused, cfg.reps, 0, cfg.n1, [&](long lo, long hi) {
+      for (long i = lo; i < hi; ++i)
+        for (long j = 0; j < cfg.n2; ++j)
+          for (long k = 0; k < cfg.n3; ++k) {
+            const auto I = static_cast<std::size_t>(i);
+            const auto J = static_cast<std::size_t>(j);
+            const auto K = static_cast<std::size_t>(k);
+            for (std::size_t m = 0; m < 5; ++m) {
+              double s = 0.0;
+              for (std::size_t l = 0; l < 5; ++l) {
+                s += mats(I, J, K, m, l) * vin(I, J, K, l);
+                P::muladds(1);
               }
+              vout(I, J, K, m) = s;
+              P::flops(10);
             }
-      });
-    }
+          }
+    });
     const double secs = wtime() - t0;
     P::take_snapshot();
     double chk = 0.0;
@@ -186,26 +206,37 @@ struct Kernels {
               static_cast<std::size_t>(k), m) =
                 1.0e-6 * static_cast<double>((3 * i + 5 * j + 7 * k + 11 * static_cast<long>(m)) % 101);
     double total = 0.0;
-    const int nranks = team ? team->size() : 1;
-    std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(nranks));
+    auto body = [&](long lo, long hi) -> double {
+      double s = 0.0;
+      for (long i = lo; i < hi; ++i)
+        for (long j = 0; j < cfg.n2; ++j)
+          for (long k = 0; k < cfg.n3; ++k)
+            for (std::size_t m = 0; m < 5; ++m) {
+              s += q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(k), m);
+              P::flops(1);
+            }
+      return s;
+    };
     P::reset_counts();
     const double t0 = wtime();
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      auto body = [&](long lo, long hi) -> double {
-        double s = 0.0;
-        for (long i = lo; i < hi; ++i)
-          for (long j = 0; j < cfg.n2; ++j)
-            for (long k = 0; k < cfg.n3; ++k)
-              for (std::size_t m = 0; m < 5; ++m) {
-                s += q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                       static_cast<std::size_t>(k), m);
-                P::flops(1);
-              }
-        return s;
-      };
-      if (team == nullptr) {
-        total = body(0, cfg.n1);
-      } else {
+    if (team == nullptr) {
+      for (int rep = 0; rep < cfg.reps; ++rep) total = body(0, cfg.n1);
+    } else if (cfg.fused) {
+      // One region for all reps; the rank-ordered reduce_partials combine
+      // matches the forked master combine below bit-for-bit.
+      WorkerTeam& t = *team;
+      spmd(t, [&](ParallelRegion& rg, int rank) {
+        const Range r = partition(0, cfg.n1, rank, rg.size());
+        for (int rep = 0; rep < cfg.reps; ++rep) {
+          const double sum = rg.reduce_partials(rank, body(r.lo, r.hi));
+          if (rank == 0) total = sum;
+        }
+      });
+    } else {
+      std::vector<detail::PaddedDouble> partial(
+          static_cast<std::size_t>(team->size()));
+      for (int rep = 0; rep < cfg.reps; ++rep) {
         team->run([&](int rank) {
           const Range r = partition(0, cfg.n1, rank, team->size());
           partial[static_cast<std::size_t>(rank)].v = body(r.lo, r.hi);
@@ -223,7 +254,8 @@ struct Kernels {
     const mem::ScopedMemConfig mem_scope(cfg.mem);
     std::optional<WorkerTeam> team_storage;
     if (cfg.threads > 0)
-      team_storage.emplace(cfg.threads, TeamOptions{cfg.barrier, cfg.warmup_spins});
+      team_storage.emplace(cfg.threads, TeamOptions{cfg.barrier, cfg.warmup_spins,
+                                                    Schedule{}, cfg.fused});
     WorkerTeam* team = team_storage ? &*team_storage : nullptr;
     // cfdops kernels partition statically (over()), so first-touch uses the
     // default static schedule too.

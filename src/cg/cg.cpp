@@ -23,7 +23,7 @@ CgParams cg_params(ProblemClass cls) noexcept {
 RunResult run_cg(const RunConfig& cfg) {
   using namespace cg_detail;
   const CgParams p = cg_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const CgOutput o = cfg.mode == Mode::Native

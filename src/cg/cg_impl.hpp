@@ -15,6 +15,7 @@
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb::cg_detail {
@@ -142,57 +143,39 @@ double dot_rows(const Array1<double, P>& a, const Array1<double, P>& b, long lo,
   return s;
 }
 
-/// Shared scalar state for the SPMD conjugate-gradient solve.
+/// Scalar results of the conjugate-gradient solve, written by rank 0.
 struct CgScalars {
-  double rho = 0.0;
-  double rho0 = 0.0;
-  double alpha = 0.0;
-  double beta = 0.0;
-  double pq = 0.0;
-  double rnorm = 0.0;
+  double pq = 0.0;     ///< x'z stash for the master (fused norm phase)
+  double rnorm = 0.0;  ///< final true residual ||x - A z||
 };
 
-/// 25 CG iterations solving A z = x; returns ||x - A z||.  `lo`/`hi` is this
-/// rank's row block; single-threaded callers pass the whole range and a null
-/// team.  Reductions go through `partial` (rank-ordered, deterministic).
-///
-/// `queue` (nullable) schedules the sparse mat-vec rows — the loop whose
-/// per-row work varies with the nonzero count, the paper's load-imbalance
-/// case.  Row writes are disjoint so any claim order yields the same q
-/// bit-for-bit; the dot products stay on the static block partition, so the
-/// whole solve remains deterministic under every schedule.  Rank 0 re-arms
-/// the queue right after the barrier that follows each mat-vec: the next
-/// claim is always separated from the reset by at least one more barrier
-/// (the reduction's), which publishes it.
+/// 25 CG iterations solving A z = x; leaves ||x - A z|| in sc.rnorm
+/// (written by rank 0).  `rg` is the caller's open SPMD region; serial
+/// callers pass null with rank 0 of 1.  Dot products reduce rank-ordered
+/// over the static block partition (ParallelRegion::reduce_partials), so
+/// the solve is deterministic under every schedule; `sched` steers only the
+/// sparse mat-vec rows — the loop whose per-row work varies with the
+/// nonzero count, the paper's load-imbalance case.  Row writes are disjoint
+/// so any claim order yields the same q bit-for-bit, and the combine order
+/// matches the forked conj_grad_forked path exactly, so the two drivers
+/// produce bit-identical results for a fixed schedule and thread count.
 template <class P>
 void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z,
                Array1<double, P>& r, Array1<double, P>& pvec,
-               Array1<double, P>& q, int cg_iters, WorkerTeam* team, int rank,
-               int nranks, std::vector<detail::PaddedDouble>& partial,
-               CgScalars& sc, ChunkQueue* queue = nullptr,
-               Schedule sched = {}) {
+               Array1<double, P>& q, int cg_iters, ParallelRegion* rg, int rank,
+               int nranks, CgScalars& sc, Schedule sched = {}) {
   const Range blk = partition(0, m.n, rank, nranks);
   const long lo = blk.lo, hi = blk.hi;
   auto reduce = [&](double mine) -> double {
-    if (team == nullptr) return mine;
-    partial[static_cast<std::size_t>(rank)].v = mine;
-    team->barrier();
-    double s = 0.0;
-    for (int t = 0; t < nranks; ++t) s += partial[static_cast<std::size_t>(t)].v;
-    team->barrier();
-    return s;
+    return rg == nullptr ? mine : rg->reduce_partials(rank, mine);
   };
-  // Scheduled mat-vec followed by the join barrier and the queue re-arm.
-  auto spmv_sync = [&](const Array1<double, P>& in, Array1<double, P>& out) {
-    if (queue == nullptr) {
+  auto spmv = [&](const Array1<double, P>& in, Array1<double, P>& out) {
+    if (rg == nullptr) {
       spmv_rows(m, in, out, lo, hi);
-      if (team != nullptr) detail::record_loop_iters(rank, hi - lo);
-    } else {
-      claim_chunks(*queue, rank,
-                   [&](long rlo, long rhi) { spmv_rows(m, in, out, rlo, rhi); });
+      return;
     }
-    if (team != nullptr) team->barrier();
-    if (queue != nullptr && rank == 0) queue->reset(0, m.n, sched, nranks);
+    rg->ranges(rank, sched, 0, m.n,
+               [&](int, long rlo, long rhi) { spmv_rows(m, in, out, rlo, rhi); });
   };
 
   for (long i = lo; i < hi; ++i) {
@@ -200,25 +183,21 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
     r[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
     pvec[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
   }
-  if (team != nullptr) team->barrier();
-  const double rho_init = reduce(dot_rows<P>(r, r, lo, hi));
-  if (rank == 0) sc.rho = rho_init;
-  if (team != nullptr) team->barrier();
+  if (rg != nullptr) rg->barrier();  // the mat-vec reads every pvec block
+  double rho = reduce(dot_rows<P>(r, r, lo, hi));
 
   for (int it = 0; it < cg_iters; ++it) {
-    spmv_sync(pvec, q);
+    spmv(pvec, q);
     const double pq = reduce(dot_rows<P>(pvec, q, lo, hi));
-    const double alpha = sc.rho / pq;
-    const double rho0 = sc.rho;
+    const double alpha = rho / pq;
+    const double rho0 = rho;
     for (long i = lo; i < hi; ++i) {
       z[static_cast<std::size_t>(i)] += alpha * pvec[static_cast<std::size_t>(i)];
       r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
       P::muladds(2);
     }
     P::flops(4 * (hi - lo));
-    if (team != nullptr) team->barrier();
-    const double rho = reduce(dot_rows<P>(r, r, lo, hi));
-    if (rank == 0) sc.rho = rho;
+    rho = reduce(dot_rows<P>(r, r, lo, hi));
     const double beta = rho / rho0;
     for (long i = lo; i < hi; ++i) {
       pvec[static_cast<std::size_t>(i)] =
@@ -226,11 +205,11 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
       P::muladds(1);
     }
     P::flops(2 * (hi - lo));
-    if (team != nullptr) team->barrier();
+    if (rg != nullptr) rg->barrier();  // publish pvec (and, last round, z)
   }
 
   // True residual ||x - A z||.
-  spmv_sync(z, q);
+  spmv(z, q);
   double local = 0.0;
   for (long i = lo; i < hi; ++i) {
     const double d = x[static_cast<std::size_t>(i)] - q[static_cast<std::size_t>(i)];
@@ -238,7 +217,72 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
   }
   const double sumsq = reduce(local);
   if (rank == 0) sc.rnorm = std::sqrt(sumsq);
-  if (team != nullptr) team->barrier();
+}
+
+/// Fork/join comparator for conj_grad: the same solve as one dispatch per
+/// parallel loop, for --fused=off.  Dot products use Static
+/// parallel_reduce_sum (rank-ordered combine over the same block
+/// partition), the mat-vec uses `sched`, so results are bit-identical to
+/// the fused path.
+template <class P>
+void conj_grad_forked(const Csr<P>& m, const Array1<double, P>& x,
+                      Array1<double, P>& z, Array1<double, P>& r,
+                      Array1<double, P>& pvec, Array1<double, P>& q,
+                      int cg_iters, WorkerTeam& team, CgScalars& sc,
+                      Schedule sched) {
+  const long n = m.n;
+  auto spmv = [&](const Array1<double, P>& in, Array1<double, P>& out) {
+    parallel_ranges(team, sched, 0, n, [&](int, long rlo, long rhi) {
+      spmv_rows(m, in, out, rlo, rhi);
+    });
+  };
+  auto dot = [&](const Array1<double, P>& a, const Array1<double, P>& b) {
+    return parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+      P::muladds(1);
+      return a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    });
+  };
+
+  parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
+    for (long i = lo; i < hi; ++i) {
+      z[static_cast<std::size_t>(i)] = 0.0;
+      r[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+      pvec[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+    }
+  });
+  double rho = dot(r, r);
+
+  for (int it = 0; it < cg_iters; ++it) {
+    spmv(pvec, q);
+    const double pq = dot(pvec, q);
+    const double alpha = rho / pq;
+    const double rho0 = rho;
+    parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
+      for (long i = lo; i < hi; ++i) {
+        z[static_cast<std::size_t>(i)] += alpha * pvec[static_cast<std::size_t>(i)];
+        r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+        P::muladds(2);
+      }
+      P::flops(4 * (hi - lo));
+    });
+    rho = dot(r, r);
+    const double beta = rho / rho0;
+    parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
+      for (long i = lo; i < hi; ++i) {
+        pvec[static_cast<std::size_t>(i)] =
+            r[static_cast<std::size_t>(i)] + beta * pvec[static_cast<std::size_t>(i)];
+        P::muladds(1);
+      }
+      P::flops(2 * (hi - lo));
+    });
+  }
+
+  spmv(z, q);
+  const double sumsq = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+    const double d = x[static_cast<std::size_t>(i)] - q[static_cast<std::size_t>(i)];
+    return d * d;
+  });
+  sc.rnorm = std::sqrt(sumsq);
 }
 
 template <class P>
@@ -282,17 +326,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
     out.spd_probe = minratio;
   }
 
-  const int nranks = threads == 0 ? 1 : threads;
-  std::vector<detail::PaddedDouble> partial(static_cast<std::size_t>(nranks));
   CgScalars sc;
-
-  // Shared row queue for the scheduled mat-vec; armed here (the dispatch
-  // publishes it), re-armed by rank 0 inside conj_grad between mat-vecs.
   const Schedule sched = topts.schedule;
-  const bool scheduled = threads > 0 && sched.kind != Schedule::Kind::Static;
-  ChunkQueue row_queue;
-  if (scheduled) row_queue.reset(0, n, sched, threads);
-  ChunkQueue* const queue = scheduled ? &row_queue : nullptr;
 
   const obs::RegionId r_cg = obs::region("CG/conj_grad");
   const obs::RegionId r_norm = obs::region("CG/norm");
@@ -303,8 +338,7 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
     for (int outer = 1; outer <= p.niter; ++outer) {
       {
         obs::ScopedTimer ot(r_cg);
-        conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, partial, sc,
-                  nullptr, sched);
+        conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, sc, sched);
       }
       obs::ScopedTimer ot(r_norm);
       double xz = 0.0, zz = 0.0;
@@ -318,16 +352,18 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
       for (long i = 0; i < n; ++i)
         x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
     }
-  } else {
+  } else if (topts.fused) {
+    // Fused: the whole outer iteration — solve plus norm phase — is one
+    // SPMD region, so the team stays resident across all of CG's dots,
+    // axpys and mat-vecs (this is the shape the paper's hand-threaded CG
+    // already had; it now goes through the shared ParallelRegion API).
     WorkerTeam& team = *team_storage;
     for (int outer = 1; outer <= p.niter; ++outer) {
-      std::vector<detail::PaddedDouble> xz_p(static_cast<std::size_t>(threads));
-      std::vector<detail::PaddedDouble> zz_p(static_cast<std::size_t>(threads));
-      team.run([&](int rank) {
+      spmd(team, [&](ParallelRegion& rg, int rank) {
         {
           obs::ScopedTimer ot(r_cg);
-          conj_grad(m, x, z, r, pvec, q, p.cg_iters, &team, rank, threads, partial,
-                    sc, queue, sched);
+          conj_grad(m, x, z, r, pvec, q, p.cg_iters, &rg, rank, threads, sc,
+                    sched);
         }
         obs::ScopedTimer ot(r_norm);
         const Range blk = partition(0, n, rank, threads);
@@ -336,22 +372,39 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
           xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
           zz += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
         }
-        xz_p[static_cast<std::size_t>(rank)].v = xz;
-        zz_p[static_cast<std::size_t>(rank)].v = zz;
-        team.barrier();
-        double xz_all = 0.0, zz_all = 0.0;
-        for (int t = 0; t < threads; ++t) {
-          xz_all += xz_p[static_cast<std::size_t>(t)].v;
-          zz_all += zz_p[static_cast<std::size_t>(t)].v;
-        }
+        const double xz_all = rg.reduce_partials(rank, xz);
+        const double zz_all = rg.reduce_partials(rank, zz);
         const double znorm = 1.0 / std::sqrt(zz_all);
         for (long i = blk.lo; i < blk.hi; ++i)
           x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
         if (rank == 0) sc.pq = xz_all;  // stash for master
-        team.barrier();
       });
       zeta = p.shift + 1.0 / sc.pq;
       out.zeta_sum += zeta;
+    }
+  } else {
+    // Forked: one dispatch per parallel loop — the per-loop fork/join cost
+    // the paper's overhead decomposition charges against Java's model.
+    WorkerTeam& team = *team_storage;
+    for (int outer = 1; outer <= p.niter; ++outer) {
+      {
+        obs::ScopedTimer ot(r_cg);
+        conj_grad_forked(m, x, z, r, pvec, q, p.cg_iters, team, sc, sched);
+      }
+      obs::ScopedTimer ot(r_norm);
+      const double xz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+        return x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+      });
+      const double zz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+        return z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+      });
+      zeta = p.shift + 1.0 / xz;
+      out.zeta_sum += zeta;
+      const double znorm = 1.0 / std::sqrt(zz);
+      parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
+        for (long i = lo; i < hi; ++i)
+          x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
+      });
     }
   }
   out.seconds = wtime() - t0;

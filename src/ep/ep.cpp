@@ -23,7 +23,7 @@ EpParams ep_params(ProblemClass cls) noexcept {
 RunResult run_ep(const RunConfig& cfg) {
   using namespace ep_detail;
   const EpParams p = ep_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const EpOutput o = cfg.mode == Mode::Native

@@ -6,6 +6,7 @@
 // bottom keep other translation units from instantiating it implicitly.
 
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb::ep_detail {
@@ -96,30 +98,55 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
     // themselves (already the right first touch); the scope keeps the mem
     // context uniform across benchmarks.
     const mem::ScopedTeamPlacement placement(&team, topts.schedule);
-    std::vector<BlockAccum> partial(static_cast<std::size_t>(threads));
     // Blocks are independent (each seeds itself by skip-ahead), so any
-    // schedule partitions them safely; per-rank accumulators keep the
-    // combine below rank-ordered whatever the claim interleaving.
+    // schedule partitions them safely.  Static keeps one accumulator per
+    // rank, combined in rank order; Dynamic/Guided accumulate per *chunk*
+    // and combine in chunk order — chunk boundaries are a pure function of
+    // the schedule, so the sums no longer depend on which rank wins each
+    // claim race, and the fused and forked drivers (which share rank_body)
+    // are bit-identical.
     const Schedule sched = topts.schedule;
-    ChunkQueue queue;
-    if (sched.kind != Schedule::Kind::Static)
-      queue.reset(0, nblocks, sched, threads);
-    team.run([&](int rank) {
+    std::vector<BlockAccum> partial;
+    std::vector<Range> chunks;
+    alignas(64) std::atomic<std::size_t> cursor{0};
+    if (sched.kind == Schedule::Kind::Static) {
+      partial.assign(static_cast<std::size_t>(threads), BlockAccum{});
+    } else {
+      schedule_chunks_into(chunks, 0, nblocks, sched, threads);
+      partial.assign(chunks.size(), BlockAccum{});
+    }
+    auto rank_body = [&](int rank) {
       Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
-      BlockAccum acc;
       obs::ScopedTimer ot(r_blocks);
       if (sched.kind == Schedule::Kind::Static) {
+        BlockAccum acc;
         const Range r = partition(0, nblocks, rank, threads);
         for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
         detail::record_loop_iters(rank, r.size());
+        partial[static_cast<std::size_t>(rank)] = acc;
       } else {
-        claim_chunks(queue, rank, [&](long blo, long bhi) {
-          for (long b = blo; b < bhi; ++b) ep_block<P>(b, buf, acc);
-        });
+        long iters = 0;
+        for (;;) {
+          const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (c >= chunks.size()) break;
+          BlockAccum acc;
+          for (long b = chunks[c].lo; b < chunks[c].hi; ++b)
+            ep_block<P>(b, buf, acc);
+          partial[c] = acc;
+          iters += chunks[c].size();
+        }
+        detail::record_loop_iters(rank, iters);
       }
-      partial[static_cast<std::size_t>(rank)] = acc;
-    });
-    // Rank-ordered combine keeps the result deterministic per thread count.
+    };
+    // EP is embarrassingly parallel — a single dispatch either way; fusion
+    // just routes it through the SPMD region entry so team/region_span and
+    // the dispatch count line up with the other benchmarks' tables.
+    if (topts.fused) {
+      spmd(team, [&](ParallelRegion&, int rank) { rank_body(rank); });
+    } else {
+      team.run(rank_body);
+    }
+    // Deterministic combine: rank order (Static) or chunk order.
     for (const BlockAccum& acc : partial) {
       out.sx += acc.sx;
       out.sy += acc.sy;

@@ -23,7 +23,7 @@ FtParams ft_params(ProblemClass cls) noexcept {
 RunResult run_ft(const RunConfig& cfg) {
   using namespace ft_detail;
   const FtParams p = ft_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const FtOutput o = cfg.mode == Mode::Native

@@ -21,6 +21,7 @@
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb::ft_detail {
@@ -125,13 +126,40 @@ struct FtState {
            static_cast<std::size_t>(n3);
   }
 
+  /// The three 1-D pass sweeps, expressed against a generic driver so the
+  /// forked (fft3d) and fused (fft3d_region) transforms share the pass
+  /// bodies verbatim: `run_pass(outer_n, line_of)` must run line_of(o, sre,
+  /// sim) for every o in [0, outer_n) across whatever execution shape it
+  /// owns, finishing each pass before the next starts.
+  template <class RunPass>
+  void fft_passes(Array1<double, P>& re, Array1<double, P>& im, int sign,
+                  const RunPass& run_pass) const {
+    const auto s23 = static_cast<std::size_t>(n2) * static_cast<std::size_t>(n3);
+
+    // Along i3 (contiguous): one line per (i1, i2).
+    run_pass(n1 * n2, [&](long o, Array1<double, P>& sre, Array1<double, P>& sim) {
+      fft_line(re, im, static_cast<std::size_t>(o) * static_cast<std::size_t>(n3), 1,
+               n3, tw3, sign, sre, sim);
+    });
+    // Along i2 (stride n3): one line per (i1, i3).
+    run_pass(n1 * n3, [&](long o, Array1<double, P>& sre, Array1<double, P>& sim) {
+      const long i1 = o / n3;
+      const long i3 = o % n3;
+      fft_line(re, im,
+               static_cast<std::size_t>(i1) * s23 + static_cast<std::size_t>(i3),
+               static_cast<std::size_t>(n3), n2, tw2, sign, sre, sim);
+    });
+    // Along i1 (stride n2*n3): one line per (i2, i3).
+    run_pass(n2 * n3, [&](long o, Array1<double, P>& sre, Array1<double, P>& sim) {
+      fft_line(re, im, static_cast<std::size_t>(o), s23, n1, tw1, sign, sre, sim);
+    });
+  }
+
   /// 3-D transform of (re, im), forward or inverse, optionally on a team.
   void fft3d(Array1<double, P>& re, Array1<double, P>& im, int sign,
              WorkerTeam* team) const {
     const long maxn = std::max({n1, n2, n3});
-    const auto s23 = static_cast<std::size_t>(n2) * static_cast<std::size_t>(n3);
-
-    auto pass = [&](long outer_n, auto&& line_of) {
+    fft_passes(re, im, sign, [&](long outer_n, auto&& line_of) {
       if (team == nullptr) {
         Array1<double, P> sre(static_cast<std::size_t>(maxn));
         Array1<double, P> sim(static_cast<std::size_t>(maxn));
@@ -144,24 +172,20 @@ struct FtState {
           for (long o = rg.lo; o < rg.hi; ++o) line_of(o, sre, sim);
         });
       }
-    };
+    });
+  }
 
-    // Along i3 (contiguous): one line per (i1, i2).
-    pass(n1 * n2, [&](long o, Array1<double, P>& sre, Array1<double, P>& sim) {
-      fft_line(re, im, static_cast<std::size_t>(o) * static_cast<std::size_t>(n3), 1,
-               n3, tw3, sign, sre, sim);
-    });
-    // Along i2 (stride n3): one line per (i1, i3).
-    pass(n1 * n3, [&](long o, Array1<double, P>& sre, Array1<double, P>& sim) {
-      const long i1 = o / n3;
-      const long i3 = o % n3;
-      fft_line(re, im,
-               static_cast<std::size_t>(i1) * s23 + static_cast<std::size_t>(i3),
-               static_cast<std::size_t>(n3), n2, tw2, sign, sre, sim);
-    });
-    // Along i1 (stride n2*n3): one line per (i2, i3).
-    pass(n2 * n3, [&](long o, Array1<double, P>& sre, Array1<double, P>& sim) {
-      fft_line(re, im, static_cast<std::size_t>(o), s23, n1, tw1, sign, sre, sim);
+  /// In-region 3-D transform: collective — every rank of an open SPMD
+  /// region calls it with its rank and its own scratch pair (capacity
+  /// max(n1,n2,n3)); passes are separated by region barriers.  Partitioning
+  /// matches fft3d's forked dispatches, so results are bit-identical.
+  void fft3d_region(Array1<double, P>& re, Array1<double, P>& im, int sign,
+                    ParallelRegion& region, int rank, int nranks,
+                    Array1<double, P>& sre, Array1<double, P>& sim) const {
+    fft_passes(re, im, sign, [&](long outer_n, auto&& line_of) {
+      const Range rg = partition(0, outer_n, rank, nranks);
+      for (long o = rg.lo; o < rg.hi; ++o) line_of(o, sre, sim);
+      region.barrier();
     });
   }
 };
@@ -250,10 +274,6 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
             std::exp(c * static_cast<double>(t) * static_cast<double>(kt * kt));
       }
     };
-    fill_decay(e1, p.n1);
-    fill_decay(e2, p.n2);
-    fill_decay(e3, p.n3);
-
     // evolve: w = vf * e1[k1] e2[k2] e3[k3]
     auto evolve = [&](long lo1, long hi1) {
       for (long k1 = lo1; k1 < hi1; ++k1)
@@ -274,21 +294,49 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
           }
         }
     };
-    {
-      obs::ScopedTimer ot(r_evolve);
-      if (team == nullptr) {
-        evolve(0, p.n1);
-      } else {
-        team->run([&](int rank) {
-          const Range rg = partition(0, p.n1, rank, threads);
-          evolve(rg.lo, rg.hi);
-        });
+    if (team != nullptr && topts.fused) {
+      // Fused: decay tables, evolve, and all three inverse-FFT passes run
+      // resident in one dispatch per time step; each rank keeps one scratch
+      // line pair for the whole region instead of one per pass dispatch.
+      const long maxn = std::max({p.n1, p.n2, p.n3});
+      spmd(*team, [&](ParallelRegion& rg, int rank) {
+        Array1<double, P> sre(static_cast<std::size_t>(maxn));
+        Array1<double, P> sim(static_cast<std::size_t>(maxn));
+        if (rank == 0) {
+          fill_decay(e1, p.n1);
+          fill_decay(e2, p.n2);
+          fill_decay(e3, p.n3);
+        }
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_evolve);
+          const Range r = partition(0, p.n1, rank, threads);
+          evolve(r.lo, r.hi);
+        }
+        rg.barrier();
+        obs::ScopedTimer ot(r_fft);
+        st.fft3d_region(wre, wim, -1, rg, rank, threads, sre, sim);
+      });
+    } else {
+      fill_decay(e1, p.n1);
+      fill_decay(e2, p.n2);
+      fill_decay(e3, p.n3);
+      {
+        obs::ScopedTimer ot(r_evolve);
+        if (team == nullptr) {
+          evolve(0, p.n1);
+        } else {
+          team->run([&](int rank) {
+            const Range rg = partition(0, p.n1, rank, threads);
+            evolve(rg.lo, rg.hi);
+          });
+        }
       }
-    }
 
-    {
-      obs::ScopedTimer ot(r_fft);
-      st.fft3d(wre, wim, -1, team);
+      {
+        obs::ScopedTimer ot(r_fft);
+        st.fft3d(wre, wim, -1, team);
+      }
     }
 
     // Checksum 1024 scattered elements.

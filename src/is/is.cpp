@@ -21,7 +21,7 @@ IsParams is_params(ProblemClass cls) noexcept {
 RunResult run_is(const RunConfig& cfg) {
   using namespace is_detail;
   const IsParams p = is_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const IsOutput o =

@@ -13,6 +13,7 @@
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb::is_detail {
@@ -116,62 +117,65 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
     // into cold cache lines hand work over instead of stretching the
     // barrier — the paper's "small per-thread work in IS" pain point.
     const Schedule sched = topts.schedule;
-    const bool scheduled = sched.kind != Schedule::Kind::Static;
-    ChunkQueue key_queue, bucket_queue;
+
+    // Phase bodies, shared by the fused and forked drivers so both produce
+    // the same (integer) histogram however the phases are dispatched.
+    // Phase 1: private histogram over a share of the keys.
+    auto zero_row = [&](int rank) {
+      for (long k = 0; k < max_key; ++k)
+        thread_hist(static_cast<std::size_t>(rank), static_cast<std::size_t>(k)) = 0;
+    };
+    auto count_keys = [&](int rank, long lo, long hi) {
+      const auto r = static_cast<std::size_t>(rank);
+      for (long i = lo; i < hi; ++i)
+        thread_hist(r, static_cast<std::size_t>(keys[static_cast<std::size_t>(i)]))++;
+    };
+    // Phase 2: merge private histograms over a share of the buckets (each
+    // bucket written exactly once).
+    auto merge_buckets = [&](long lo, long hi) {
+      for (long k = lo; k < hi; ++k) {
+        int sum = 0;
+        for (int t = 0; t < threads; ++t)
+          sum += thread_hist(static_cast<std::size_t>(t), static_cast<std::size_t>(k));
+        hist[static_cast<std::size_t>(k)] = sum;
+      }
+    };
+    // Phase 3: the scan is inherently sequential over buckets (the paper's
+    // point about small per-thread work in IS).
+    auto scan = [&] {
+      for (long k = 1; k < max_key; ++k)
+        hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
+    };
 
     const double t0 = wtime();
     for (int it = 1; it <= iterations; ++it) {
-      keys[static_cast<std::size_t>(it)] = it;
-      keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
-      if (scheduled) {
-        // Armed by the master between runs; the dispatch publishes both.
-        key_queue.reset(0, nkeys, sched, threads);
-        bucket_queue.reset(0, max_key, sched, threads);
-      }
-      {
-      obs::ScopedTimer ot(r_rank);
-      team.run([&](int rank) {
-        const auto r = static_cast<std::size_t>(rank);
-        // Phase 1: private histogram over this rank's share of the keys.
-        for (long k = 0; k < max_key; ++k)
-          thread_hist(r, static_cast<std::size_t>(k)) = 0;
-        auto count_keys = [&](long lo, long hi) {
-          for (long i = lo; i < hi; ++i)
-            thread_hist(r, static_cast<std::size_t>(keys[static_cast<std::size_t>(i)]))++;
-        };
-        if (scheduled) {
-          claim_chunks(key_queue, rank, count_keys);
-        } else {
-          const Range ks = partition(0, nkeys, rank, threads);
-          count_keys(ks.lo, ks.hi);
-          detail::record_loop_iters(rank, ks.size());
-        }
-        team.barrier();
-        // Phase 2: merge private histograms over this rank's share of the
-        // buckets (each bucket written exactly once).
-        auto merge_buckets = [&](long lo, long hi) {
-          for (long k = lo; k < hi; ++k) {
-            int sum = 0;
-            for (int t = 0; t < threads; ++t)
-              sum += thread_hist(static_cast<std::size_t>(t), static_cast<std::size_t>(k));
-            hist[static_cast<std::size_t>(k)] = sum;
+      if (topts.fused) {
+        // Fused: key modification, both histogram phases and the scan run
+        // resident in one dispatch per iteration.
+        obs::ScopedTimer ot(r_rank);
+        spmd(team, [&](ParallelRegion& rg, int rank) {
+          if (rank == 0) {
+            keys[static_cast<std::size_t>(it)] = it;
+            keys[static_cast<std::size_t>(nkeys - it)] =
+                static_cast<int>(max_key - it);
           }
-        };
-        if (scheduled) {
-          claim_chunks(bucket_queue, rank, merge_buckets);
-        } else {
-          const Range bs = partition(0, max_key, rank, threads);
-          merge_buckets(bs.lo, bs.hi);
-          detail::record_loop_iters(rank, bs.size());
-        }
-        team.barrier();
-        // Phase 3: the scan is inherently sequential over buckets; rank 0
-        // performs it (the paper's point about small per-thread work in IS).
-        if (rank == 0) {
-          for (long k = 1; k < max_key; ++k)
-            hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
-        }
-      });
+          zero_row(rank);
+          rg.barrier();  // publish the modified keys
+          rg.ranges(rank, sched, 0, nkeys, count_keys);
+          rg.ranges(rank, sched, 0, max_key,
+                    [&](int, long lo, long hi) { merge_buckets(lo, hi); });
+          if (rank == 0) scan();
+        });
+      } else {
+        // Forked: one dispatch per phase (zero, count, merge), master scan.
+        keys[static_cast<std::size_t>(it)] = it;
+        keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
+        obs::ScopedTimer ot(r_rank);
+        team.run(zero_row);
+        parallel_ranges(team, sched, 0, nkeys, count_keys);
+        parallel_ranges(team, sched, 0, max_key,
+                        [&](int, long lo, long hi) { merge_buckets(lo, hi); });
+        scan();
       }
       double ps = 0.0;
       for (long pi : probe)

@@ -21,7 +21,7 @@ pseudoapp::AppParams lu_params(ProblemClass cls) noexcept {
 RunResult run_lu(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native
@@ -40,7 +40,7 @@ RunResult run_lu(const RunConfig& cfg) {
 RunResult run_lu_hp(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native

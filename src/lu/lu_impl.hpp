@@ -11,6 +11,7 @@
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
 #include "par/pipeline.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 #include "pseudoapp/app.hpp"
 #include "pseudoapp/block_impl.hpp"
@@ -172,14 +173,63 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   PipelineSync sync_lower(threads > 0 ? threads : 1);
   PipelineSync sync_upper(threads > 0 ? threads : 1);
 
+  // One SPMD body covers both threaded drivers: the sweep pipeline was
+  // already fused (barriers and point-to-point waits inside one dispatch);
+  // rhs_in_region additionally folds the rhs phase and the pipeline resets
+  // into the same region, taking LU to one dispatch per time step.
+  auto step_body = [&](ParallelRegion& rg, int rank, bool rhs_in_region) {
+    CellWork<P> ws;
+    const Range jr = partition(1, n - 1, rank, threads);
+    if (rhs_in_region) {
+      {
+        obs::ScopedTimer ot(r_rhs);
+        compute_rhs_planes(f, jr.lo, jr.hi);
+      }
+      if (rank == 0) {
+        sync_lower.reset();
+        sync_upper.reset();
+      }
+      rg.barrier();  // publishes the rhs planes and the pipeline resets
+    }
+    {
+      obs::ScopedTimer ot(r_lower);
+      for (long i = 1; i < n - 1; ++i) {
+        if (rank > 0) sync_lower.wait_for(rank - 1, i);
+        for (long j = jr.lo; j < jr.hi; ++j)
+          for (long k = 1; k < n - 1; ++k) relax_lower(f, dt, i, j, k, ws);
+        sync_lower.post(rank, i);
+      }
+    }
+    rg.barrier();
+    {
+      obs::ScopedTimer ot(r_upper);
+      for (long i = n - 2; i >= 1; --i) {
+        const long step = (n - 2) - i;
+        if (rank < threads - 1) sync_upper.wait_for(rank + 1, step);
+        for (long j = jr.hi - 1; j >= jr.lo; --j)
+          for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
+        sync_upper.post(rank, step);
+      }
+    }
+    rg.barrier();
+    obs::ScopedTimer ot(r_add);
+    for (long i = jr.lo; i < jr.hi; ++i)
+      for (long j = 1; j < n - 1; ++j)
+        for (long k = 1; k < n - 1; ++k)
+          for (int m = 0; m < kComps; ++m)
+            f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
+                tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                            static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+  };
+
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
-    {
-      obs::ScopedTimer ot(r_rhs);
-      do_rhs();
-    }
-
     if (team == nullptr) {
+      {
+        obs::ScopedTimer ot(r_rhs);
+        do_rhs();
+      }
       CellWork<P> ws;
       {
         obs::ScopedTimer ot(r_lower);
@@ -202,47 +252,22 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                   static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
                   tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+    } else if (topts.fused) {
+      // Fused: rhs + both pipelined sweeps + add in one dispatch per step.
+      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, true); });
     } else {
+      // Forked: a separate rhs dispatch, then the sweep region.  This is
+      // the paper's LU signature — synchronization *inside* the loop over
+      // one grid dimension, a software pipeline over i-planes with j-slabs
+      // per rank.  Phase timers run per rank inside the region, so
+      // LU/lower and LU/upper report per-rank pipeline skew.
+      {
+        obs::ScopedTimer ot(r_rhs);
+        do_rhs();
+      }
       sync_lower.reset();
       sync_upper.reset();
-      // The paper's LU signature: synchronization *inside* the loop over one
-      // grid dimension — a software pipeline over i-planes, j-slabs per rank.
-      // Phase timers run per rank here (the sweeps live inside one team
-      // dispatch), so LU/lower and LU/upper report per-rank pipeline skew.
-      team->run([&](int rank) {
-        CellWork<P> ws;
-        const Range jr = partition(1, n - 1, rank, threads);
-        {
-          obs::ScopedTimer ot(r_lower);
-          for (long i = 1; i < n - 1; ++i) {
-            if (rank > 0) sync_lower.wait_for(rank - 1, i);
-            for (long j = jr.lo; j < jr.hi; ++j)
-              for (long k = 1; k < n - 1; ++k) relax_lower(f, dt, i, j, k, ws);
-            sync_lower.post(rank, i);
-          }
-        }
-        team->barrier();
-        {
-          obs::ScopedTimer ot(r_upper);
-          for (long i = n - 2; i >= 1; --i) {
-            const long step = (n - 2) - i;
-            if (rank < threads - 1) sync_upper.wait_for(rank + 1, step);
-            for (long j = jr.hi - 1; j >= jr.lo; --j)
-              for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
-            sync_upper.post(rank, step);
-          }
-        }
-        team->barrier();
-        obs::ScopedTimer ot(r_add);
-        for (long i = jr.lo; i < jr.hi; ++i)
-          for (long j = 1; j < n - 1; ++j)
-            for (long k = 1; k < n - 1; ++k)
-              for (int m = 0; m < kComps; ++m)
-                f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                    static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
-                    tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                                static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-      });
+      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, false); });
     }
   }
   out.seconds = wtime() - t0;
@@ -308,13 +333,54 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
   out.rhs_initial = rhs_norms(f);
   out.err_initial = error_norms(f);
 
+  // Threaded step body, aligned to the region API like lu_run's; with
+  // rhs_in_region the rhs phase joins the hyperplane sweeps in one dispatch.
+  auto step_body = [&](ParallelRegion& rg, int rank, bool rhs_in_region) {
+    CellWork<P> ws;
+    const Range ir = partition(1, n - 1, rank, threads);
+    if (rhs_in_region) {
+      {
+        obs::ScopedTimer ot(r_rhs);
+        compute_rhs_planes(f, ir.lo, ir.hi);
+      }
+      rg.barrier();
+    }
+    // One barrier per hyperplane per sweep: ~6n barriers per iteration
+    // versus the pipelined version's ~2n point-to-point handoffs.
+    {
+      obs::ScopedTimer ot(r_lower);
+      for (long l = 3; l <= 3 * hi; ++l) {
+        plane_cells(l, ir.lo, ir.hi,
+                    [&](long i, long j, long k) { relax_lower(f, dt, i, j, k, ws); });
+        rg.barrier();
+      }
+    }
+    {
+      obs::ScopedTimer ot(r_upper);
+      for (long l = 3 * hi; l >= 3; --l) {
+        plane_cells(l, ir.lo, ir.hi,
+                    [&](long i, long j, long k) { relax_upper(f, dt, i, j, k, ws); });
+        rg.barrier();
+      }
+    }
+    obs::ScopedTimer ot(r_add);
+    for (long i = ir.lo; i < ir.hi; ++i)
+      for (long j = 1; j < n - 1; ++j)
+        for (long k = 1; k < n - 1; ++k)
+          for (int m = 0; m < kComps; ++m)
+            f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
+                tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                            static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+  };
+
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
-    {
-      obs::ScopedTimer ot(r_rhs);
-      do_rhs();
-    }
     if (team == nullptr) {
+      {
+        obs::ScopedTimer ot(r_rhs);
+        do_rhs();
+      }
       CellWork<P> ws;
       {
         obs::ScopedTimer ot(r_lower);
@@ -337,38 +403,14 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
                   static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
                   tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+    } else if (topts.fused) {
+      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, true); });
     } else {
-      team->run([&](int rank) {
-        CellWork<P> ws;
-        const Range ir = partition(1, n - 1, rank, threads);
-        // One barrier per hyperplane per sweep: ~6n barriers per iteration
-        // versus the pipelined version's ~2n point-to-point handoffs.
-        {
-          obs::ScopedTimer ot(r_lower);
-          for (long l = 3; l <= 3 * hi; ++l) {
-            plane_cells(l, ir.lo, ir.hi,
-                        [&](long i, long j, long k) { relax_lower(f, dt, i, j, k, ws); });
-            team->barrier();
-          }
-        }
-        {
-          obs::ScopedTimer ot(r_upper);
-          for (long l = 3 * hi; l >= 3; --l) {
-            plane_cells(l, ir.lo, ir.hi,
-                        [&](long i, long j, long k) { relax_upper(f, dt, i, j, k, ws); });
-            team->barrier();
-          }
-        }
-        obs::ScopedTimer ot(r_add);
-        for (long i = ir.lo; i < ir.hi; ++i)
-          for (long j = 1; j < n - 1; ++j)
-            for (long k = 1; k < n - 1; ++k)
-              for (int m = 0; m < kComps; ++m)
-                f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                    static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
-                    tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                                static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-      });
+      {
+        obs::ScopedTimer ot(r_rhs);
+        do_rhs();
+      }
+      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, false); });
     }
   }
   out.seconds = wtime() - t0;

@@ -23,7 +23,7 @@ MgParams mg_params(ProblemClass cls) noexcept {
 RunResult run_mg(const RunConfig& cfg) {
   using namespace mg_detail;
   const MgParams p = mg_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const MgOutput o = cfg.mode == Mode::Native

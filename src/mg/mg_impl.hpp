@@ -19,6 +19,7 @@
 #include "mg/mg.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb::mg_detail {
@@ -277,93 +278,129 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   const obs::RegionId r_interp = obs::region("MG/interp");
   const obs::RegionId r_comm3 = obs::region("MG/comm3");
 
-  auto resid_level = [&](int l, const Grid<P>& vv) {
+  // The whole V-cycle is written once, generic over the execution shape:
+  // `planes(nl, body)` runs body(lo3, hi3) across the interior planes of an
+  // n=nl level and synchronizes before returning; `master(fn)` runs fn once
+  // (ghost exchanges, coarse zero fills) with its writes published to every
+  // rank before the next phase.  The forked shape maps these onto
+  // over_planes / a plain call; the fused shape onto ParallelRegion::ranges
+  // / a rank-0 section plus barrier — same partitioning either way, so the
+  // grids are bit-identical.
+  auto resid_level = [&](int l, const Grid<P>& vv, auto&& planes, auto&& master) {
     const long nl = 1L << l;
     auto& ul = u[static_cast<std::size_t>(l)];
     auto& rl = r[static_cast<std::size_t>(l)];
     {
       obs::ScopedTimer ot(r_resid);
-      over_planes(team, sched, nl, [&](long lo, long hi) {
+      planes(nl, [&](long lo, long hi) {
         stencil27<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
       });
     }
     obs::ScopedTimer ot(r_comm3);
-    comm3(rl, nl);
+    master([&] { comm3(rl, nl); });
   };
-  auto smooth_level = [&](int l) {
+  auto smooth_level = [&](int l, auto&& planes, auto&& master) {
     const long nl = 1L << l;
     auto& ul = u[static_cast<std::size_t>(l)];
     auto& rl = r[static_cast<std::size_t>(l)];
     {
       obs::ScopedTimer ot(r_smooth);
-      over_planes(team, sched, nl, [&](long lo, long hi) {
+      planes(nl, [&](long lo, long hi) {
         stencil27<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
       });
     }
     obs::ScopedTimer ot(r_comm3);
-    comm3(ul, nl);
+    master([&] { comm3(ul, nl); });
   };
 
-  MgOutput out;
-  const double t0 = wtime();
-
-  // r = v - A u  with u = 0 initially.
-  u[static_cast<std::size_t>(lt)].fill(0.0);
-  resid_level(lt, v);
-  out.rnm2_initial = l2norm(r[static_cast<std::size_t>(lt)], n);
-
-  for (int iter = 1; iter <= prm.iterations; ++iter) {
-    // --- V-cycle (NPB mg3P) ---
+  // --- V-cycle (NPB mg3P) ---
+  auto vcycle = [&](auto&& planes, auto&& master) {
     // Down-leg: restrict the residual to the coarsest level.
     for (int l = lt; l >= 2; --l) {
       const long nc = 1L << (l - 1);
       {
         obs::ScopedTimer ot(r_rprj3);
-        over_planes(team, sched, nc, [&](long lo, long hi) {
+        planes(nc, [&](long lo, long hi) {
           rprj3(r[static_cast<std::size_t>(l)], r[static_cast<std::size_t>(l - 1)], nc,
                 lo, hi);
         });
       }
       obs::ScopedTimer ot(r_comm3);
-      comm3(r[static_cast<std::size_t>(l - 1)], nc);
+      master([&] { comm3(r[static_cast<std::size_t>(l - 1)], nc); });
     }
     // Coarsest: one smoothing pass from a zero guess.
-    u[1].fill(0.0);
-    smooth_level(1);
+    master([&] { u[1].fill(0.0); });
+    smooth_level(1, planes, master);
     // Up-leg.
     for (int l = 2; l < lt; ++l) {
       const long nl = 1L << l;
-      u[static_cast<std::size_t>(l)].fill(0.0);
+      master([&] { u[static_cast<std::size_t>(l)].fill(0.0); });
       {
         obs::ScopedTimer ot(r_interp);
-        over_planes(team, sched, nl, [&](long lo, long hi) {
+        planes(nl, [&](long lo, long hi) {
           interp(u[static_cast<std::size_t>(l - 1)], u[static_cast<std::size_t>(l)], nl,
                  lo, hi);
         });
       }
       {
         obs::ScopedTimer ot(r_comm3);
-        comm3(u[static_cast<std::size_t>(l)], nl);
+        master([&] { comm3(u[static_cast<std::size_t>(l)], nl); });
       }
-      resid_level(l, r[static_cast<std::size_t>(l)]);
+      resid_level(l, r[static_cast<std::size_t>(l)], planes, master);
       // NOTE: resid_level overwrites r_l with r_l - A u_l via the vv alias.
-      smooth_level(l);
+      smooth_level(l, planes, master);
     }
     // Finest level: add the correction, refresh the residual, smooth.
     {
       obs::ScopedTimer ot(r_interp);
-      over_planes(team, sched, n, [&](long lo, long hi) {
+      planes(n, [&](long lo, long hi) {
         interp(u[static_cast<std::size_t>(lt - 1)], u[static_cast<std::size_t>(lt)], n,
                lo, hi);
       });
     }
     {
       obs::ScopedTimer ot(r_comm3);
-      comm3(u[static_cast<std::size_t>(lt)], n);
+      master([&] { comm3(u[static_cast<std::size_t>(lt)], n); });
     }
-    resid_level(lt, v);
-    smooth_level(lt);
-    resid_level(lt, v);
+    resid_level(lt, v, planes, master);
+    smooth_level(lt, planes, master);
+    resid_level(lt, v, planes, master);
+  };
+
+  // Forked / serial execution shape: one dispatch per operator.
+  auto planes_forked = [&](long nl, auto&& body) {
+    over_planes(team, sched, nl, body);
+  };
+  auto master_forked = [&](auto&& fn) { fn(); };
+
+  MgOutput out;
+  const double t0 = wtime();
+
+  // r = v - A u  with u = 0 initially.
+  u[static_cast<std::size_t>(lt)].fill(0.0);
+  resid_level(lt, v, planes_forked, master_forked);
+  out.rnm2_initial = l2norm(r[static_cast<std::size_t>(lt)], n);
+
+  for (int iter = 1; iter <= prm.iterations; ++iter) {
+    if (team != nullptr && topts.fused) {
+      // Fused: the whole V-cycle — every level's restrict, smooth,
+      // interpolate and residual — runs resident in one dispatch per
+      // iteration; serial ghost exchanges become rank-0 sections between
+      // barriers.
+      spmd(*team, [&](ParallelRegion& rg, int rank) {
+        auto planes = [&](long nl, auto&& body) {
+          rg.ranges(rank, sched, 1, nl + 1,
+                    [&](int, long lo, long hi) { body(lo, hi); });
+        };
+        auto master = [&](auto&& fn) {
+          if (rank == 0) fn();
+          rg.barrier();
+        };
+        vcycle(planes, master);
+      });
+    } else {
+      vcycle(planes_forked, master_forked);
+    }
   }
 
   out.rnm2_final = l2norm(r[static_cast<std::size_t>(lt)], n);

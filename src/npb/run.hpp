@@ -31,6 +31,12 @@ struct RunConfig {
   /// changes the values written, so checksums are identical under every
   /// setting — only where the pages land differs.
   mem::MemOptions mem{};
+  /// Fused SPMD regions (--fused=on, the default): each time step runs as
+  /// one team dispatch with in-region barriers; off restores one fork/join
+  /// per parallel loop.  Checksums are bit-identical either way for a fixed
+  /// schedule and thread count — the knob exists for the section 5.2
+  /// dispatch-overhead ablation.
+  bool fused = true;
 };
 
 struct RunResult {

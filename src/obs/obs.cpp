@@ -38,6 +38,8 @@ ObsRegistry::ObsRegistry()
   intern("mem/bytes");
   intern("mem/arena_hit");
   intern("mem/first_touch");
+  intern("team/dispatches");
+  intern("team/region_span");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -133,6 +135,14 @@ Snapshot ObsRegistry::snapshot() const {
       case kRegionMemFirstTouch:
         snap.first_touch_seconds = st.seconds;
         snap.first_touch_count = st.count;
+        break;
+      case kRegionDispatches:
+        snap.dispatches_total = st.seconds;
+        snap.dispatches_count = st.count;
+        break;
+      case kRegionRegionSpan:
+        snap.region_span_seconds = st.seconds;
+        snap.region_count = st.count;
         break;
       default:
         snap.regions.push_back(std::move(st));

@@ -26,6 +26,11 @@
 //                      allocation (count = pool hits)
 //   mem/first_touch    wall time of team-executed first-touch fills (real
 //                      seconds; count = placed fills)
+//   team/dispatches    number of WorkerTeam::run() dispatches ("seconds"
+//                      rides the count, 1.0 per dispatch, so fused-vs-forked
+//                      ablations can read dispatches/step off the snapshot)
+//   team/region_span   master-side wall time of each fused spmd() region
+//                      (count = regions entered)
 //
 // Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
 // no-ops (distinct inline namespace, so mixed translation units stay
@@ -84,6 +89,14 @@ struct Snapshot {
   double first_touch_seconds = 0.0;
   std::uint64_t first_touch_count = 0;
 
+  /// team/dispatches: WorkerTeam::run() dispatch count (the "seconds"
+  /// accumulator carries 1.0 per dispatch, so total == count).
+  double dispatches_total = 0.0;
+  std::uint64_t dispatches_count = 0;
+  /// team/region_span: master wall time spent inside fused spmd() regions.
+  double region_span_seconds = 0.0;
+  std::uint64_t region_count = 0;
+
   /// Max-over-mean of per-worker iteration counts in scheduled loops: 1.0 is
   /// perfectly balanced, nranks is one rank doing everything, 0.0 means no
   /// scheduled loop recorded.  Worker slots only (slot 0 falls back in when
@@ -115,7 +128,9 @@ inline constexpr RegionId kRegionLoopIters = 4;
 inline constexpr RegionId kRegionMemBytes = 5;
 inline constexpr RegionId kRegionMemArenaHit = 6;
 inline constexpr RegionId kRegionMemFirstTouch = 7;
-inline constexpr int kReservedRegions = 8;
+inline constexpr RegionId kRegionDispatches = 8;
+inline constexpr RegionId kRegionRegionSpan = 9;
+inline constexpr int kReservedRegions = 10;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;

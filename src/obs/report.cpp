@@ -78,6 +78,10 @@ std::string ObsReport::json() const {
     out += ",\"pipeline_wait_count\":" + std::to_string(s.pipeline_wait_count);
     out += ",\"pipeline_wait_seconds\":";
     append_number(out, s.pipeline_wait_seconds);
+    out += ",\"dispatches\":" + std::to_string(s.dispatches_count);
+    out += ",\"region_count\":" + std::to_string(s.region_count);
+    out += ",\"region_span_seconds\":";
+    append_number(out, s.region_span_seconds);
     out += ",\"loop_record_count\":" + std::to_string(s.loop_record_count);
     out += ",\"loop_iters_total\":";
     append_number(out, s.loop_iters_total);
@@ -132,6 +136,10 @@ std::string ObsReport::csv() const {
     row(en, "team/dispatch", s.dispatch_seconds, s.dispatch_count);
     row(en, "team/barrier_wait", s.barrier_wait_seconds, s.barrier_wait_count);
     row(en, "team/pipeline_wait", s.pipeline_wait_seconds, s.pipeline_wait_count);
+    // team/dispatches carries the dispatch count in the seconds column (1.0
+    // per run()); team/region_span is real seconds inside fused regions.
+    row(en, "team/dispatches", s.dispatches_total, s.dispatches_count);
+    row(en, "team/region_span", s.region_span_seconds, s.region_count);
     // loop_iters abuses the seconds column for an iteration count; the
     // imbalance row makes the flat file self-contained for schedule tables.
     row(en, "team/loop_iters", s.loop_iters_total, s.loop_record_count);

@@ -8,31 +8,57 @@ const char* to_string(BarrierKind k) noexcept {
   return k == BarrierKind::CondVar ? "condvar" : "spin";
 }
 
-void CondVarBarrier::arrive_and_wait() {
+bool CondVarBarrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lk(m_);
+  if (aborted_) return false;
   const unsigned long gen = generation_;
   if (++arrived_ == n_) {
     arrived_ = 0;
     ++generation_;
     cv_.notify_all();
-  } else {
-    cv_.wait(lk, [&] { return generation_ != gen; });
+    return true;
   }
+  cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
+  return generation_ != gen;
 }
 
-void SpinBarrier::arrive_and_wait() {
+void CondVarBarrier::abort() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void CondVarBarrier::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  aborted_ = false;
+  arrived_ = 0;
+}
+
+bool SpinBarrier::arrive_and_wait() {
+  if (aborted_.load(std::memory_order_acquire)) return false;
   const unsigned long gen = generation_.load(std::memory_order_acquire);
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
     arrived_.store(0, std::memory_order_relaxed);
     generation_.fetch_add(1, std::memory_order_release);
-  } else {
-    int spins = 0;
-    while (generation_.load(std::memory_order_acquire) == gen) {
-      // Spin a little for the multi-core case, then yield so oversubscribed
-      // single-CPU runs (this container, the paper's Linux PC) still progress.
-      if (++spins > 64) std::this_thread::yield();
-    }
+    return true;
   }
+  int spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    if (aborted_.load(std::memory_order_acquire)) return false;
+    // Spin a little for the multi-core case, then yield so oversubscribed
+    // single-CPU runs (this container, the paper's Linux PC) still progress.
+    if (++spins > 64) std::this_thread::yield();
+  }
+  return true;
+}
+
+void SpinBarrier::abort() { aborted_.store(true, std::memory_order_release); }
+
+void SpinBarrier::reset() {
+  arrived_.store(0, std::memory_order_relaxed);
+  aborted_.store(false, std::memory_order_release);
 }
 
 std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int n) {

@@ -17,8 +17,20 @@ const char* to_string(BarrierKind k) noexcept;
 class Barrier {
  public:
   virtual ~Barrier() = default;
-  /// Blocks until all `n` participants have arrived; reusable.
-  virtual void arrive_and_wait() = 0;
+  /// Blocks until all `n` participants have arrived; reusable.  Returns
+  /// false when the barrier was aborted (see abort()) — either while this
+  /// participant was waiting or before it arrived — in which case the
+  /// participant must unwind out of the region instead of proceeding.
+  virtual bool arrive_and_wait() = 0;
+  /// Poisons the barrier: releases every current waiter and makes every
+  /// future arrive_and_wait() return false immediately.  Called by a worker
+  /// whose region body threw, so peers parked at an in-region barrier don't
+  /// deadlock waiting for a rank that will never arrive.
+  virtual void abort() = 0;
+  /// Clears the aborted state and any partial arrival count.  Only safe when
+  /// no participant is inside arrive_and_wait() — the master calls it after
+  /// the join barrier of a failed run(), when all workers are parked.
+  virtual void reset() = 0;
 };
 
 /// Monitor-style barrier: mutex + condition variable with a generation
@@ -26,12 +38,15 @@ class Barrier {
 class CondVarBarrier final : public Barrier {
  public:
   explicit CondVarBarrier(int n) : n_(n) {}
-  void arrive_and_wait() override;
+  bool arrive_and_wait() override;
+  void abort() override;
+  void reset() override;
 
  private:
   const int n_;
   int arrived_ = 0;
   unsigned long generation_ = 0;
+  bool aborted_ = false;
   std::mutex m_;
   std::condition_variable cv_;
 };
@@ -42,12 +57,15 @@ class CondVarBarrier final : public Barrier {
 class SpinBarrier final : public Barrier {
  public:
   explicit SpinBarrier(int n) : n_(n) {}
-  void arrive_and_wait() override;
+  bool arrive_and_wait() override;
+  void abort() override;
+  void reset() override;
 
  private:
   const int n_;
   std::atomic<int> arrived_{0};
   std::atomic<unsigned long> generation_{0};
+  std::atomic<bool> aborted_{false};
 };
 
 std::unique_ptr<Barrier> make_barrier(BarrierKind kind, int n);

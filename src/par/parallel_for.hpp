@@ -87,6 +87,9 @@ void parallel_ranges(WorkerTeam& team, long lo, long hi, const Body& body) {
 template <class Body>
 double parallel_reduce_sum(WorkerTeam& team, Schedule sched, long lo, long hi,
                            const Body& body) {
+  // Debug-checked: the team's reduction scratch admits one reduction at a
+  // time (see ReduceScratchGuard).
+  const ReduceScratchGuard guard(team);
   if (sched.kind == Schedule::Kind::Static) {
     detail::PaddedDouble* partial = team.reduce_scratch();
     team.run([&](int rank) {

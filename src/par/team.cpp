@@ -46,6 +46,12 @@ WorkerTeam::~WorkerTeam() {
 }
 
 void WorkerTeam::dispatch(JobFn invoke, void* ctx) {
+  // Dispatching from a team thread would deadlock (the caller can never
+  // reach the join while it is itself a worker the join waits for).  The
+  // mem layer documents this hazard for first-touch fills; make it an
+  // immediate diagnostic instead of a hang.
+  assert(!on_team_thread() &&
+         "WorkerTeam::run() entered from a team thread (self-deadlock)");
   const bool obs_on = obs::kActive && obs::ObsRegistry::instance().enabled();
   const double t0 = obs_on ? wtime() : 0.0;
   std::exception_ptr err;
@@ -63,9 +69,21 @@ void WorkerTeam::dispatch(JobFn invoke, void* ctx) {
     err = first_error_;
     first_error_ = nullptr;
   }
-  if (obs_on)
-    obs::ObsRegistry::instance().record(obs::kRegionRunSpan, -1, wtime() - t0);
-  if (err) std::rethrow_exception(err);
+  if (obs_on) {
+    auto& reg = obs::ObsRegistry::instance();
+    reg.record(obs::kRegionRunSpan, -1, wtime() - t0);
+    // team/dispatches rides the seconds column: 1.0 per run(), so the fused
+    // ablation can count dispatches per time step straight off the snapshot.
+    reg.record(obs::kRegionDispatches, -1, 1.0);
+  }
+  if (err) {
+    // A worker threw: the in-region barrier is poisoned (abort()) so its
+    // peers could unwind.  All workers are parked again by now (the join
+    // above), so clear the poison and any partial arrivals — the team stays
+    // reusable after the rethrow.
+    barrier_->reset();
+    std::rethrow_exception(err);
+  }
 }
 
 void WorkerTeam::worker_main(int rank) {
@@ -93,8 +111,14 @@ void WorkerTeam::worker_main(int rank) {
     std::exception_ptr err;
     try {
       invoke(ctx, rank);
+    } catch (const RegionAborted&) {
+      // A sibling rank's exception aborted the region; this rank just
+      // unwinds quietly — the sibling's error is the one the master sees.
     } catch (...) {
       err = std::current_exception();
+      // Release peers parked at (or headed for) an in-region barrier this
+      // rank will never reach.  dispatch() un-poisons after the join.
+      barrier_->abort();
     }
     {
       std::lock_guard<std::mutex> lk(m_);

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <exception>
 #include <memory>
@@ -43,7 +45,19 @@ struct TeamOptions {
   /// parallel_reduce_sum calls (call sites can still pass an explicit
   /// Schedule).  Static reproduces the paper's block partition bit-for-bit.
   Schedule schedule{};
+  /// When true, benchmark time-step bodies run as one fused SPMD region per
+  /// iteration (spmd() + in-region collectives, see par/region.hpp) instead
+  /// of one fork/join dispatch per loop.  Results are bit-identical either
+  /// way for a fixed schedule and thread count; the knob exists for the
+  /// section 5.2 overhead ablation (--fused=on|off).
+  bool fused = true;
 };
+
+/// Thrown by WorkerTeam::barrier() on a rank whose region was aborted because
+/// a sibling rank threw between in-region barriers.  Deliberately not derived
+/// from std::exception: worker_main swallows it (the sibling's exception is
+/// the one the master rethrows) and region bodies should never catch it.
+struct RegionAborted {};
 
 /// Master-workers thread team, structured exactly like the paper's Java
 /// translation: the master (the caller of run()) owns `n` persistent worker
@@ -71,6 +85,10 @@ class WorkerTeam {
   /// The team's default loop schedule (TeamOptions::schedule).
   const Schedule& schedule() const noexcept { return opts_.schedule; }
 
+  /// Whether benchmark drivers should fuse their time-step bodies into one
+  /// SPMD region per iteration (TeamOptions::fused).
+  bool fused() const noexcept { return opts_.fused; }
+
   /// Executes fn(rank) on all workers; rethrows the first worker exception.
   /// The callable is dispatched as a (function-pointer, context) pair, so
   /// per-iteration lambdas in tight ADI sweeps pay no std::function
@@ -83,15 +101,20 @@ class WorkerTeam {
   }
 
   /// Callable from inside a run() body: blocks until all workers arrive.
+  /// Throws RegionAborted when a sibling rank threw out of the region body —
+  /// the abort releases every parked rank so fused regions never deadlock on
+  /// a barrier their thrower will not reach.
   void barrier() {
+    bool ok;
     if (obs::kActive && obs::ObsRegistry::instance().enabled()) {
       const double t0 = wtime();
-      barrier_->arrive_and_wait();
+      ok = barrier_->arrive_and_wait();
       obs::ObsRegistry::instance().record(obs::kRegionBarrierWait,
                                           obs::thread_rank(), wtime() - t0);
     } else {
-      barrier_->arrive_and_wait();
+      ok = barrier_->arrive_and_wait();
     }
+    if (!ok) throw RegionAborted{};
   }
 
   /// Per-team padded scratch with one slot per rank, reused by
@@ -105,11 +128,13 @@ class WorkerTeam {
   /// are allocation-free after their first invocation (the capacity sticks).
   /// Valid while the team lives; contents are overwritten by each reduction,
   /// so only one scheduled reduction may be in flight per team — the same
-  /// contract reduce_scratch() already imposes.
+  /// contract reduce_scratch() already imposes, enforced in debug builds by
+  /// ReduceScratchGuard.
   std::vector<Range>& chunk_scratch() noexcept { return chunk_scratch_; }
   std::vector<double>& partial_scratch() noexcept { return partial_scratch_; }
 
  private:
+  friend class ReduceScratchGuard;
   using JobFn = void (*)(void*, int);
 
   template <class Fn>
@@ -126,6 +151,7 @@ class WorkerTeam {
   std::vector<detail::PaddedDouble> scratch_;
   std::vector<Range> chunk_scratch_;
   std::vector<double> partial_scratch_;
+  std::atomic<bool> scratch_busy_{false};
 
   std::mutex m_;
   std::condition_variable cv_start_;
@@ -139,6 +165,31 @@ class WorkerTeam {
   std::exception_ptr first_error_;
 
   std::vector<std::thread> threads_;
+};
+
+/// RAII guard for the "one reduction in flight per team" scratch contract
+/// (reduce_scratch / chunk_scratch / partial_scratch).  Held by the side
+/// that arms the scratch — the master in forked parallel_reduce_sum, rank 0
+/// in an in-region reduce — for the full span of the reduction.  A nested or
+/// concurrent reduction on the same team asserts in debug builds instead of
+/// silently corrupting partials.
+class ReduceScratchGuard {
+ public:
+  explicit ReduceScratchGuard(WorkerTeam& team) noexcept : team_(team) {
+    const bool was = team_.scratch_busy_.exchange(true, std::memory_order_acquire);
+    assert(!was &&
+           "nested or concurrent reduction on one team's shared scratch");
+    (void)was;
+  }
+  ~ReduceScratchGuard() {
+    team_.scratch_busy_.store(false, std::memory_order_release);
+  }
+
+  ReduceScratchGuard(const ReduceScratchGuard&) = delete;
+  ReduceScratchGuard& operator=(const ReduceScratchGuard&) = delete;
+
+ private:
+  WorkerTeam& team_;
 };
 
 }  // namespace npb

@@ -21,7 +21,7 @@ pseudoapp::AppParams sp_params(ProblemClass cls) noexcept {
 RunResult run_sp(const RunConfig& cfg) {
   using namespace sp_detail;
   const AppParams p = sp_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native

@@ -9,6 +9,7 @@
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 #include "pseudoapp/app.hpp"
 #include "pseudoapp/field_impl.hpp"
@@ -191,110 +192,177 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   out.rhs_initial = rhs_norms(f);
   out.err_initial = error_norms(f);
 
+  // Phase bodies over a slab [lo, hi), shared verbatim by the fused and
+  // forked drivers so both partition identically (bit-identical results).
+  auto x_solve = [&](long lo, long hi, PentaWork<P>& ws) {
+    for (long j = lo; j < hi; ++j)
+      for (long k = 1; k < n - 1; ++k)
+        for (int m = 0; m < kComps; ++m)
+          penta_line<P>(
+              f.sys, f.sys.lx[static_cast<std::size_t>(m)], f.h, dt, n,
+              [&](long c) {
+                return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(k));
+              },
+              [&](long c) {
+                return f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+              },
+              [&](long c, double v) {
+                f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+              },
+              ws);
+  };
+  auto y_solve = [&](long lo, long hi, PentaWork<P>& ws) {
+    for (long i = lo; i < hi; ++i)
+      for (long k = 1; k < n - 1; ++k)
+        for (int m = 0; m < kComps; ++m)
+          penta_line<P>(
+              f.sys, f.sys.ly[static_cast<std::size_t>(m)], f.h, dt, n,
+              [&](long c) {
+                return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                             static_cast<std::size_t>(k));
+              },
+              [&](long c) {
+                return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+              },
+              [&](long c, double v) {
+                f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
+                      static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
+              },
+              ws);
+  };
+  auto z_solve = [&](long lo, long hi, PentaWork<P>& ws) {
+    for (long i = lo; i < hi; ++i)
+      for (long j = 1; j < n - 1; ++j)
+        for (int m = 0; m < kComps; ++m)
+          penta_line<P>(
+              f.sys, f.sys.lz[static_cast<std::size_t>(m)], f.h, dt, n,
+              [&](long c) {
+                return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(c));
+              },
+              [&](long c) {
+                return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                             static_cast<std::size_t>(c), static_cast<std::size_t>(m));
+              },
+              [&](long c, double v) {
+                f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(c), static_cast<std::size_t>(m)) = v;
+              },
+              ws);
+  };
+  auto add_phase = [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i)
+      for (long j = 1; j < n - 1; ++j)
+        for (long k = 1; k < n - 1; ++k)
+          for (int m = 0; m < kComps; ++m)
+            f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
+                f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                      static_cast<std::size_t>(k), static_cast<std::size_t>(m));
+  };
+
   const double t0 = wtime();
-  for (int it = 0; it < prm.iterations; ++it) {
-    {
-      obs::ScopedTimer ot(r_rhs);
-      do_rhs();
+  if (team != nullptr && topts.fused) {
+    // Fused: one team dispatch per time step.  The eleven phases of the SP
+    // step (rhs, three transform/solve/transform triplets, add) run resident
+    // inside one SPMD region with a barrier at each phase boundary; the
+    // pentadiagonal workspace is allocated once per rank per step.
+    for (int it = 0; it < prm.iterations; ++it) {
+      spmd(*team, [&](ParallelRegion& rg, int rank) {
+        const Range r = partition(1, n - 1, rank, team->size());
+        PentaWork<P> ws(n);
+        auto transform_rg = [&](const Mat5& m, double scale) {
+          obs::ScopedTimer ot(r_transform);
+          transform_planes(f, m, scale, r.lo, r.hi);
+        };
+        {
+          obs::ScopedTimer ot(r_rhs);
+          compute_rhs_planes(f, r.lo, r.hi);
+        }
+        rg.barrier();
+        transform_rg(f.sys.txinv, dt);
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_xsolve);
+          x_solve(r.lo, r.hi, ws);
+        }
+        rg.barrier();
+        transform_rg(f.sys.tx, 1.0);
+        rg.barrier();
+        transform_rg(f.sys.tyinv, 1.0);
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_ysolve);
+          y_solve(r.lo, r.hi, ws);
+        }
+        rg.barrier();
+        transform_rg(f.sys.ty, 1.0);
+        rg.barrier();
+        transform_rg(f.sys.tzinv, 1.0);
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_zsolve);
+          z_solve(r.lo, r.hi, ws);
+        }
+        rg.barrier();
+        transform_rg(f.sys.tz, 1.0);
+        rg.barrier();
+        {
+          obs::ScopedTimer ot(r_add);
+          add_phase(r.lo, r.hi);
+        }
+      });
     }
+  } else {
+    // Forked: one fork/join dispatch per phase (the paper's cost model).
+    for (int it = 0; it < prm.iterations; ++it) {
+      {
+        obs::ScopedTimer ot(r_rhs);
+        do_rhs();
+      }
 
-    // x sweep (dt folded into the first characteristic transform).
-    transform(f.sys.txinv, dt);
-    {
-    obs::ScopedTimer ot(r_xsolve);
-    over_range(team, n, [&](long lo, long hi) {
-      PentaWork<P> ws(n);
-      for (long j = lo; j < hi; ++j)
-        for (long k = 1; k < n - 1; ++k)
-          for (int m = 0; m < kComps; ++m)
-            penta_line<P>(
-                f.sys, f.sys.lx[static_cast<std::size_t>(m)], f.h, dt, n,
-                [&](long c) {
-                  return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
-                               static_cast<std::size_t>(k));
-                },
-                [&](long c) {
-                  return f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
-                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-                },
-                [&](long c, double v) {
-                  f.rhs(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
-                        static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
-                },
-                ws);
-    });
-    }
-    transform(f.sys.tx, 1.0);
+      // x sweep (dt folded into the first characteristic transform).
+      transform(f.sys.txinv, dt);
+      {
+        obs::ScopedTimer ot(r_xsolve);
+        over_range(team, n, [&](long lo, long hi) {
+          PentaWork<P> ws(n);
+          x_solve(lo, hi, ws);
+        });
+      }
+      transform(f.sys.tx, 1.0);
 
-    // y sweep.
-    transform(f.sys.tyinv, 1.0);
-    {
-    obs::ScopedTimer ot(r_ysolve);
-    over_range(team, n, [&](long lo, long hi) {
-      PentaWork<P> ws(n);
-      for (long i = lo; i < hi; ++i)
-        for (long k = 1; k < n - 1; ++k)
-          for (int m = 0; m < kComps; ++m)
-            penta_line<P>(
-                f.sys, f.sys.ly[static_cast<std::size_t>(m)], f.h, dt, n,
-                [&](long c) {
-                  return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
-                               static_cast<std::size_t>(k));
-                },
-                [&](long c) {
-                  return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
-                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-                },
-                [&](long c, double v) {
-                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
-                        static_cast<std::size_t>(k), static_cast<std::size_t>(m)) = v;
-                },
-                ws);
-    });
-    }
-    transform(f.sys.ty, 1.0);
+      // y sweep.
+      transform(f.sys.tyinv, 1.0);
+      {
+        obs::ScopedTimer ot(r_ysolve);
+        over_range(team, n, [&](long lo, long hi) {
+          PentaWork<P> ws(n);
+          y_solve(lo, hi, ws);
+        });
+      }
+      transform(f.sys.ty, 1.0);
 
-    // z sweep.
-    transform(f.sys.tzinv, 1.0);
-    {
-    obs::ScopedTimer ot(r_zsolve);
-    over_range(team, n, [&](long lo, long hi) {
-      PentaWork<P> ws(n);
-      for (long i = lo; i < hi; ++i)
-        for (long j = 1; j < n - 1; ++j)
-          for (int m = 0; m < kComps; ++m)
-            penta_line<P>(
-                f.sys, f.sys.lz[static_cast<std::size_t>(m)], f.h, dt, n,
-                [&](long c) {
-                  return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                               static_cast<std::size_t>(c));
-                },
-                [&](long c) {
-                  return f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                               static_cast<std::size_t>(c), static_cast<std::size_t>(m));
-                },
-                [&](long c, double v) {
-                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                        static_cast<std::size_t>(c), static_cast<std::size_t>(m)) = v;
-                },
-                ws);
-    });
-    }
-    transform(f.sys.tz, 1.0);
+      // z sweep.
+      transform(f.sys.tzinv, 1.0);
+      {
+        obs::ScopedTimer ot(r_zsolve);
+        over_range(team, n, [&](long lo, long hi) {
+          PentaWork<P> ws(n);
+          z_solve(lo, hi, ws);
+        });
+      }
+      transform(f.sys.tz, 1.0);
 
-    // add: u += dv.
-    {
-    obs::ScopedTimer ot(r_add);
-    over_range(team, n, [&](long lo, long hi) {
-      for (long i = lo; i < hi; ++i)
-        for (long j = 1; j < n - 1; ++j)
-          for (long k = 1; k < n - 1; ++k)
-            for (int m = 0; m < kComps; ++m)
-              f.u(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                  static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
-                  f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                        static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-    });
+      // add: u += dv.
+      {
+        obs::ScopedTimer ot(r_add);
+        over_range(team, n, add_phase);
+      }
     }
   }
   out.seconds = wtime() - t0;

@@ -112,5 +112,73 @@ TEST_P(Differential, ThreadedChecksumsMatchSerial) {
 INSTANTIATE_TEST_SUITE_P(Matrix, Differential,
                          ::testing::ValuesIn(build_matrix()), cell_name);
 
+// ---- fused-vs-forked bit-identity ------------------------------------------
+// The SPMD-region refactor promises more than near-equality: for a fixed
+// schedule and thread count, entering one fused region per time step must
+// produce the *bit-identical* checksums of the one-dispatch-per-loop path,
+// because partitioning and reduction combine order are shared between the
+// two drivers.  So this matrix compares --fused=on against --fused=off with
+// EXPECT_EQ on the raw doubles (no verify_checksums tolerance), across every
+// benchmark, every Schedule kind, and team sizes 1/2/3/7.  Under sanitizers
+// the axes are trimmed (EP at class S costs seconds per run under TSan).
+
+struct FusedCell {
+  const char* name;
+  Schedule sched;
+  int threads;
+};
+
+std::string fused_cell_name(const ::testing::TestParamInfo<FusedCell>& info) {
+  return std::string(info.param.name) + "_" + to_string(info.param.sched.kind) +
+         "_t" + std::to_string(info.param.threads);
+}
+
+std::vector<FusedCell> build_fused_matrix() {
+  const Schedule kSchedules[] = {Schedule::static_(), Schedule::dynamic(),
+                                 Schedule::guided()};
+  constexpr int kThreadCounts[] = {1, 2, 3, 7};
+  std::vector<FusedCell> cells;
+  for (const auto& b : suite())
+    for (const Schedule& s : kSchedules)
+      for (int th : kThreadCounts) {
+        if (NPB_UNDER_SANITIZER &&
+            (th == 1 || s.kind == Schedule::Kind::Guided))
+          continue;
+        cells.push_back({b.name, s, th});
+      }
+  return cells;
+}
+
+class FusedDifferential : public ::testing::TestWithParam<FusedCell> {};
+
+TEST_P(FusedDifferential, FusedChecksumsBitIdenticalToForked) {
+  const FusedCell cell = GetParam();
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Native;
+  cfg.threads = cell.threads;
+  cfg.schedule = cell.sched;
+  RunFn fn = find_benchmark(cell.name);
+  ASSERT_NE(fn, nullptr);
+
+  cfg.fused = true;
+  const RunResult fused = fn(cfg);
+  cfg.fused = false;
+  const RunResult forked = fn(cfg);
+
+  EXPECT_TRUE(fused.verified) << fused.verify_detail;
+  EXPECT_TRUE(forked.verified) << forked.verify_detail;
+  ASSERT_EQ(fused.checksums.size(), forked.checksums.size());
+  for (std::size_t i = 0; i < fused.checksums.size(); ++i)
+    EXPECT_EQ(fused.checksums[i], forked.checksums[i])
+        << cell.name << " sched=" << to_string(cell.sched)
+        << " threads=" << cell.threads << ": checksum " << i
+        << " is not bit-identical fused vs forked";
+}
+
+INSTANTIATE_TEST_SUITE_P(FusedMatrix, FusedDifferential,
+                         ::testing::ValuesIn(build_fused_matrix()),
+                         fused_cell_name);
+
 }  // namespace
 }  // namespace npb

@@ -367,13 +367,15 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   const std::string csv = rep.csv();
   std::size_t lines = 0;
   for (char c : csv) lines += c == '\n' ? 1 : 0;
-  // header + 6 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
-  // loop_iters, loop_imbalance) + 3 mem rows (bytes, arena_hit, first_touch)
-  // + 1 user region
-  EXPECT_EQ(lines, 11u);
+  // header + 8 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
+  // loop_iters, loop_imbalance, dispatches, region_span) + 3 mem rows
+  // (bytes, arena_hit, first_touch) + 1 user region
+  EXPECT_EQ(lines, 13u);
   EXPECT_EQ(csv.rfind("benchmark,class,mode,threads,run_seconds,region,seconds,count\n", 0), 0u);
   EXPECT_NE(csv.find("team/run_span"), std::string::npos);
   EXPECT_NE(csv.find("team/barrier_wait"), std::string::npos);
+  EXPECT_NE(csv.find("team/dispatches"), std::string::npos);
+  EXPECT_NE(csv.find("team/region_span"), std::string::npos);
   EXPECT_NE(csv.find("team/loop_iters"), std::string::npos);
   EXPECT_NE(csv.find("team/loop_imbalance"), std::string::npos);
   EXPECT_NE(csv.find("mem/bytes"), std::string::npos);

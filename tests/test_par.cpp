@@ -9,6 +9,7 @@
 #include "par/parallel_for.hpp"
 #include "par/partition.hpp"
 #include "par/pipeline.hpp"
+#include "par/region.hpp"
 #include "par/team.hpp"
 
 namespace npb {
@@ -204,6 +205,128 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Schedule::static_(),
                                          Schedule::dynamic(16),
                                          Schedule::guided())));
+
+// ---- ParallelRegion / spmd -------------------------------------------------
+
+// The in-region collectives promise bit-identical results to their forked
+// counterparts for a fixed schedule and team size — that is the property the
+// fused time-step drivers rest on (test_differential then checks it end to
+// end per benchmark).  Exercised here per schedule kind because Static and
+// Dynamic/Guided take entirely different code paths (partition vs. re-armed
+// ChunkQueue; rank-order vs. chunk-order combine).
+class SpmdBySchedule : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(SpmdBySchedule, InRegionCollectivesMatchForkedPrimitives) {
+  const Schedule sched = GetParam();
+  const long n = 10007;  // prime extent: uneven blocks, ragged chunk tail
+  WorkerTeam team(4);
+  auto body = [](long i) { return std::sin(static_cast<double>(i)) * 1e-3; };
+
+  std::vector<double> forked_vals(static_cast<std::size_t>(n), 0.0);
+  parallel_for(team, sched, 0, n, [&](long i) {
+    forked_vals[static_cast<std::size_t>(i)] = body(i);
+  });
+  const double forked_sum = parallel_reduce_sum(team, sched, 0, n, body);
+
+  std::vector<double> fused_vals(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::atomic<int>> range_hits(static_cast<std::size_t>(n));
+  double fused_sum = 0.0, fused_dot = 0.0;
+  spmd(team, [&](ParallelRegion& rg, int rank) {
+    rg.for_each(rank, sched, 0, n, [&](long i) {
+      fused_vals[static_cast<std::size_t>(i)] = body(i);
+    });
+    rg.ranges(rank, sched, 0, n, [&](int, long lo, long hi) {
+      for (long i = lo; i < hi; ++i)
+        range_hits[static_cast<std::size_t>(i)]++;
+    });
+    const double s = rg.reduce_sum(rank, sched, 0, n, body);
+    // Rank-ordered scalar combine: every rank must get the same total back.
+    const Range r = partition(0, n, rank, rg.size());
+    double mine = 0.0;
+    for (long i = r.lo; i < r.hi; ++i) mine += body(i);
+    const double d = rg.reduce_partials(rank, mine);
+    if (rank == 0) {
+      fused_sum = s;
+      fused_dot = d;
+    }
+  });
+
+  for (long i = 0; i < n; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    ASSERT_EQ(fused_vals[u], forked_vals[u]) << "for_each diverged at " << i;
+    ASSERT_EQ(range_hits[u].load(), 1) << "ranges missed or repeated " << i;
+  }
+  EXPECT_EQ(fused_sum, forked_sum)
+      << "in-region reduce_sum is not bit-identical to the forked reduction";
+  // reduce_partials combines in rank order, exactly like the Static forked
+  // reduction over the same partition.
+  EXPECT_EQ(fused_dot, parallel_reduce_sum(team, Schedule{}, 0, n, body));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SpmdBySchedule,
+    ::testing::Values(Schedule::static_(), Schedule::dynamic(64),
+                      Schedule::guided()),
+    [](const ::testing::TestParamInfo<Schedule>& info) {
+      return to_string(info.param.kind);
+    });
+
+TEST(Spmd, BackToBackRegionsOnOneTeamStayCorrect) {
+  WorkerTeam team(3);
+  std::vector<std::atomic<int>> hits(500);
+  for (int round = 0; round < 20; ++round) {
+    spmd(team, [&](ParallelRegion& rg, int rank) {
+      rg.for_each(rank, Schedule::dynamic(8), 0, 500,
+                  [&](long i) { hits[static_cast<std::size_t>(i)]++; });
+    });
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), 20);
+}
+
+// A rank throwing *between* in-region barriers is the hard failure mode of
+// fusion: its siblings are parked at (or headed for) a barrier the thrower
+// will never reach.  The abortable barrier must release them, spmd() must
+// rethrow the original exception on the master, and the team — including its
+// barrier, which was poisoned mid-region — must come back fully usable.
+class SpmdAbort : public ::testing::TestWithParam<BarrierKind> {};
+
+TEST_P(SpmdAbort, WorkerThrowBetweenBarriersRethrowsAndTeamRecovers) {
+  WorkerTeam team(4, TeamOptions{GetParam(), 0});
+  std::atomic<int> reached_tail{0};
+  EXPECT_THROW(
+      spmd(team,
+           [&](ParallelRegion& rg, int rank) {
+             rg.barrier();
+             if (rank == 2) throw std::runtime_error("boom");
+             rg.barrier();  // siblings park here; abort() releases them
+             reached_tail++;
+             rg.barrier();
+           }),
+      std::runtime_error);
+  EXPECT_EQ(reached_tail.load(), 0)
+      << "a rank ran past the aborted barrier instead of unwinding";
+
+  // The poisoned barrier was reset by the rethrow path: a fresh fused region
+  // with scheduled collectives and a plain forked loop must both work.
+  std::vector<std::atomic<int>> hits(1000);
+  double sum = 0.0;
+  spmd(team, [&](ParallelRegion& rg, int rank) {
+    rg.for_each(rank, Schedule::dynamic(16), 0, 1000,
+                [&](long i) { hits[static_cast<std::size_t>(i)]++; });
+    const double s = rg.reduce_sum(rank, Schedule{}, 0, 1000, [](long i) {
+      return std::cos(static_cast<double>(i));
+    });
+    if (rank == 0) sum = s;
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  EXPECT_EQ(sum, parallel_reduce_sum(team, Schedule{}, 0, 1000, [](long i) {
+              return std::cos(static_cast<double>(i));
+            }));
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, SpmdAbort,
+                         ::testing::Values(BarrierKind::CondVar,
+                                           BarrierKind::SpinSense));
 
 // ---- parallel_for / reduce -------------------------------------------------
 

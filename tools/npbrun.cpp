@@ -3,7 +3,7 @@
 //
 //   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
 //          [--barrier=condvar|spin] [--schedule=static|dynamic[,C]|guided[,M]]
-//          [--mem-align=BYTES] [--first-touch] [--huge-pages]
+//          [--fused=on|off] [--mem-align=BYTES] [--first-touch] [--huge-pages]
 //          [--warmup] [--verbose]
 //          [--obs-report=FILE]   (JSON, or CSV when FILE ends in .csv)
 //
@@ -26,14 +26,17 @@ void usage() {
       "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java]\n"
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
       "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
-      "              [--mem-align=BYTES] [--first-touch] [--huge-pages]\n"
-      "              [--obs-report=FILE]\n"
+      "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
+      "              [--huge-pages] [--obs-report=FILE]\n"
       "--mem-align takes a power of two (K/M suffixes allowed); --first-touch\n"
       "initializes large arrays on the worker team with the compute schedule;\n"
       "--huge-pages requests 2 MiB pages for buffers that large (Linux hint).\n"
       "--schedule picks the loop schedule for CG/IS/MG/EP threaded loops\n"
       "(pseudo-apps keep static slabs); dynamic/guided default CHUNK to\n"
       "n/(16*threads) and MIN_CHUNK to 1.\n"
+      "--fused=on (default) runs each time step as one fused SPMD region;\n"
+      "--fused=off restores one fork/join per parallel loop (checksums are\n"
+      "bit-identical either way for a fixed schedule and thread count).\n"
       "benchmarks:",
       stderr);
   for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
@@ -77,6 +80,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.schedule = *s;
+    } else if (std::strcmp(a, "--fused=on") == 0) {
+      cfg.fused = true;
+    } else if (std::strcmp(a, "--fused=off") == 0) {
+      cfg.fused = false;
     } else if (std::strncmp(a, "--mem-align=", 12) == 0) {
       const auto al = npb::mem::parse_alignment(a + 12);
       if (!al) {
