@@ -1,6 +1,7 @@
 #include "bt/bt.hpp"
 
 #include "bt/bt_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 
 namespace npb {
@@ -21,7 +22,9 @@ pseudoapp::AppParams bt_params(ProblemClass cls) noexcept {
 RunResult run_bt(const RunConfig& cfg) {
   using namespace bt_detail;
   const AppParams p = bt_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -208,75 +209,118 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                       static_cast<std::size_t>(k), static_cast<std::size_t>(m));
   };
 
+  // One ADI time step is the retry unit.  The only state a step carries
+  // into the next one is u (phi, forcing and ue are init-time constants and
+  // rhs is rebuilt from u each step), so the checkpoint is just u.
+  fault::Checkpoint ckpt;
+  std::optional<fault::StepRunner> steps;
+  if (team != nullptr) {
+    ckpt.add(f.u.data(), f.u.size() * sizeof(double));
+    steps.emplace(*team, topts, ckpt);
+  }
+
   const double t0 = wtime();
-  if (team != nullptr && topts.fused) {
-    // Fused: one team dispatch per time step.  All five ADI phases run
-    // resident inside one SPMD region, separated by in-region barriers; the
-    // line workspace is allocated once per rank per step instead of once
-    // per phase dispatch.
-    for (int it = 0; it < prm.iterations; ++it) {
-      spmd(*team, [&](ParallelRegion& rg, int rank) {
-        const Range r = partition(1, n - 1, rank, team->size());
-        LineWork<P> ws(n);
-        {
-          obs::ScopedTimer ot(r_rhs);
-          compute_rhs_planes(f, r.lo, r.hi);
-        }
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_xsolve);
-          x_sweep(r.lo, r.hi, ws);
-        }
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_ysolve);
-          y_sweep(r.lo, r.hi, ws);
-        }
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_zsolve);
-          z_sweep(r.lo, r.hi, ws);
-        }
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_add);
-          add_phase(r.lo, r.hi);
-        }
-      });
-    }
-  } else {
-    // Forked: one fork/join dispatch per phase (the paper's cost model).
-    for (int it = 0; it < prm.iterations; ++it) {
+  for (int it = 0; it < prm.iterations; ++it) {
+    if (team == nullptr) {
+      // Serial: same phase sequence, no dispatches.
       {
         obs::ScopedTimer ot(r_rhs);
         do_rhs();
       }
+      LineWork<P> ws(n);
       {
         obs::ScopedTimer ot(r_xsolve);
-        over_range(team, n, [&](long lo, long hi) {
-          LineWork<P> ws(n);
-          x_sweep(lo, hi, ws);
-        });
+        x_sweep(1, n - 1, ws);
       }
       {
         obs::ScopedTimer ot(r_ysolve);
-        over_range(team, n, [&](long lo, long hi) {
-          LineWork<P> ws(n);
-          y_sweep(lo, hi, ws);
-        });
+        y_sweep(1, n - 1, ws);
       }
       {
         obs::ScopedTimer ot(r_zsolve);
-        over_range(team, n, [&](long lo, long hi) {
-          LineWork<P> ws(n);
-          z_sweep(lo, hi, ws);
-        });
+        z_sweep(1, n - 1, ws);
       }
       {
         obs::ScopedTimer ot(r_add);
-        over_range(team, n, add_phase);
+        add_phase(1, n - 1);
       }
+      continue;
     }
+    steps->step(it, [&](WorkerTeam& tm, int nt) {
+      if (topts.fused) {
+        // Fused: one team dispatch per time step.  All five ADI phases run
+        // resident inside one SPMD region, separated by in-region barriers;
+        // the line workspace is allocated once per rank per step instead of
+        // once per phase dispatch.
+        spmd(tm, [&](ParallelRegion& rg, int rank) {
+          const Range r = partition(1, n - 1, rank, nt);
+          LineWork<P> ws(n);
+          {
+            obs::ScopedTimer ot(r_rhs);
+            compute_rhs_planes(f, r.lo, r.hi);
+          }
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_xsolve);
+            x_sweep(r.lo, r.hi, ws);
+          }
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_ysolve);
+            y_sweep(r.lo, r.hi, ws);
+          }
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_zsolve);
+            z_sweep(r.lo, r.hi, ws);
+          }
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_add);
+            add_phase(r.lo, r.hi);
+          }
+        });
+      } else {
+        // Forked: one fork/join dispatch per phase (the paper's cost model).
+        // Partitions come from the width actually running (`nt`), so a
+        // degraded retry repartitions instead of reading stale slabs.
+        auto over = [&](const auto& body) {
+          tm.run([&](int rank) {
+            const Range r = partition(1, n - 1, rank, nt);
+            body(r.lo, r.hi);
+          });
+        };
+        {
+          obs::ScopedTimer ot(r_rhs);
+          over([&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
+        }
+        {
+          obs::ScopedTimer ot(r_xsolve);
+          over([&](long lo, long hi) {
+            LineWork<P> ws(n);
+            x_sweep(lo, hi, ws);
+          });
+        }
+        {
+          obs::ScopedTimer ot(r_ysolve);
+          over([&](long lo, long hi) {
+            LineWork<P> ws(n);
+            y_sweep(lo, hi, ws);
+          });
+        }
+        {
+          obs::ScopedTimer ot(r_zsolve);
+          over([&](long lo, long hi) {
+            LineWork<P> ws(n);
+            z_sweep(lo, hi, ws);
+          });
+        }
+        {
+          obs::ScopedTimer ot(r_add);
+          over(add_phase);
+        }
+      }
+    });
   }
   out.seconds = wtime() - t0;
 

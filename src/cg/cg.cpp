@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cg/cg_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 #include "common/reference.hpp"
 #include "common/verify.hpp"
@@ -23,7 +24,9 @@ CgParams cg_params(ProblemClass cls) noexcept {
 RunResult run_cg(const RunConfig& cfg) {
   using namespace cg_detail;
   const CgParams p = cg_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const CgOutput o = cfg.mode == Mode::Native

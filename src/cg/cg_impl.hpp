@@ -12,6 +12,7 @@
 #include "cg/cg.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -146,7 +147,15 @@ double dot_rows(const Array1<double, P>& a, const Array1<double, P>& b, long lo,
 /// Scalar results of the conjugate-gradient solve, written by rank 0.
 struct CgScalars {
   double pq = 0.0;     ///< x'z stash for the master (fused norm phase)
+  double zz = 0.0;     ///< z'z stash (health check: NaN poison lands here)
   double rnorm = 0.0;  ///< final true residual ||x - A z||
+
+  /// All-finite check after one outer iteration: any reduction a nan-poison
+  /// spec corrupted leaves a NaN in one of these (pq feeds zeta, zz feeds
+  /// the x normalization, rnorm the verification), so the step retries.
+  bool healthy() const noexcept {
+    return std::isfinite(pq) && std::isfinite(zz) && std::isfinite(rnorm);
+  }
 };
 
 /// 25 CG iterations solving A z = x; leaves ||x - A z|| in sc.rnorm
@@ -352,59 +361,74 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
       for (long i = 0; i < n; ++i)
         x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
     }
-  } else if (topts.fused) {
-    // Fused: the whole outer iteration — solve plus norm phase — is one
-    // SPMD region, so the team stays resident across all of CG's dots,
-    // axpys and mat-vecs (this is the shape the paper's hand-threaded CG
-    // already had; it now goes through the shared ParallelRegion API).
-    WorkerTeam& team = *team_storage;
+  } else {
+    // One outer iteration is the retry unit: x is the only state that
+    // survives an iteration (z, r, pvec, q are rebuilt from it), so the
+    // checkpoint is a single vector and a faulted iteration replays from
+    // the x it started with.  Master-side accumulation (zeta_sum) happens
+    // after step() returns, so retries never double-count.
+    fault::Checkpoint ckpt;
+    ckpt.add(x.data(), x.size() * sizeof(double));
+    fault::StepRunner steps(*team_storage, topts, ckpt);
+    const auto healthy = [&] { return sc.healthy(); };
     for (int outer = 1; outer <= p.niter; ++outer) {
-      spmd(team, [&](ParallelRegion& rg, int rank) {
-        {
-          obs::ScopedTimer ot(r_cg);
-          conj_grad(m, x, z, r, pvec, q, p.cg_iters, &rg, rank, threads, sc,
-                    sched);
-        }
-        obs::ScopedTimer ot(r_norm);
-        const Range blk = partition(0, n, rank, threads);
-        double xz = 0.0, zz = 0.0;
-        for (long i = blk.lo; i < blk.hi; ++i) {
-          xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
-          zz += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
-        }
-        const double xz_all = rg.reduce_partials(rank, xz);
-        const double zz_all = rg.reduce_partials(rank, zz);
-        const double znorm = 1.0 / std::sqrt(zz_all);
-        for (long i = blk.lo; i < blk.hi; ++i)
-          x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
-        if (rank == 0) sc.pq = xz_all;  // stash for master
-      });
+      if (topts.fused) {
+        // Fused: the whole outer iteration — solve plus norm phase — is one
+        // SPMD region, so the team stays resident across all of CG's dots,
+        // axpys and mat-vecs (this is the shape the paper's hand-threaded CG
+        // already had; it now goes through the shared ParallelRegion API).
+        steps.step(outer, [&](WorkerTeam& team, int nt) {
+          spmd(team, [&](ParallelRegion& rg, int rank) {
+            {
+              obs::ScopedTimer ot(r_cg);
+              conj_grad(m, x, z, r, pvec, q, p.cg_iters, &rg, rank, nt, sc,
+                        sched);
+            }
+            obs::ScopedTimer ot(r_norm);
+            const Range blk = partition(0, n, rank, nt);
+            double xz = 0.0, zz = 0.0;
+            for (long i = blk.lo; i < blk.hi; ++i) {
+              xz += x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+              zz += z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+            }
+            const double xz_all = rg.reduce_partials(rank, xz);
+            const double zz_all = rg.reduce_partials(rank, zz);
+            const double znorm = 1.0 / std::sqrt(zz_all);
+            for (long i = blk.lo; i < blk.hi; ++i)
+              x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
+            if (rank == 0) {  // stash for master
+              sc.pq = xz_all;
+              sc.zz = zz_all;
+            }
+          });
+        }, healthy);
+      } else {
+        // Forked: one dispatch per parallel loop — the per-loop fork/join
+        // cost the paper's overhead decomposition charges against Java's
+        // model.
+        steps.step(outer, [&](WorkerTeam& team, int) {
+          {
+            obs::ScopedTimer ot(r_cg);
+            conj_grad_forked(m, x, z, r, pvec, q, p.cg_iters, team, sc, sched);
+          }
+          obs::ScopedTimer ot(r_norm);
+          const double xz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+            return x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+          });
+          const double zz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+            return z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
+          });
+          sc.pq = xz;
+          sc.zz = zz;
+          const double znorm = 1.0 / std::sqrt(zz);
+          parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
+            for (long i = lo; i < hi; ++i)
+              x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
+          });
+        }, healthy);
+      }
       zeta = p.shift + 1.0 / sc.pq;
       out.zeta_sum += zeta;
-    }
-  } else {
-    // Forked: one dispatch per parallel loop — the per-loop fork/join cost
-    // the paper's overhead decomposition charges against Java's model.
-    WorkerTeam& team = *team_storage;
-    for (int outer = 1; outer <= p.niter; ++outer) {
-      {
-        obs::ScopedTimer ot(r_cg);
-        conj_grad_forked(m, x, z, r, pvec, q, p.cg_iters, team, sc, sched);
-      }
-      obs::ScopedTimer ot(r_norm);
-      const double xz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
-        return x[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
-      });
-      const double zz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
-        return z[static_cast<std::size_t>(i)] * z[static_cast<std::size_t>(i)];
-      });
-      zeta = p.shift + 1.0 / xz;
-      out.zeta_sum += zeta;
-      const double znorm = 1.0 / std::sqrt(zz);
-      parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
-        for (long i = lo; i < hi; ++i)
-          x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
-      });
     }
   }
   out.seconds = wtime() - t0;

@@ -5,6 +5,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "ep/ep_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 
 namespace npb {
@@ -23,7 +24,9 @@ EpParams ep_params(ProblemClass cls) noexcept {
 RunResult run_ep(const RunConfig& cfg) {
   using namespace ep_detail;
   const EpParams p = ep_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const EpOutput o = cfg.mode == Mode::Native

@@ -14,6 +14,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -93,11 +94,11 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
     out.accepted = acc.accepted;
     out.q = acc.q;
   } else {
-    WorkerTeam team(threads, topts);
+    WorkerTeam base_team(threads, topts);
     // EP's only buffers are per-rank block scratch allocated on the workers
     // themselves (already the right first touch); the scope keeps the mem
     // context uniform across benchmarks.
-    const mem::ScopedTeamPlacement placement(&team, topts.schedule);
+    const mem::ScopedTeamPlacement placement(&base_team, topts.schedule);
     // Blocks are independent (each seeds itself by skip-ahead), so any
     // schedule partitions them safely.  Static keeps one accumulator per
     // rank, combined in rank order; Dynamic/Guided accumulate per *chunk*
@@ -109,43 +110,52 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts) {
     std::vector<BlockAccum> partial;
     std::vector<Range> chunks;
     alignas(64) std::atomic<std::size_t> cursor{0};
-    if (sched.kind == Schedule::Kind::Static) {
-      partial.assign(static_cast<std::size_t>(threads), BlockAccum{});
-    } else {
-      schedule_chunks_into(chunks, 0, nblocks, sched, threads);
-      partial.assign(chunks.size(), BlockAccum{});
-    }
-    auto rank_body = [&](int rank) {
-      Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
-      obs::ScopedTimer ot(r_blocks);
+    // EP is one shot, so the whole computation is one retry step.  No
+    // checkpoint spans: the accumulators below are (re)built per attempt
+    // from the width actually running, and the master-side combine happens
+    // only after the step succeeded.
+    fault::Checkpoint ckpt;
+    fault::StepRunner steps(base_team, topts, ckpt);
+    steps.step(1, [&](WorkerTeam& team, int nt) {
+      cursor.store(0, std::memory_order_relaxed);
       if (sched.kind == Schedule::Kind::Static) {
-        BlockAccum acc;
-        const Range r = partition(0, nblocks, rank, threads);
-        for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
-        detail::record_loop_iters(rank, r.size());
-        partial[static_cast<std::size_t>(rank)] = acc;
+        partial.assign(static_cast<std::size_t>(nt), BlockAccum{});
       } else {
-        long iters = 0;
-        for (;;) {
-          const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
-          if (c >= chunks.size()) break;
-          BlockAccum acc;
-          for (long b = chunks[c].lo; b < chunks[c].hi; ++b)
-            ep_block<P>(b, buf, acc);
-          partial[c] = acc;
-          iters += chunks[c].size();
-        }
-        detail::record_loop_iters(rank, iters);
+        schedule_chunks_into(chunks, 0, nblocks, sched, nt);
+        partial.assign(chunks.size(), BlockAccum{});
       }
-    };
-    // EP is embarrassingly parallel — a single dispatch either way; fusion
-    // just routes it through the SPMD region entry so team/region_span and
-    // the dispatch count line up with the other benchmarks' tables.
-    if (topts.fused) {
-      spmd(team, [&](ParallelRegion&, int rank) { rank_body(rank); });
-    } else {
-      team.run(rank_body);
-    }
+      auto rank_body = [&](int rank) {
+        Array1<double, P> buf(static_cast<std::size_t>(2 * kBlockPairs));
+        obs::ScopedTimer ot(r_blocks);
+        if (sched.kind == Schedule::Kind::Static) {
+          BlockAccum acc;
+          const Range r = partition(0, nblocks, rank, nt);
+          for (long b = r.lo; b < r.hi; ++b) ep_block<P>(b, buf, acc);
+          detail::record_loop_iters(rank, r.size());
+          partial[static_cast<std::size_t>(rank)] = acc;
+        } else {
+          long iters = 0;
+          for (;;) {
+            const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks.size()) break;
+            BlockAccum acc;
+            for (long b = chunks[c].lo; b < chunks[c].hi; ++b)
+              ep_block<P>(b, buf, acc);
+            partial[c] = acc;
+            iters += chunks[c].size();
+          }
+          detail::record_loop_iters(rank, iters);
+        }
+      };
+      // EP is embarrassingly parallel — a single dispatch either way; fusion
+      // just routes it through the SPMD region entry so team/region_span and
+      // the dispatch count line up with the other benchmarks' tables.
+      if (topts.fused) {
+        spmd(team, [&](ParallelRegion&, int rank) { rank_body(rank); });
+      } else {
+        team.run(rank_body);
+      }
+    });
     // Deterministic combine: rank order (Static) or chunk order.
     for (const BlockAccum& acc : partial) {
       out.sx += acc.sx;

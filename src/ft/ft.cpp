@@ -5,6 +5,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "ft/ft_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 
 namespace npb {
@@ -23,7 +24,9 @@ FtParams ft_params(ProblemClass cls) noexcept {
 RunResult run_ft(const RunConfig& cfg) {
   using namespace ft_detail;
   const FtParams p = ft_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const FtOutput o = cfg.mode == Mode::Native

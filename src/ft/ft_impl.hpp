@@ -17,6 +17,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "ft/ft.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
@@ -266,6 +267,15 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
   Array1<double, P> e3(static_cast<std::size_t>(p.n3));
   const double c = -4.0 * p.alpha * std::numbers::pi * std::numbers::pi;
 
+  // One time step is the retry unit, and FT's steps carry no mutable state:
+  // the frequency field vf is read-only during the loop, the decay tables
+  // and the working copy w are fully rewritten each step (evolve writes
+  // every element before the in-place inverse transform).  So the
+  // checkpoint registers no spans and a retry simply re-runs the step.
+  fault::Checkpoint ckpt;
+  std::optional<fault::StepRunner> steps;
+  if (team != nullptr) steps.emplace(*team, topts, ckpt);
+
   for (int t = 1; t <= p.iterations; ++t) {
     auto fill_decay = [&](Array1<double, P>& e, long n) {
       for (long k = 0; k < n; ++k) {
@@ -294,49 +304,57 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts) {
           }
         }
     };
-    if (team != nullptr && topts.fused) {
-      // Fused: decay tables, evolve, and all three inverse-FFT passes run
-      // resident in one dispatch per time step; each rank keeps one scratch
-      // line pair for the whole region instead of one per pass dispatch.
-      const long maxn = std::max({p.n1, p.n2, p.n3});
-      spmd(*team, [&](ParallelRegion& rg, int rank) {
-        Array1<double, P> sre(static_cast<std::size_t>(maxn));
-        Array1<double, P> sim(static_cast<std::size_t>(maxn));
-        if (rank == 0) {
-          fill_decay(e1, p.n1);
-          fill_decay(e2, p.n2);
-          fill_decay(e3, p.n3);
-        }
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_evolve);
-          const Range r = partition(0, p.n1, rank, threads);
-          evolve(r.lo, r.hi);
-        }
-        rg.barrier();
-        obs::ScopedTimer ot(r_fft);
-        st.fft3d_region(wre, wim, -1, rg, rank, threads, sre, sim);
-      });
-    } else {
+    if (team == nullptr) {
       fill_decay(e1, p.n1);
       fill_decay(e2, p.n2);
       fill_decay(e3, p.n3);
       {
         obs::ScopedTimer ot(r_evolve);
-        if (team == nullptr) {
-          evolve(0, p.n1);
-        } else {
-          team->run([&](int rank) {
-            const Range rg = partition(0, p.n1, rank, threads);
-            evolve(rg.lo, rg.hi);
+        evolve(0, p.n1);
+      }
+      obs::ScopedTimer ot(r_fft);
+      st.fft3d(wre, wim, -1, nullptr);
+    } else {
+      steps->step(t, [&](WorkerTeam& tm, int nt) {
+        if (topts.fused) {
+          // Fused: decay tables, evolve, and all three inverse-FFT passes
+          // run resident in one dispatch per time step; each rank keeps one
+          // scratch line pair for the whole region instead of one per pass
+          // dispatch.
+          const long maxn = std::max({p.n1, p.n2, p.n3});
+          spmd(tm, [&](ParallelRegion& rg, int rank) {
+            Array1<double, P> sre(static_cast<std::size_t>(maxn));
+            Array1<double, P> sim(static_cast<std::size_t>(maxn));
+            if (rank == 0) {
+              fill_decay(e1, p.n1);
+              fill_decay(e2, p.n2);
+              fill_decay(e3, p.n3);
+            }
+            rg.barrier();
+            {
+              obs::ScopedTimer ot(r_evolve);
+              const Range r = partition(0, p.n1, rank, nt);
+              evolve(r.lo, r.hi);
+            }
+            rg.barrier();
+            obs::ScopedTimer ot(r_fft);
+            st.fft3d_region(wre, wim, -1, rg, rank, nt, sre, sim);
           });
+        } else {
+          fill_decay(e1, p.n1);
+          fill_decay(e2, p.n2);
+          fill_decay(e3, p.n3);
+          {
+            obs::ScopedTimer ot(r_evolve);
+            tm.run([&](int rank) {
+              const Range rg = partition(0, p.n1, rank, nt);
+              evolve(rg.lo, rg.hi);
+            });
+          }
+          obs::ScopedTimer ot(r_fft);
+          st.fft3d(wre, wim, -1, &tm);
         }
-      }
-
-      {
-        obs::ScopedTimer ot(r_fft);
-        st.fft3d(wre, wim, -1, team);
-      }
+      });
     }
 
     // Checksum 1024 scattered elements.

@@ -3,6 +3,7 @@
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "is/is_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 
 namespace npb {
@@ -21,7 +22,9 @@ IsParams is_params(ProblemClass cls) noexcept {
 RunResult run_is(const RunConfig& cfg) {
   using namespace is_detail;
   const IsParams p = is_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const IsOutput o =

@@ -10,6 +10,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -131,11 +132,13 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
         thread_hist(r, static_cast<std::size_t>(keys[static_cast<std::size_t>(i)]))++;
     };
     // Phase 2: merge private histograms over a share of the buckets (each
-    // bucket written exactly once).
-    auto merge_buckets = [&](long lo, long hi) {
+    // bucket written exactly once).  `nt` is the width actually running —
+    // after a degraded retry it is smaller than the allocation width, and
+    // the stale rows above it must not be read.
+    auto merge_buckets = [&](long lo, long hi, int nt) {
       for (long k = lo; k < hi; ++k) {
         int sum = 0;
-        for (int t = 0; t < threads; ++t)
+        for (int t = 0; t < nt; ++t)
           sum += thread_hist(static_cast<std::size_t>(t), static_cast<std::size_t>(k));
         hist[static_cast<std::size_t>(k)] = sum;
       }
@@ -147,36 +150,46 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
         hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
     };
 
+    // One ranking iteration is the retry unit.  The keys array is the only
+    // state a step mutates that the next step reads (the two per-iteration
+    // key modifications accumulate); hist and the private histograms are
+    // rebuilt from scratch every iteration, so the checkpoint is just keys
+    // and the probe sums are pushed only after the step succeeded.
+    fault::Checkpoint ckpt;
+    ckpt.add(keys.data(), keys.size() * sizeof(int));
+    fault::StepRunner steps(team, topts, ckpt);
     const double t0 = wtime();
     for (int it = 1; it <= iterations; ++it) {
-      if (topts.fused) {
-        // Fused: key modification, both histogram phases and the scan run
-        // resident in one dispatch per iteration.
-        obs::ScopedTimer ot(r_rank);
-        spmd(team, [&](ParallelRegion& rg, int rank) {
-          if (rank == 0) {
-            keys[static_cast<std::size_t>(it)] = it;
-            keys[static_cast<std::size_t>(nkeys - it)] =
-                static_cast<int>(max_key - it);
-          }
-          zero_row(rank);
-          rg.barrier();  // publish the modified keys
-          rg.ranges(rank, sched, 0, nkeys, count_keys);
-          rg.ranges(rank, sched, 0, max_key,
-                    [&](int, long lo, long hi) { merge_buckets(lo, hi); });
-          if (rank == 0) scan();
-        });
-      } else {
-        // Forked: one dispatch per phase (zero, count, merge), master scan.
-        keys[static_cast<std::size_t>(it)] = it;
-        keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
-        obs::ScopedTimer ot(r_rank);
-        team.run(zero_row);
-        parallel_ranges(team, sched, 0, nkeys, count_keys);
-        parallel_ranges(team, sched, 0, max_key,
-                        [&](int, long lo, long hi) { merge_buckets(lo, hi); });
-        scan();
-      }
+      steps.step(it, [&](WorkerTeam& tm, int nt) {
+        if (topts.fused) {
+          // Fused: key modification, both histogram phases and the scan run
+          // resident in one dispatch per iteration.
+          obs::ScopedTimer ot(r_rank);
+          spmd(tm, [&](ParallelRegion& rg, int rank) {
+            if (rank == 0) {
+              keys[static_cast<std::size_t>(it)] = it;
+              keys[static_cast<std::size_t>(nkeys - it)] =
+                  static_cast<int>(max_key - it);
+            }
+            zero_row(rank);
+            rg.barrier();  // publish the modified keys
+            rg.ranges(rank, sched, 0, nkeys, count_keys);
+            rg.ranges(rank, sched, 0, max_key,
+                      [&](int, long lo, long hi) { merge_buckets(lo, hi, nt); });
+            if (rank == 0) scan();
+          });
+        } else {
+          // Forked: one dispatch per phase (zero, count, merge), master scan.
+          keys[static_cast<std::size_t>(it)] = it;
+          keys[static_cast<std::size_t>(nkeys - it)] = static_cast<int>(max_key - it);
+          obs::ScopedTimer ot(r_rank);
+          tm.run(zero_row);
+          parallel_ranges(tm, sched, 0, nkeys, count_keys);
+          parallel_ranges(tm, sched, 0, max_key,
+                          [&](int, long lo, long hi) { merge_buckets(lo, hi, nt); });
+          scan();
+        }
+      });
       double ps = 0.0;
       for (long pi : probe)
         ps += hist[static_cast<std::size_t>(keys[static_cast<std::size_t>(pi)])];

@@ -1,6 +1,7 @@
 #include "lu/lu.hpp"
 
 #include "lu/lu_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 
 namespace npb {
@@ -21,7 +22,9 @@ pseudoapp::AppParams lu_params(ProblemClass cls) noexcept {
 RunResult run_lu(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native
@@ -40,7 +43,9 @@ RunResult run_lu(const RunConfig& cfg) {
 RunResult run_lu_hp(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native

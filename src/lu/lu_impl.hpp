@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -176,10 +177,12 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   // One SPMD body covers both threaded drivers: the sweep pipeline was
   // already fused (barriers and point-to-point waits inside one dispatch);
   // rhs_in_region additionally folds the rhs phase and the pipeline resets
-  // into the same region, taking LU to one dispatch per time step.
-  auto step_body = [&](ParallelRegion& rg, int rank, bool rhs_in_region) {
+  // into the same region, taking LU to one dispatch per time step.  `nt` is
+  // the width actually running (smaller than `threads` after a degraded
+  // retry); the PipelineSync cells above nt simply stay idle.
+  auto step_body = [&](ParallelRegion& rg, int rank, int nt, bool rhs_in_region) {
     CellWork<P> ws;
-    const Range jr = partition(1, n - 1, rank, threads);
+    const Range jr = partition(1, n - 1, rank, nt);
     if (rhs_in_region) {
       {
         obs::ScopedTimer ot(r_rhs);
@@ -205,7 +208,7 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
       obs::ScopedTimer ot(r_upper);
       for (long i = n - 2; i >= 1; --i) {
         const long step = (n - 2) - i;
-        if (rank < threads - 1) sync_upper.wait_for(rank + 1, step);
+        if (rank < nt - 1) sync_upper.wait_for(rank + 1, step);
         for (long j = jr.hi - 1; j >= jr.lo; --j)
           for (long k = n - 2; k >= 1; --k) relax_upper(f, dt, i, j, k, ws);
         sync_upper.post(rank, step);
@@ -222,6 +225,15 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                 tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
   };
+
+  // One SSOR time step is the retry unit; u is the only cross-step state
+  // (rhs is rebuilt from u each attempt), so the checkpoint is just u.
+  fault::Checkpoint ckpt;
+  std::optional<fault::StepRunner> steps;
+  if (team != nullptr) {
+    ckpt.add(f.u.data(), f.u.size() * sizeof(double));
+    steps.emplace(*team, topts, ckpt);
+  }
 
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
@@ -252,23 +264,35 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                   static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
                   tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-    } else if (topts.fused) {
-      // Fused: rhs + both pipelined sweeps + add in one dispatch per step.
-      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, true); });
-    } else {
-      // Forked: a separate rhs dispatch, then the sweep region.  This is
-      // the paper's LU signature — synchronization *inside* the loop over
-      // one grid dimension, a software pipeline over i-planes with j-slabs
-      // per rank.  Phase timers run per rank inside the region, so
-      // LU/lower and LU/upper report per-rank pipeline skew.
-      {
-        obs::ScopedTimer ot(r_rhs);
-        do_rhs();
-      }
-      sync_lower.reset();
-      sync_upper.reset();
-      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, false); });
+      continue;
     }
+    steps->step(it, [&](WorkerTeam& tm, int nt) {
+      // Wavefront waits must unwind as RegionAborted when a fault kills the
+      // region mid-pipeline; point the spin loops at the team actually
+      // running this attempt (it changes after degradation).
+      sync_lower.set_abort_source(&tm);
+      sync_upper.set_abort_source(&tm);
+      if (topts.fused) {
+        // Fused: rhs + both pipelined sweeps + add in one dispatch per step.
+        spmd(tm, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, nt, true); });
+      } else {
+        // Forked: a separate rhs dispatch, then the sweep region.  This is
+        // the paper's LU signature — synchronization *inside* the loop over
+        // one grid dimension, a software pipeline over i-planes with j-slabs
+        // per rank.  Phase timers run per rank inside the region, so
+        // LU/lower and LU/upper report per-rank pipeline skew.
+        {
+          obs::ScopedTimer ot(r_rhs);
+          tm.run([&](int rank) {
+            const Range r = partition(1, n - 1, rank, nt);
+            compute_rhs_planes(f, r.lo, r.hi);
+          });
+        }
+        sync_lower.reset();
+        sync_upper.reset();
+        spmd(tm, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, nt, false); });
+      }
+    });
   }
   out.seconds = wtime() - t0;
 
@@ -335,9 +359,10 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
 
   // Threaded step body, aligned to the region API like lu_run's; with
   // rhs_in_region the rhs phase joins the hyperplane sweeps in one dispatch.
-  auto step_body = [&](ParallelRegion& rg, int rank, bool rhs_in_region) {
+  // `nt` is the width actually running (smaller after a degraded retry).
+  auto step_body = [&](ParallelRegion& rg, int rank, int nt, bool rhs_in_region) {
     CellWork<P> ws;
-    const Range ir = partition(1, n - 1, rank, threads);
+    const Range ir = partition(1, n - 1, rank, nt);
     if (rhs_in_region) {
       {
         obs::ScopedTimer ot(r_rhs);
@@ -374,6 +399,14 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
                             static_cast<std::size_t>(k), static_cast<std::size_t>(m));
   };
 
+  // Same retry unit and checkpoint as lu_run: one step, spanning just u.
+  fault::Checkpoint ckpt;
+  std::optional<fault::StepRunner> steps;
+  if (team != nullptr) {
+    ckpt.add(f.u.data(), f.u.size() * sizeof(double));
+    steps.emplace(*team, topts, ckpt);
+  }
+
   const double t0 = wtime();
   for (int it = 0; it < prm.iterations; ++it) {
     if (team == nullptr) {
@@ -403,15 +436,22 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
                   static_cast<std::size_t>(k), static_cast<std::size_t>(m)) +=
                   tmp * f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
                               static_cast<std::size_t>(k), static_cast<std::size_t>(m));
-    } else if (topts.fused) {
-      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, true); });
-    } else {
-      {
-        obs::ScopedTimer ot(r_rhs);
-        do_rhs();
-      }
-      spmd(*team, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, false); });
+      continue;
     }
+    steps->step(it, [&](WorkerTeam& tm, int nt) {
+      if (topts.fused) {
+        spmd(tm, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, nt, true); });
+      } else {
+        {
+          obs::ScopedTimer ot(r_rhs);
+          tm.run([&](int rank) {
+            const Range r = partition(1, n - 1, rank, nt);
+            compute_rhs_planes(f, r.lo, r.hi);
+          });
+        }
+        spmd(tm, [&](ParallelRegion& rg, int rank) { step_body(rg, rank, nt, false); });
+      }
+    });
   }
   out.seconds = wtime() - t0;
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "fault/fault.hpp"
+
 #if defined(__linux__)
 #include <sys/mman.h>
 #endif
@@ -230,6 +232,10 @@ std::size_t Arena::pooled_blocks() const noexcept {
 
 Allocation acquire(std::size_t bytes, std::size_t min_alignment) {
   if (bytes == 0) return {};
+  // The Alloc injection site: an alloc-fail spec makes this acquire behave
+  // exactly like memory exhaustion, so retry paths prove they survive
+  // bad_alloc mid-step (arena shape reuse keeps the retry allocation-free).
+  if (fault::should_fail_alloc()) throw std::bad_alloc{};
   const detail::Context& c = detail::context();
   std::size_t alignment = c.options.alignment;
   if (alignment < min_alignment) alignment = min_alignment;

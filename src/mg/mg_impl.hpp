@@ -15,6 +15,7 @@
 #include "array/array.hpp"
 #include "common/randlc.hpp"
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "mg/mg.hpp"
 #include "obs/obs.hpp"
@@ -381,26 +382,50 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   resid_level(lt, v, planes_forked, master_forked);
   out.rnm2_initial = l2norm(r[static_cast<std::size_t>(lt)], n);
 
+  // One V-cycle is the retry unit.  The cycle reads exactly two grids that
+  // earlier cycles produced — the finest-level solution u[lt] (accumulated
+  // by interp) and its residual r[lt] (the down-leg's input) — while every
+  // coarser level is overwritten on the way down/up, so those two spans are
+  // the whole checkpoint.
+  fault::Checkpoint ckpt;
+  std::optional<fault::StepRunner> steps;
+  if (team != nullptr) {
+    ckpt.add(u[static_cast<std::size_t>(lt)].data(),
+             u[static_cast<std::size_t>(lt)].size() * sizeof(double));
+    ckpt.add(r[static_cast<std::size_t>(lt)].data(),
+             r[static_cast<std::size_t>(lt)].size() * sizeof(double));
+    steps.emplace(*team, topts, ckpt);
+  }
+
   for (int iter = 1; iter <= prm.iterations; ++iter) {
-    if (team != nullptr && topts.fused) {
-      // Fused: the whole V-cycle — every level's restrict, smooth,
-      // interpolate and residual — runs resident in one dispatch per
-      // iteration; serial ghost exchanges become rank-0 sections between
-      // barriers.
-      spmd(*team, [&](ParallelRegion& rg, int rank) {
-        auto planes = [&](long nl, auto&& body) {
-          rg.ranges(rank, sched, 1, nl + 1,
-                    [&](int, long lo, long hi) { body(lo, hi); });
-        };
-        auto master = [&](auto&& fn) {
-          if (rank == 0) fn();
-          rg.barrier();
-        };
-        vcycle(planes, master);
-      });
-    } else {
+    if (team == nullptr) {
       vcycle(planes_forked, master_forked);
+      continue;
     }
+    steps->step(iter, [&](WorkerTeam& tm, int) {
+      if (topts.fused) {
+        // Fused: the whole V-cycle — every level's restrict, smooth,
+        // interpolate and residual — runs resident in one dispatch per
+        // iteration; serial ghost exchanges become rank-0 sections between
+        // barriers.
+        spmd(tm, [&](ParallelRegion& rg, int rank) {
+          auto planes = [&](long nl, auto&& body) {
+            rg.ranges(rank, sched, 1, nl + 1,
+                      [&](int, long lo, long hi) { body(lo, hi); });
+          };
+          auto master = [&](auto&& fn) {
+            if (rank == 0) fn();
+            rg.barrier();
+          };
+          vcycle(planes, master);
+        });
+      } else {
+        auto planes_step = [&](long nl, auto&& body) {
+          over_planes(&tm, sched, nl, body);
+        };
+        vcycle(planes_step, master_forked);
+      }
+    });
   }
 
   out.rnm2_final = l2norm(r[static_cast<std::size_t>(lt)], n);

@@ -5,6 +5,7 @@
 
 #include "common/classes.hpp"
 #include "common/mode.hpp"
+#include "fault/options.hpp"
 #include "mem/options.hpp"
 #include "obs/obs.hpp"
 #include "par/barrier.hpp"
@@ -37,6 +38,11 @@ struct RunConfig {
   /// schedule and thread count — the knob exists for the section 5.2
   /// dispatch-overhead ablation.
   bool fused = true;
+  /// Fault session for this run: injection specs (--fault-spec, repeatable),
+  /// barrier watchdog timeout (--watchdog-ms), and the step-retry policy
+  /// (--max-retries, degradation).  Default-constructed = disarmed; the
+  /// benchmark hot paths then pay one relaxed load per hook.
+  fault::FaultOptions fault{};
 };
 
 struct RunResult {

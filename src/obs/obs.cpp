@@ -40,6 +40,11 @@ ObsRegistry::ObsRegistry()
   intern("mem/first_touch");
   intern("team/dispatches");
   intern("team/region_span");
+  intern("fault/injected");
+  intern("fault/watchdog_fires");
+  intern("fault/stuck_rank");
+  intern("fault/retries");
+  intern("fault/degraded_width");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -143,6 +148,26 @@ Snapshot ObsRegistry::snapshot() const {
       case kRegionRegionSpan:
         snap.region_span_seconds = st.seconds;
         snap.region_count = st.count;
+        break;
+      case kRegionFaultInjected:
+        snap.fault_injected_total = st.seconds;
+        snap.fault_injected_count = st.count;
+        break;
+      case kRegionFaultWatchdogFires:
+        snap.watchdog_fires_total = st.seconds;
+        snap.watchdog_fires_count = st.count;
+        break;
+      case kRegionFaultStuckRank:
+        snap.stuck_rank_sum = st.seconds;
+        snap.stuck_rank_count = st.count;
+        break;
+      case kRegionFaultRetries:
+        snap.fault_retries_total = st.seconds;
+        snap.fault_retries_count = st.count;
+        break;
+      case kRegionFaultDegradedWidth:
+        snap.degraded_width_sum = st.seconds;
+        snap.degraded_width_count = st.count;
         break;
       default:
         snap.regions.push_back(std::move(st));

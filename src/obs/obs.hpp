@@ -31,6 +31,17 @@
 //                      ablations can read dispatches/step off the snapshot)
 //   team/region_span   master-side wall time of each fused spmd() region
 //                      (count = regions entered)
+//   fault/injected     faults fired by the injector ("seconds" rides 1.0 per
+//                      fire, so total == count), per blamed rank
+//   fault/watchdog_fires  barrier-watchdog escalations to Barrier::abort()
+//                      (1.0 per fire)
+//   fault/stuck_rank   rank ids the watchdog blamed ("seconds" accumulates
+//                      the rank number per fire; count = blames, and the
+//                      per-slot breakdown shows which rank was stuck)
+//   fault/retries      time-step retries performed by StepRunner (1.0 each)
+//   fault/degraded_width  team widths adopted by graceful degradation
+//                      ("seconds" accumulates the new width per shrink;
+//                      count = shrinks)
 //
 // Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
 // no-ops (distinct inline namespace, so mixed translation units stay
@@ -97,6 +108,20 @@ struct Snapshot {
   double region_span_seconds = 0.0;
   std::uint64_t region_count = 0;
 
+  /// fault/*: recovery activity (injector fires, watchdog escalations,
+  /// step retries, degraded team widths).  The value columns follow the
+  /// loop_iters convention: counts or rank ids ride the seconds accumulator.
+  double fault_injected_total = 0.0;
+  std::uint64_t fault_injected_count = 0;
+  double watchdog_fires_total = 0.0;
+  std::uint64_t watchdog_fires_count = 0;
+  double stuck_rank_sum = 0.0;
+  std::uint64_t stuck_rank_count = 0;
+  double fault_retries_total = 0.0;
+  std::uint64_t fault_retries_count = 0;
+  double degraded_width_sum = 0.0;
+  std::uint64_t degraded_width_count = 0;
+
   /// Max-over-mean of per-worker iteration counts in scheduled loops: 1.0 is
   /// perfectly balanced, nranks is one rank doing everything, 0.0 means no
   /// scheduled loop recorded.  Worker slots only (slot 0 falls back in when
@@ -130,7 +155,12 @@ inline constexpr RegionId kRegionMemArenaHit = 6;
 inline constexpr RegionId kRegionMemFirstTouch = 7;
 inline constexpr RegionId kRegionDispatches = 8;
 inline constexpr RegionId kRegionRegionSpan = 9;
-inline constexpr int kReservedRegions = 10;
+inline constexpr RegionId kRegionFaultInjected = 10;
+inline constexpr RegionId kRegionFaultWatchdogFires = 11;
+inline constexpr RegionId kRegionFaultStuckRank = 12;
+inline constexpr RegionId kRegionFaultRetries = 13;
+inline constexpr RegionId kRegionFaultDegradedWidth = 14;
+inline constexpr int kReservedRegions = 15;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;

@@ -98,6 +98,15 @@ std::string ObsReport::json() const {
     out += ",\"first_touch_count\":" + std::to_string(s.first_touch_count);
     out += ",\"first_touch_seconds\":";
     append_number(out, s.first_touch_seconds);
+    out += "},\"fault\":{\"injected\":" + std::to_string(s.fault_injected_count);
+    out += ",\"watchdog_fires\":" + std::to_string(s.watchdog_fires_count);
+    out += ",\"stuck_rank_count\":" + std::to_string(s.stuck_rank_count);
+    out += ",\"stuck_rank_sum\":";
+    append_number(out, s.stuck_rank_sum);
+    out += ",\"retries\":" + std::to_string(s.fault_retries_count);
+    out += ",\"degraded_width_count\":" + std::to_string(s.degraded_width_count);
+    out += ",\"degraded_width_sum\":";
+    append_number(out, s.degraded_width_sum);
     out += "},\"regions\":[";
     for (std::size_t r = 0; r < s.regions.size(); ++r) {
       const RegionStats& st = s.regions[r];
@@ -149,6 +158,15 @@ std::string ObsReport::csv() const {
     row(en, "mem/bytes", s.mem_bytes_allocated, s.mem_alloc_count);
     row(en, "mem/arena_hit", s.mem_arena_hit_bytes, s.mem_arena_hit_count);
     row(en, "mem/first_touch", s.first_touch_seconds, s.first_touch_count);
+    // fault/* value columns follow the loop_iters convention: fire counts,
+    // blamed rank ids, and adopted widths ride the seconds column.
+    row(en, "fault/injected", s.fault_injected_total, s.fault_injected_count);
+    row(en, "fault/watchdog_fires", s.watchdog_fires_total,
+        s.watchdog_fires_count);
+    row(en, "fault/stuck_rank", s.stuck_rank_sum, s.stuck_rank_count);
+    row(en, "fault/retries", s.fault_retries_total, s.fault_retries_count);
+    row(en, "fault/degraded_width", s.degraded_width_sum,
+        s.degraded_width_count);
     for (const RegionStats& st : s.regions) row(en, st.name, st.seconds, st.count);
   }
   return out;

@@ -10,7 +10,7 @@ const char* to_string(BarrierKind k) noexcept {
 
 bool CondVarBarrier::arrive_and_wait() {
   std::unique_lock<std::mutex> lk(m_);
-  if (aborted_) return false;
+  if (aborted_.load(std::memory_order_relaxed)) return false;
   const unsigned long gen = generation_;
   if (++arrived_ == n_) {
     arrived_ = 0;
@@ -18,21 +18,25 @@ bool CondVarBarrier::arrive_and_wait() {
     cv_.notify_all();
     return true;
   }
-  cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
+  cv_.wait(lk, [&] {
+    return generation_ != gen || aborted_.load(std::memory_order_relaxed);
+  });
   return generation_ != gen;
 }
 
 void CondVarBarrier::abort() {
-  {
-    std::lock_guard<std::mutex> lk(m_);
-    aborted_ = true;
-  }
+  // exchange claims the poisoned epoch: concurrent aborts (several throwing
+  // ranks, or a rank racing the watchdog) collapse to one signal.
+  if (aborted_.exchange(true, std::memory_order_acq_rel)) return;
+  // Pass through the mutex so a waiter cannot test the predicate false and
+  // then park after our store but before the notify.
+  { std::lock_guard<std::mutex> lk(m_); }
   cv_.notify_all();
 }
 
 void CondVarBarrier::reset() {
   std::lock_guard<std::mutex> lk(m_);
-  aborted_ = false;
+  aborted_.store(false, std::memory_order_relaxed);
   arrived_ = 0;
 }
 
@@ -54,7 +58,11 @@ bool SpinBarrier::arrive_and_wait() {
   return true;
 }
 
-void SpinBarrier::abort() { aborted_.store(true, std::memory_order_release); }
+void SpinBarrier::abort() {
+  // exchange, not store: idempotent under concurrent aborts, mirroring the
+  // condvar barrier's one-signal-per-epoch contract.
+  (void)aborted_.exchange(true, std::memory_order_acq_rel);
+}
 
 void SpinBarrier::reset() {
   arrived_.store(0, std::memory_order_relaxed);

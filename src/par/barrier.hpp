@@ -25,8 +25,14 @@ class Barrier {
   /// Poisons the barrier: releases every current waiter and makes every
   /// future arrive_and_wait() return false immediately.  Called by a worker
   /// whose region body threw, so peers parked at an in-region barrier don't
-  /// deadlock waiting for a rank that will never arrive.
+  /// deadlock waiting for a rank that will never arrive.  Idempotent under
+  /// concurrent aborts from multiple ranks (or a watchdog thread): exactly
+  /// one caller signals per poisoned epoch, the rest are no-ops.
   virtual void abort() = 0;
+  /// True while the barrier is poisoned.  Lock-free; the master polls it
+  /// after a join to detect aborts that arrived without a worker exception
+  /// (a watchdog escalation).
+  virtual bool aborted() const noexcept = 0;
   /// Clears the aborted state and any partial arrival count.  Only safe when
   /// no participant is inside arrive_and_wait() — the master calls it after
   /// the join barrier of a failed run(), when all workers are parked.
@@ -40,13 +46,18 @@ class CondVarBarrier final : public Barrier {
   explicit CondVarBarrier(int n) : n_(n) {}
   bool arrive_and_wait() override;
   void abort() override;
+  bool aborted() const noexcept override {
+    return aborted_.load(std::memory_order_acquire);
+  }
   void reset() override;
 
  private:
   const int n_;
   int arrived_ = 0;
   unsigned long generation_ = 0;
-  bool aborted_ = false;
+  /// Atomic so abort() can claim the poisoned epoch with one exchange and
+  /// aborted() can poll lock-free; waiters still re-check it under m_.
+  std::atomic<bool> aborted_{false};
   std::mutex m_;
   std::condition_variable cv_;
 };
@@ -59,6 +70,9 @@ class SpinBarrier final : public Barrier {
   explicit SpinBarrier(int n) : n_(n) {}
   bool arrive_and_wait() override;
   void abort() override;
+  bool aborted() const noexcept override {
+    return aborted_.load(std::memory_order_acquire);
+  }
   void reset() override;
 
  private:

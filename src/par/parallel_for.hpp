@@ -96,7 +96,8 @@ double parallel_reduce_sum(WorkerTeam& team, Schedule sched, long lo, long hi,
       const Range r = partition(lo, hi, rank, team.size());
       double s = 0.0;
       for (long i = r.lo; i < r.hi; ++i) s += body(i);
-      partial[rank].v = s;
+      // The Reduce injection site of the forked rank-ordered combine.
+      partial[rank].v = fault::poison(rank, s);
       detail::record_loop_iters(rank, r.size());
     });
     double total = 0.0;
@@ -115,7 +116,8 @@ double parallel_reduce_sum(WorkerTeam& team, Schedule sched, long lo, long hi,
       if (c >= chunks.size()) break;
       double s = 0.0;
       for (long i = chunks[c].lo; i < chunks[c].hi; ++i) s += body(i);
-      partial[c] = s;
+      // The Reduce injection site of the forked chunk-ordered combine.
+      partial[c] = fault::poison(rank, s);
       iters += chunks[c].size();
     }
     detail::record_loop_iters(rank, iters);

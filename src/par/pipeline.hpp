@@ -6,6 +6,7 @@
 
 #include "common/wtime.hpp"
 #include "obs/obs.hpp"
+#include "par/team.hpp"
 
 namespace npb {
 
@@ -24,6 +25,13 @@ class PipelineSync {
   void reset() {
     for (auto& c : progress_) c.v.store(-1, std::memory_order_relaxed);
   }
+
+  /// Attaches the owning team's region-abort flag: while spinning, waiters
+  /// poll it and unwind as RegionAborted when the region is poisoned, so a
+  /// wavefront whose upstream rank died (injected throw, watchdog abort)
+  /// cannot spin forever on a post that will never come.  Optional — an
+  /// unattached PipelineSync spins unconditionally, as before.
+  void set_abort_source(const WorkerTeam* team) noexcept { team_ = team; }
 
   /// Announces that `rank` has completed pipeline step `step`.
   void post(int rank, long step) {
@@ -47,10 +55,13 @@ class PipelineSync {
   }
 
  private:
-  static void spin(const std::atomic<long>& cell, long step) {
+  void spin(const std::atomic<long>& cell, long step) const {
     int spins = 0;
     while (cell.load(std::memory_order_acquire) < step) {
-      if (++spins > 64) std::this_thread::yield();
+      if (++spins > 64) {
+        if (team_ && team_->region_aborted()) throw RegionAborted{};
+        std::this_thread::yield();
+      }
     }
   }
 
@@ -58,6 +69,7 @@ class PipelineSync {
     std::atomic<long> v{-1};
   };
   std::vector<Cell> progress_;
+  const WorkerTeam* team_ = nullptr;
 };
 
 }  // namespace npb

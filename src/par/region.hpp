@@ -57,6 +57,7 @@ class ParallelRegion {
   /// with a barrier, so every rank sees the loop's writes on return.
   template <class Body>
   void for_each(int rank, Schedule sched, long lo, long hi, const Body& body) {
+    fault::on_site(fault::Site::Collective, rank);
     if (sched.kind == Schedule::Kind::Static) {
       const Range r = partition(lo, hi, rank, team_.size());
       for (long i = r.lo; i < r.hi; ++i) body(i);
@@ -76,6 +77,7 @@ class ParallelRegion {
   /// several per rank).  Collective; closes with a barrier.
   template <class Body>
   void ranges(int rank, Schedule sched, long lo, long hi, const Body& body) {
+    fault::on_site(fault::Site::Collective, rank);
     if (sched.kind == Schedule::Kind::Static) {
       const Range r = partition(lo, hi, rank, team_.size());
       body(rank, r.lo, r.hi);
@@ -97,6 +99,7 @@ class ParallelRegion {
   template <class Body>
   double reduce_sum(int rank, Schedule sched, long lo, long hi,
                     const Body& body) {
+    fault::on_site(fault::Site::Collective, rank);
     if (sched.kind == Schedule::Kind::Static) {
       const Range r = partition(lo, hi, rank, team_.size());
       double s = 0.0;
@@ -120,7 +123,9 @@ class ParallelRegion {
       if (c >= chunks.size()) break;
       double s = 0.0;
       for (long i = chunks[c].lo; i < chunks[c].hi; ++i) s += body(i);
-      partial[c] = s;
+      // The Reduce injection site: a nan-poison spec corrupts this rank's
+      // chunk partial, exactly the failure a retried step must wash out.
+      partial[c] = fault::poison(rank, s);
       iters += chunks[c].size();
     }
     detail::record_loop_iters(rank, iters);
@@ -139,7 +144,8 @@ class ParallelRegion {
     detail::PaddedDouble* partial = team_.reduce_scratch();
     std::optional<ReduceScratchGuard> guard;
     if (rank == 0) guard.emplace(team_);
-    partial[rank].v = mine;
+    // The Reduce injection site of the rank-ordered combine (nan-poison).
+    partial[rank].v = fault::poison(rank, mine);
     team_.barrier();  // all partials written
     double total = 0.0;
     for (int t = 0; t < team_.size(); ++t) total += partial[t].v;

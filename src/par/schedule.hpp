@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "par/partition.hpp"
 
@@ -193,6 +194,9 @@ long claim_chunks(ChunkQueue& queue, int rank, const Body& body) {
   long iters = 0;
   Range c;
   while (queue.try_claim(c)) {
+    // The Queue injection site: one crossing per successful claim, so the
+    // seed field selects which claim of the pass a spec fires on.
+    fault::on_site(fault::Site::Queue, rank);
     body(c.lo, c.hi);
     iters += c.size();
   }

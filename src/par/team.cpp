@@ -1,15 +1,18 @@
 #include "par/team.hpp"
 
+#include <chrono>
 #include <cmath>
 
 namespace npb {
 namespace {
 
 thread_local bool t_on_team_thread = false;
+thread_local int t_team_rank = -1;
 
 }  // namespace
 
 bool on_team_thread() noexcept { return t_on_team_thread; }
+int team_rank() noexcept { return t_team_rank; }
 
 namespace {
 
@@ -30,13 +33,25 @@ WorkerTeam::WorkerTeam(int nthreads, TeamOptions opts)
     : n_(nthreads),
       opts_(opts),
       barrier_(make_barrier(opts.barrier, nthreads)),
-      scratch_(static_cast<std::size_t>(nthreads)) {
+      scratch_(static_cast<std::size_t>(nthreads)),
+      watchdog_active_(opts.watchdog_ms > 0),
+      barrier_entry_(watchdog_active_ ? static_cast<std::size_t>(nthreads)
+                                      : 0) {
   threads_.reserve(static_cast<std::size_t>(n_));
   for (int rank = 0; rank < n_; ++rank)
     threads_.emplace_back([this, rank] { worker_main(rank); });
+  if (watchdog_active_) watchdog_ = std::thread([this] { watchdog_main(); });
 }
 
 WorkerTeam::~WorkerTeam() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(wd_m_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_.join();
+  }
   {
     std::lock_guard<std::mutex> lk(m_);
     stop_ = true;
@@ -84,10 +99,19 @@ void WorkerTeam::dispatch(JobFn invoke, void* ctx) {
     barrier_->reset();
     std::rethrow_exception(err);
   }
+  if (barrier_->aborted()) {
+    // External abort (a watchdog escalation): every rank unwound quietly as
+    // RegionAborted, so there is no worker exception to rethrow — but the
+    // region did not complete.  Clear the poison and tell the caller, who
+    // can retry the step (see fault::StepRunner).
+    barrier_->reset();
+    throw RegionAborted{};
+  }
 }
 
 void WorkerTeam::worker_main(int rank) {
   t_on_team_thread = true;
+  t_team_rank = rank;
   obs::set_thread_rank(rank);
   if (opts_.warmup_spins > 0) warmup_spin(opts_.warmup_spins);
   unsigned long seen = 0;
@@ -110,6 +134,11 @@ void WorkerTeam::worker_main(int rank) {
                                           wtime() - issued);
     std::exception_ptr err;
     try {
+      // The Region injection site: every benchmark body crosses it once per
+      // dispatch on every rank, so a throw spec always has somewhere to
+      // fire even in regions without in-region barriers or collectives
+      // (EP's single-shot body).
+      fault::on_site(fault::Site::Region, rank);
       invoke(ctx, rank);
     } catch (const RegionAborted&) {
       // A sibling rank's exception aborted the region; this rank just
@@ -125,6 +154,59 @@ void WorkerTeam::worker_main(int rank) {
       if (err && !first_error_) first_error_ = err;
       if (++done_ == n_) cv_done_.notify_one();
     }
+  }
+}
+
+void WorkerTeam::watchdog_main() {
+  const double timeout = static_cast<double>(opts_.watchdog_ms) / 1000.0;
+  const long poll_ms = opts_.watchdog_ms / 4 > 0 ? opts_.watchdog_ms / 4 : 1;
+
+  // Stuck means: some ranks have been parked at the barrier longer than the
+  // timeout while at least one rank has not arrived.  All-parked is a
+  // healthy barrier in its release window; none-parked is compute.
+  const auto stuck_longer_than = [&](double cutoff) {
+    int waiting = 0;
+    double oldest = wtime();
+    for (int r = 0; r < n_; ++r) {
+      const double e =
+          barrier_entry_[static_cast<std::size_t>(r)].v.load(
+              std::memory_order_acquire);
+      if (e > 0.0) {
+        ++waiting;
+        if (e < oldest) oldest = e;
+      }
+    }
+    return waiting > 0 && waiting < n_ && wtime() - oldest > cutoff;
+  };
+
+  std::unique_lock<std::mutex> lk(wd_m_);
+  for (;;) {
+    if (wd_cv_.wait_for(lk, std::chrono::milliseconds(poll_ms),
+                        [&] { return wd_stop_; }))
+      return;
+    if (barrier_->aborted()) continue;  // an unwind is already in flight
+    if (!stuck_longer_than(timeout)) continue;
+    // Re-check right before escalating: the stragglers may have arrived
+    // between the scan and now.  A release in the window after this check
+    // costs one spurious retry of a completed step — checksum-preserving,
+    // since the retry replays from the checkpoint.
+    if (!stuck_longer_than(timeout)) continue;
+    const bool obs_on = obs::kActive && obs::ObsRegistry::instance().enabled();
+    for (int r = 0; r < n_; ++r) {
+      if (barrier_entry_[static_cast<std::size_t>(r)].v.load(
+              std::memory_order_acquire) > 0.0)
+        continue;
+      // This rank never reached the barrier its siblings are parked at:
+      // blame it for the degradation policy and the report.
+      fault::Injector::instance().note_failed(r);
+      if (obs_on)
+        obs::ObsRegistry::instance().record(obs::kRegionFaultStuckRank, r,
+                                            static_cast<double>(r));
+    }
+    if (obs_on)
+      obs::ObsRegistry::instance().record(obs::kRegionFaultWatchdogFires, -1,
+                                          1.0);
+    barrier_->abort();
   }
 }
 

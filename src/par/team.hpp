@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/wtime.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "par/barrier.hpp"
 #include "par/schedule.hpp"
@@ -24,11 +25,23 @@ namespace npb {
 /// NPB_OBS_DISABLED builds where obs::thread_rank() is compiled to a stub.
 bool on_team_thread() noexcept;
 
+/// Rank of the calling thread within its WorkerTeam; -1 on the master or any
+/// non-team thread.  Unlike obs::thread_rank() this survives
+/// NPB_OBS_DISABLED builds, so the fault hooks and the barrier watchdog can
+/// attribute by rank in every configuration.
+int team_rank() noexcept;
+
 namespace detail {
 /// One cache line per rank, so concurrent per-rank writes (reduction
 /// partials, scratch results) never share a line.
 struct alignas(64) PaddedDouble {
   double v = 0.0;
+};
+
+/// One atomic double per cache line: the watchdog's per-rank barrier-entry
+/// timestamps, written by the waiting rank and scanned by the poll thread.
+struct alignas(64) PaddedAtomicDouble {
+  std::atomic<double> v{0.0};
 };
 }  // namespace detail
 
@@ -51,6 +64,14 @@ struct TeamOptions {
   /// way for a fixed schedule and thread count; the knob exists for the
   /// section 5.2 overhead ablation (--fused=on|off).
   bool fused = true;
+  /// Barrier watchdog timeout in milliseconds; > 0 starts a poll thread
+  /// that detects a barrier stuck past the timeout (some ranks parked, at
+  /// least one absent), blames the absent ranks through obs
+  /// (fault/stuck_rank) and the fault injector's failed mask, and escalates
+  /// to Barrier::abort() so the region unwinds as RegionAborted instead of
+  /// hanging.  Must exceed the longest healthy time step.  0 (default)
+  /// compiles the timestamps and the thread away at runtime.
+  long watchdog_ms = 0;
 };
 
 /// Thrown by WorkerTeam::barrier() on a rank whose region was aborted because
@@ -103,8 +124,13 @@ class WorkerTeam {
   /// Callable from inside a run() body: blocks until all workers arrive.
   /// Throws RegionAborted when a sibling rank threw out of the region body —
   /// the abort releases every parked rank so fused regions never deadlock on
-  /// a barrier their thrower will not reach.
+  /// a barrier their thrower will not reach.  Under an active fault session
+  /// this is also the Barrier injection site, and with a watchdog running
+  /// each rank timestamps its wait so stuck barriers can be detected.
   void barrier() {
+    const int rank = team_rank();
+    fault::on_site(fault::Site::Barrier, rank);
+    note_barrier_entry(rank, wtime());
     bool ok;
     if (obs::kActive && obs::ObsRegistry::instance().enabled()) {
       const double t0 = wtime();
@@ -114,6 +140,7 @@ class WorkerTeam {
     } else {
       ok = barrier_->arrive_and_wait();
     }
+    note_barrier_entry(rank, 0.0);
     if (!ok) throw RegionAborted{};
   }
 
@@ -133,6 +160,16 @@ class WorkerTeam {
   std::vector<Range>& chunk_scratch() noexcept { return chunk_scratch_; }
   std::vector<double>& partial_scratch() noexcept { return partial_scratch_; }
 
+  /// Poisons the team barrier from outside the region (watchdog escalation
+  /// path).  Waiting ranks unwind as RegionAborted; dispatch() detects the
+  /// poison after the join and reports RegionAborted to the master too.
+  void abort_region() noexcept { barrier_->abort(); }
+
+  /// True while the team barrier is poisoned (a region abort is in flight).
+  /// PipelineSync polls it so wavefront spins unwind instead of waiting
+  /// forever for a rank that already aborted.
+  bool region_aborted() const noexcept { return barrier_->aborted(); }
+
  private:
   friend class ReduceScratchGuard;
   using JobFn = void (*)(void*, int);
@@ -144,6 +181,16 @@ class WorkerTeam {
 
   void dispatch(JobFn invoke, void* ctx);
   void worker_main(int rank);
+  void watchdog_main();
+
+  /// Publishes rank's barrier wait (entry wtime, or 0.0 = not waiting) for
+  /// the watchdog scan.  One padded cell per rank; nothing at all when no
+  /// watchdog is running or the caller is not a team rank.
+  void note_barrier_entry(int rank, double when) noexcept {
+    if (!watchdog_active_ || rank < 0 || rank >= n_) return;
+    barrier_entry_[static_cast<std::size_t>(rank)].v.store(
+        when, std::memory_order_release);
+  }
 
   const int n_;
   const TeamOptions opts_;
@@ -165,6 +212,14 @@ class WorkerTeam {
   std::exception_ptr first_error_;
 
   std::vector<std::thread> threads_;
+
+  /// Watchdog state (inert unless opts_.watchdog_ms > 0).
+  const bool watchdog_active_;
+  std::vector<detail::PaddedAtomicDouble> barrier_entry_;
+  std::mutex wd_m_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
+  std::thread watchdog_;
 };
 
 /// RAII guard for the "one reduction in flight per team" scratch contract

@@ -1,6 +1,7 @@
 #include "sp/sp.hpp"
 
 #include "sp/sp_impl.hpp"
+#include "fault/fault.hpp"
 #include "mem/mem.hpp"
 
 namespace npb {
@@ -21,7 +22,9 @@ pseudoapp::AppParams sp_params(ProblemClass cls) noexcept {
 RunResult run_sp(const RunConfig& cfg) {
   using namespace sp_detail;
   const AppParams p = sp_params(cfg.cls);
-  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{}, cfg.fused};
+  const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
+                          cfg.fused, cfg.fault.watchdog_ms};
+  const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Native

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/wtime.hpp"
+#include "fault/retry.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/parallel_for.hpp"
@@ -265,105 +266,162 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
                       static_cast<std::size_t>(k), static_cast<std::size_t>(m));
   };
 
+  // One ADI time step is the retry unit.  As in BT, u is the only state a
+  // step carries into the next one (phi, forcing and ue are init-time
+  // constants, rhs is rebuilt from u), so the checkpoint is just u.
+  fault::Checkpoint ckpt;
+  std::optional<fault::StepRunner> steps;
+  if (team != nullptr) {
+    ckpt.add(f.u.data(), f.u.size() * sizeof(double));
+    steps.emplace(*team, topts, ckpt);
+  }
+
+  // Forked phase driver over the width actually running (`nt`), so a
+  // degraded retry repartitions instead of reading stale slabs.
+  auto over_nt = [&](WorkerTeam& tm, int nt, const auto& body) {
+    tm.run([&](int rank) {
+      const Range r = partition(1, n - 1, rank, nt);
+      body(r.lo, r.hi);
+    });
+  };
+
   const double t0 = wtime();
-  if (team != nullptr && topts.fused) {
-    // Fused: one team dispatch per time step.  The eleven phases of the SP
-    // step (rhs, three transform/solve/transform triplets, add) run resident
-    // inside one SPMD region with a barrier at each phase boundary; the
-    // pentadiagonal workspace is allocated once per rank per step.
-    for (int it = 0; it < prm.iterations; ++it) {
-      spmd(*team, [&](ParallelRegion& rg, int rank) {
-        const Range r = partition(1, n - 1, rank, team->size());
-        PentaWork<P> ws(n);
-        auto transform_rg = [&](const Mat5& m, double scale) {
-          obs::ScopedTimer ot(r_transform);
-          transform_planes(f, m, scale, r.lo, r.hi);
-        };
-        {
-          obs::ScopedTimer ot(r_rhs);
-          compute_rhs_planes(f, r.lo, r.hi);
-        }
-        rg.barrier();
-        transform_rg(f.sys.txinv, dt);
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_xsolve);
-          x_solve(r.lo, r.hi, ws);
-        }
-        rg.barrier();
-        transform_rg(f.sys.tx, 1.0);
-        rg.barrier();
-        transform_rg(f.sys.tyinv, 1.0);
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_ysolve);
-          y_solve(r.lo, r.hi, ws);
-        }
-        rg.barrier();
-        transform_rg(f.sys.ty, 1.0);
-        rg.barrier();
-        transform_rg(f.sys.tzinv, 1.0);
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_zsolve);
-          z_solve(r.lo, r.hi, ws);
-        }
-        rg.barrier();
-        transform_rg(f.sys.tz, 1.0);
-        rg.barrier();
-        {
-          obs::ScopedTimer ot(r_add);
-          add_phase(r.lo, r.hi);
-        }
-      });
-    }
-  } else {
-    // Forked: one fork/join dispatch per phase (the paper's cost model).
-    for (int it = 0; it < prm.iterations; ++it) {
+  for (int it = 0; it < prm.iterations; ++it) {
+    if (team == nullptr) {
+      // Serial: same phase sequence, no dispatches.
       {
         obs::ScopedTimer ot(r_rhs);
         do_rhs();
       }
-
-      // x sweep (dt folded into the first characteristic transform).
+      PentaWork<P> ws(n);
       transform(f.sys.txinv, dt);
       {
         obs::ScopedTimer ot(r_xsolve);
-        over_range(team, n, [&](long lo, long hi) {
-          PentaWork<P> ws(n);
-          x_solve(lo, hi, ws);
-        });
+        x_solve(1, n - 1, ws);
       }
       transform(f.sys.tx, 1.0);
-
-      // y sweep.
       transform(f.sys.tyinv, 1.0);
       {
         obs::ScopedTimer ot(r_ysolve);
-        over_range(team, n, [&](long lo, long hi) {
-          PentaWork<P> ws(n);
-          y_solve(lo, hi, ws);
-        });
+        y_solve(1, n - 1, ws);
       }
       transform(f.sys.ty, 1.0);
-
-      // z sweep.
       transform(f.sys.tzinv, 1.0);
       {
         obs::ScopedTimer ot(r_zsolve);
-        over_range(team, n, [&](long lo, long hi) {
-          PentaWork<P> ws(n);
-          z_solve(lo, hi, ws);
-        });
+        z_solve(1, n - 1, ws);
       }
       transform(f.sys.tz, 1.0);
-
-      // add: u += dv.
       {
         obs::ScopedTimer ot(r_add);
-        over_range(team, n, add_phase);
+        add_phase(1, n - 1);
       }
+      continue;
     }
+    steps->step(it, [&](WorkerTeam& tm, int nt) {
+      if (topts.fused) {
+        // Fused: one team dispatch per time step.  The eleven phases of the
+        // SP step (rhs, three transform/solve/transform triplets, add) run
+        // resident inside one SPMD region with a barrier at each phase
+        // boundary; the pentadiagonal workspace is allocated once per rank
+        // per step.
+        spmd(tm, [&](ParallelRegion& rg, int rank) {
+          const Range r = partition(1, n - 1, rank, nt);
+          PentaWork<P> ws(n);
+          auto transform_rg = [&](const Mat5& m, double scale) {
+            obs::ScopedTimer ot(r_transform);
+            transform_planes(f, m, scale, r.lo, r.hi);
+          };
+          {
+            obs::ScopedTimer ot(r_rhs);
+            compute_rhs_planes(f, r.lo, r.hi);
+          }
+          rg.barrier();
+          transform_rg(f.sys.txinv, dt);
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_xsolve);
+            x_solve(r.lo, r.hi, ws);
+          }
+          rg.barrier();
+          transform_rg(f.sys.tx, 1.0);
+          rg.barrier();
+          transform_rg(f.sys.tyinv, 1.0);
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_ysolve);
+            y_solve(r.lo, r.hi, ws);
+          }
+          rg.barrier();
+          transform_rg(f.sys.ty, 1.0);
+          rg.barrier();
+          transform_rg(f.sys.tzinv, 1.0);
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_zsolve);
+            z_solve(r.lo, r.hi, ws);
+          }
+          rg.barrier();
+          transform_rg(f.sys.tz, 1.0);
+          rg.barrier();
+          {
+            obs::ScopedTimer ot(r_add);
+            add_phase(r.lo, r.hi);
+          }
+        });
+      } else {
+        // Forked: one fork/join dispatch per phase (the paper's cost model).
+        auto transform_nt = [&](const Mat5& m, double scale) {
+          obs::ScopedTimer ot(r_transform);
+          over_nt(tm, nt,
+                  [&](long lo, long hi) { transform_planes(f, m, scale, lo, hi); });
+        };
+        {
+          obs::ScopedTimer ot(r_rhs);
+          over_nt(tm, nt,
+                  [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
+        }
+
+        // x sweep (dt folded into the first characteristic transform).
+        transform_nt(f.sys.txinv, dt);
+        {
+          obs::ScopedTimer ot(r_xsolve);
+          over_nt(tm, nt, [&](long lo, long hi) {
+            PentaWork<P> ws(n);
+            x_solve(lo, hi, ws);
+          });
+        }
+        transform_nt(f.sys.tx, 1.0);
+
+        // y sweep.
+        transform_nt(f.sys.tyinv, 1.0);
+        {
+          obs::ScopedTimer ot(r_ysolve);
+          over_nt(tm, nt, [&](long lo, long hi) {
+            PentaWork<P> ws(n);
+            y_solve(lo, hi, ws);
+          });
+        }
+        transform_nt(f.sys.ty, 1.0);
+
+        // z sweep.
+        transform_nt(f.sys.tzinv, 1.0);
+        {
+          obs::ScopedTimer ot(r_zsolve);
+          over_nt(tm, nt, [&](long lo, long hi) {
+            PentaWork<P> ws(n);
+            z_solve(lo, hi, ws);
+          });
+        }
+        transform_nt(f.sys.tz, 1.0);
+
+        // add: u += dv.
+        {
+          obs::ScopedTimer ot(r_add);
+          over_nt(tm, nt, add_phase);
+        }
+      }
+    });
   }
   out.seconds = wtime() - t0;
 

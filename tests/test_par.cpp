@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "par/parallel_for.hpp"
@@ -327,6 +328,73 @@ TEST_P(SpmdAbort, WorkerThrowBetweenBarriersRethrowsAndTeamRecovers) {
 INSTANTIATE_TEST_SUITE_P(Both, SpmdAbort,
                          ::testing::Values(BarrierKind::CondVar,
                                            BarrierKind::SpinSense));
+
+// Barrier::abort() must be idempotent under concurrent aborts — several
+// ranks throwing in the same region, or a rank racing the watchdog thread,
+// all poison the same barrier.  Exactly one abort epoch may result: waiters
+// get released once, every racer's abort() returns, and one reset() restores
+// the barrier to full service.
+class BarrierConcurrentAbort : public ::testing::TestWithParam<BarrierKind> {};
+
+TEST_P(BarrierConcurrentAbort, ManyConcurrentAbortsActAsOne) {
+  constexpr int kWaiters = 3;
+  constexpr int kAborters = 8;
+  for (int round = 0; round < 25; ++round) {
+    // n = kWaiters + 1: the extra participant never arrives, so the waiters
+    // can only be released by the racing abort() calls.
+    auto barrier = make_barrier(GetParam(), kWaiters + 1);
+    std::atomic<int> released{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kWaiters + kAborters);
+    for (int w = 0; w < kWaiters; ++w)
+      threads.emplace_back([&] {
+        if (!barrier->arrive_and_wait()) released.fetch_add(1);
+      });
+    for (int a = 0; a < kAborters; ++a)
+      threads.emplace_back([&] { barrier->abort(); });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(released.load(), kWaiters);
+    EXPECT_TRUE(barrier->aborted());
+    // Late arrivals into a poisoned barrier bounce straight out.
+    EXPECT_FALSE(barrier->arrive_and_wait());
+
+    // One reset clears all racers' worth of poison and the partial count.
+    barrier->reset();
+    EXPECT_FALSE(barrier->aborted());
+    std::vector<std::thread> again;
+    std::atomic<int> passed{0};
+    again.reserve(kWaiters + 1);
+    for (int w = 0; w < kWaiters + 1; ++w)
+      again.emplace_back([&] {
+        if (barrier->arrive_and_wait()) passed.fetch_add(1);
+      });
+    for (auto& t : again) t.join();
+    EXPECT_EQ(passed.load(), kWaiters + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Both, BarrierConcurrentAbort,
+                         ::testing::Values(BarrierKind::CondVar,
+                                           BarrierKind::SpinSense));
+
+// The team-level variant: several ranks throwing in one region race their
+// abort() calls through worker_main; the master must see exactly one failure,
+// and the team must come back reusable.
+TEST(SpmdConcurrentAbort, MultipleThrowingRanksRecoverCleanly) {
+  WorkerTeam team(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(spmd(team,
+                      [&](ParallelRegion& rg, int rank) {
+                        rg.barrier();
+                        if (rank != 0) throw std::runtime_error("boom");
+                        rg.barrier();
+                      }),
+                 std::runtime_error);
+    std::atomic<int> ran{0};
+    team.run([&](int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+  }
+}
 
 // ---- parallel_for / reduce -------------------------------------------------
 

@@ -4,17 +4,22 @@
 //   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
 //          [--barrier=condvar|spin] [--schedule=static|dynamic[,C]|guided[,M]]
 //          [--fused=on|off] [--mem-align=BYTES] [--first-touch] [--huge-pages]
+//          [--fault-spec=SITE:KIND:STEP:RANK:SEED[:persist]] (repeatable)
+//          [--watchdog-ms=N] [--max-retries=N] [--backoff-ms=N] [--no-degrade]
 //          [--warmup] [--verbose]
 //          [--obs-report=FILE]   (JSON, or CSV when FILE ends in .csv)
 //
 // Exit status is non-zero if any run fails verification, so the tool can
-// anchor CI jobs.
+// anchor CI jobs.  Every flag value is validated strictly — a malformed
+// value ('--fused=maybe', '--threads=two', a bad --fault-spec) is a usage
+// error (exit 2), never a silent default.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "fault/options.hpp"
 #include "mem/mem.hpp"
 #include "npb/registry.hpp"
 #include "obs/report.hpp"
@@ -27,7 +32,9 @@ void usage() {
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
       "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
       "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
-      "              [--huge-pages] [--obs-report=FILE]\n"
+      "              [--huge-pages] [--fault-spec=SPEC] [--watchdog-ms=N]\n"
+      "              [--max-retries=N] [--backoff-ms=N] [--no-degrade]\n"
+      "              [--obs-report=FILE]\n"
       "--mem-align takes a power of two (K/M suffixes allowed); --first-touch\n"
       "initializes large arrays on the worker team with the compute schedule;\n"
       "--huge-pages requests 2 MiB pages for buffers that large (Linux hint).\n"
@@ -37,10 +44,32 @@ void usage() {
       "--fused=on (default) runs each time step as one fused SPMD region;\n"
       "--fused=off restores one fork/join per parallel loop (checksums are\n"
       "bit-identical either way for a fixed schedule and thread count).\n"
+      "--fault-spec injects a deterministic fault (repeatable); SPEC is\n"
+      "SITE:KIND:STEP:RANK:SEED[:persist] with SITE one of\n"
+      "barrier|region|collective|queue|reduce|alloc|*, KIND one of\n"
+      "throw|delay(MS)|nan-poison|alloc-fail, STEP/RANK a number or *, and\n"
+      "SEED the 0-based crossing of the site the fault fires on.  Recovery:\n"
+      "--max-retries per-step retries from checkpoint (default 3) with\n"
+      "--backoff-ms linear backoff (default 1), then team-shrink degradation\n"
+      "unless --no-degrade.  --watchdog-ms aborts a barrier stuck longer than\n"
+      "N ms so the step retries instead of hanging.\n"
       "benchmarks:",
       stderr);
   for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
   std::fputs("\n", stderr);
+}
+
+/// Strict non-negative integer parse for flag values: digits only, bounded;
+/// atoi-style silent zeros ('--threads=two' -> 0) are rejected instead.
+bool parse_flag_int(const char* s, int& out) {
+  if (*s == '\0' || std::strlen(s) > 9) return false;
+  int v = 0;
+  for (; *s != '\0'; ++s) {
+    if (*s < '0' || *s > '9') return false;
+    v = v * 10 + (*s - '0');
+  }
+  out = v;
+  return true;
 }
 
 }  // namespace
@@ -68,7 +97,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--mode=native") == 0) {
       cfg.mode = npb::Mode::Native;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
-      cfg.threads = std::atoi(a + 10);
+      if (!parse_flag_int(a + 10, cfg.threads)) {
+        std::fprintf(stderr, "bad thread count '%s' (want a number >= 0)\n",
+                     a + 10);
+        return 2;
+      }
     } else if (std::strcmp(a, "--barrier=spin") == 0) {
       cfg.barrier = npb::BarrierKind::SpinSense;
     } else if (std::strcmp(a, "--barrier=condvar") == 0) {
@@ -80,10 +113,49 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.schedule = *s;
-    } else if (std::strcmp(a, "--fused=on") == 0) {
-      cfg.fused = true;
-    } else if (std::strcmp(a, "--fused=off") == 0) {
-      cfg.fused = false;
+    } else if (std::strncmp(a, "--fused=", 8) == 0) {
+      if (std::strcmp(a + 8, "on") == 0) {
+        cfg.fused = true;
+      } else if (std::strcmp(a + 8, "off") == 0) {
+        cfg.fused = false;
+      } else {
+        std::fprintf(stderr, "bad fused value '%s' (want on or off)\n", a + 8);
+        return 2;
+      }
+    } else if (std::strncmp(a, "--fault-spec=", 13) == 0) {
+      const auto spec = npb::fault::parse_fault_spec(a + 13);
+      if (!spec) {
+        std::fprintf(stderr,
+                     "bad fault spec '%s'\n"
+                     "(want SITE:KIND:STEP:RANK:SEED[:persist], e.g. "
+                     "region:throw:3:1:0 or barrier:delay(50):*:0:2;\n"
+                     " nan-poison requires site reduce, alloc-fail requires "
+                     "site alloc)\n",
+                     a + 13);
+        return 2;
+      }
+      cfg.fault.specs.push_back(*spec);
+    } else if (std::strncmp(a, "--watchdog-ms=", 14) == 0) {
+      int v = 0;
+      if (!parse_flag_int(a + 14, v)) {
+        std::fprintf(stderr, "bad watchdog timeout '%s' (want ms >= 0)\n",
+                     a + 14);
+        return 2;
+      }
+      cfg.fault.watchdog_ms = v;
+    } else if (std::strncmp(a, "--max-retries=", 14) == 0) {
+      if (!parse_flag_int(a + 14, cfg.fault.max_retries)) {
+        std::fprintf(stderr, "bad retry count '%s' (want a number >= 0)\n",
+                     a + 14);
+        return 2;
+      }
+    } else if (std::strncmp(a, "--backoff-ms=", 13) == 0) {
+      if (!parse_flag_int(a + 13, cfg.fault.backoff_ms)) {
+        std::fprintf(stderr, "bad backoff '%s' (want ms >= 0)\n", a + 13);
+        return 2;
+      }
+    } else if (std::strcmp(a, "--no-degrade") == 0) {
+      cfg.fault.allow_degraded = false;
     } else if (std::strncmp(a, "--mem-align=", 12) == 0) {
       const auto al = npb::mem::parse_alignment(a + 12);
       if (!al) {
