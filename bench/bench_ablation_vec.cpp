@@ -1,0 +1,98 @@
+// Ablation for the vec kernel mode: java vs native vs vec over the kernels
+// that were hand-vectorized (the five cfdops, the MG smoother/residual via a
+// full MG class-S run, the CG sparse mat-vec via a class-S solve, and the
+// BT/SP line solvers via class-S runs).  Native already benefits from the
+// autovectorizer, so vec-over-native isolates what *explicit* lanes recover —
+// the analogue of NPB3.3's VERSION=VEC variants — while java-over-native
+// restates the paper's translation cost for scale.
+//
+// google-benchmark binary; pass --benchmark_filter=... to narrow.  The CI
+// perf-smoke run asserts at least one vec kernel beats native here.
+
+#include <benchmark/benchmark.h>
+
+#include "cfdops/cfdops.hpp"
+#include "npb/registry.hpp"
+
+namespace {
+
+// ---- cfdops microkernels ---------------------------------------------------
+
+npb::CfdConfig cfd_cfg(npb::Mode mode) {
+  npb::CfdConfig c;
+  c.n1 = 41;
+  c.n2 = 41;
+  c.n3 = 50;
+  c.reps = 1;
+  c.mode = mode;
+  c.shape = npb::ArrayShape::Linearized;
+  c.threads = 0;
+  return c;
+}
+
+void run_cfd(benchmark::State& state, npb::CfdOp op, npb::Mode mode) {
+  const npb::CfdConfig c = cfd_cfg(mode);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const npb::CfdResult r = npb::run_cfd_op(op, c);
+    checksum = r.checksum;
+    state.SetIterationTime(r.seconds);
+  }
+  benchmark::DoNotOptimize(checksum);
+}
+
+// ---- full class-S benchmark runs -------------------------------------------
+
+void run_bench(benchmark::State& state, const char* name, npb::Mode mode) {
+  npb::RunConfig cfg;
+  cfg.cls = npb::ProblemClass::S;
+  cfg.mode = mode;
+  cfg.threads = 0;
+  npb::RunFn fn = npb::find_benchmark(name);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const npb::RunResult r = fn(cfg);
+    checksum = r.checksums.empty() ? 0.0 : r.checksums[0];
+    state.SetIterationTime(r.seconds);
+  }
+  benchmark::DoNotOptimize(checksum);
+}
+
+#define VEC_ABLATION_OP(op_name, op)                                            \
+  void BM_##op_name##_java(benchmark::State& s) {                              \
+    run_cfd(s, op, npb::Mode::Java);                                           \
+  }                                                                            \
+  void BM_##op_name##_native(benchmark::State& s) {                           \
+    run_cfd(s, op, npb::Mode::Native);                                         \
+  }                                                                            \
+  void BM_##op_name##_vec(benchmark::State& s) {                              \
+    run_cfd(s, op, npb::Mode::Vec);                                            \
+  }                                                                            \
+  BENCHMARK(BM_##op_name##_java)->UseManualTime()->Unit(benchmark::kMillisecond);   \
+  BENCHMARK(BM_##op_name##_native)->UseManualTime()->Unit(benchmark::kMillisecond); \
+  BENCHMARK(BM_##op_name##_vec)->UseManualTime()->Unit(benchmark::kMillisecond)
+
+#define VEC_ABLATION_BENCH(bm)                                                  \
+  void BM_##bm##_java(benchmark::State& s) { run_bench(s, #bm, npb::Mode::Java); } \
+  void BM_##bm##_native(benchmark::State& s) {                                 \
+    run_bench(s, #bm, npb::Mode::Native);                                      \
+  }                                                                            \
+  void BM_##bm##_vec(benchmark::State& s) { run_bench(s, #bm, npb::Mode::Vec); } \
+  BENCHMARK(BM_##bm##_java)->UseManualTime()->Unit(benchmark::kMillisecond);   \
+  BENCHMARK(BM_##bm##_native)->UseManualTime()->Unit(benchmark::kMillisecond); \
+  BENCHMARK(BM_##bm##_vec)->UseManualTime()->Unit(benchmark::kMillisecond)
+
+VEC_ABLATION_OP(Assignment, npb::CfdOp::Assignment);
+VEC_ABLATION_OP(Stencil1, npb::CfdOp::FirstOrderStencil);
+VEC_ABLATION_OP(Stencil2, npb::CfdOp::SecondOrderStencil);
+VEC_ABLATION_OP(MatVec, npb::CfdOp::MatVec);
+VEC_ABLATION_OP(Reduction, npb::CfdOp::ReductionSum);
+
+VEC_ABLATION_BENCH(CG);
+VEC_ABLATION_BENCH(MG);
+VEC_ABLATION_BENCH(BT);
+VEC_ABLATION_BENCH(SP);
+
+}  // namespace
+
+BENCHMARK_MAIN();

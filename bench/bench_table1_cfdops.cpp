@@ -35,10 +35,11 @@ int main(int argc, char** argv) {
       "Table 1. Execution times in seconds of the basic CFD operations\n"
       "(grid 81x81x100, 5x5 matrices, 5-D vectors; " +
       std::to_string(reps) + " repetitions per cell)");
-  std::vector<std::string> header{"Operation", "f77", "Java serial"};
+  std::vector<std::string> header{"Operation", "f77", "vec", "Java serial"};
   for (int th : args.threads)
     if (th > 0) header.push_back(std::to_string(th) + "thr");
   header.push_back("Java/f77");
+  header.push_back("f77/vec");
   t.set_header(header);
 
   for (npb::CfdOp op : kOps) {
@@ -49,10 +50,14 @@ int main(int argc, char** argv) {
     cfg.threads = 0;
     const double f77 = npb::run_cfd_op(op, cfg).seconds;
 
+    cfg.mode = npb::Mode::Vec;
+    const double vec = npb::run_cfd_op(op, cfg).seconds;
+
     cfg.mode = npb::Mode::Java;
     const double jser = npb::run_cfd_op(op, cfg).seconds;
 
     std::vector<std::string> row{npb::to_string(op), npb::Table::cell(f77, 3),
+                                 npb::Table::cell(vec, 3),
                                  npb::Table::cell(jser, 3)};
     for (int th : args.threads) {
       if (th <= 0) continue;
@@ -62,12 +67,16 @@ int main(int argc, char** argv) {
     char ratio[32];
     std::snprintf(ratio, sizeof ratio, "%.1f", jser / f77);
     row.push_back(ratio);
+    std::snprintf(ratio, sizeof ratio, "%.2f", f77 / vec);
+    row.push_back(ratio);
     t.add_row(row);
     std::fprintf(stderr, "%s done\n", npb::to_string(op));
   }
   std::fputs(t.render().c_str(), stdout);
   std::puts("\nPaper (Origin2000): Java/f77 ratios 3.3 (Assignment) .. 12.4 (2nd-order\n"
             "stencil); the computationally dense ops sit at the high end because\n"
-            "bounds checks suppress regular-stride optimization.");
+            "bounds checks suppress regular-stride optimization.  The vec column\n"
+            "is this repo's extra question: what explicit SIMD recovers beyond\n"
+            "the autovectorized native kernels (f77/vec > 1 means vec is faster).");
   return 0;
 }

@@ -23,13 +23,15 @@ RunResult run_bt(const RunConfig& cfg) {
   using namespace bt_detail;
   const AppParams p = bt_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const AppOutput o = cfg.mode == Mode::Native
-                          ? bt_run<Unchecked>(p, cfg.threads, topts)
-                          : bt_run<Checked>(p, cfg.threads, topts);
+  const AppOutput o = cfg.mode == Mode::Java
+                          ? bt_run<Checked>(p, cfg.threads, topts)
+                          : cfg.mode == Mode::Vec
+                                ? bt_run<Unchecked, true>(p, cfg.threads, topts)
+                                : bt_run<Unchecked>(p, cfg.threads, topts);
 
   // Per point per iteration: RHS stencil (~500 flops) plus three block-
   // tridiagonal line solves (~3 * 600 flops for the 5x5 block algebra).

@@ -15,6 +15,8 @@
 #include "pseudoapp/app.hpp"
 #include "pseudoapp/block_impl.hpp"
 #include "pseudoapp/field_impl.hpp"
+#include "simd/blocks.hpp"
+#include "simd/simd.hpp"
 
 namespace npb::bt_detail {
 
@@ -35,13 +37,95 @@ struct LineWork {
 /// access the line's RHS which is overwritten with the solution.
 /// `scale_dt` multiplies the incoming RHS by dt (done on the first sweep of
 /// the factorization only).
-template <class P, class PhiAt, class RGet, class RSet>
+///
+/// Under V (--mode=vec) the band setup runs lane-parallel across each
+/// 25-element block (diagonal terms come from a 1/0 mask, so every element
+/// sees the scalar expression exactly) and the block Thomas sweep uses the
+/// simd/blocks.hpp primitives; only the mv5/lu5-solve row dots reassociate.
+template <class P, bool V = false, class PhiAt, class RGet, class RSet>
 void solve_line(const System& sys, const Mat5& Ad, double h, double dt, long n,
                 const PhiAt& phi_at, const RGet& rget, const RSet& rset,
                 LineWork<P>& ws, bool scale_dt) {
   const double inv2h = 1.0 / (2.0 * h);
   const double invh2 = 1.0 / (h * h);
   const long nc = n - 2;
+
+  if constexpr (V) {
+    static_assert(!P::kChecked, "vec kernels require unchecked access");
+    // 1.0 on the block diagonal, 0.0 elsewhere: multiplying by it is exact,
+    // so the masked lane expression reproduces the i==j branches bit-for-bit.
+    static constexpr Mat5 kDiag = [] {
+      Mat5 d{};
+      for (int i = 0; i < kComps; ++i) d[static_cast<std::size_t>(i * kComps + i)] = 1.0;
+      return d;
+    }();
+    const double dnu = sys.nu * invh2;
+    const double bdiag = 1.0 + dt * 2.0 * sys.nu * invh2;
+    const simd::Dvec vdt = simd::Dvec::broadcast(dt);
+    const simd::Dvec vinv2h = simd::Dvec::broadcast(inv2h);
+    const simd::Dvec vdnu = simd::Dvec::broadcast(dnu);
+    const simd::Dvec vbdiag = simd::Dvec::broadcast(bdiag);
+    constexpr int W = simd::Dvec::width;
+    for (long q = 0; q < nc; ++q) {
+      const long cidx = q + 1;
+      const double ph = phi_at(cidx);
+      const simd::Dvec vph = simd::Dvec::broadcast(ph);
+      double* ap = ws.a.data() + static_cast<std::size_t>(q) * 25;
+      double* bp = ws.b.data() + static_cast<std::size_t>(q) * 25;
+      double* cp = ws.c.data() + static_cast<std::size_t>(q) * 25;
+      int e = 0;
+      for (; e + W <= 25; e += W) {
+        const simd::Dvec conv = vph * simd::Dvec::load(Ad.data() + e) * vinv2h;
+        const simd::Dvec diff = vdnu * simd::Dvec::load(kDiag.data() + e);
+        simd::store(ap + e, vdt * (-conv - diff));
+        simd::store(cp + e, vdt * (conv - diff));
+        simd::store(bp + e, vbdiag * simd::Dvec::load(kDiag.data() + e));
+      }
+      for (; e < 25; ++e) {
+        const double conv = ph * Ad[static_cast<std::size_t>(e)] * inv2h;
+        const double diff = dnu * kDiag[static_cast<std::size_t>(e)];
+        ap[e] = dt * (-conv - diff);
+        cp[e] = dt * (conv - diff);
+        bp[e] = bdiag * kDiag[static_cast<std::size_t>(e)];
+      }
+      P::flops(6 * 25);
+      const std::size_t vb = static_cast<std::size_t>(q) * 5;
+      for (int m = 0; m < kComps; ++m)
+        ws.r[vb + static_cast<std::size_t>(m)] =
+            (scale_dt ? dt : 1.0) * rget(cidx, m);
+    }
+
+    double* ap = ws.a.data();
+    double* bp = ws.b.data();
+    double* cp = ws.c.data();
+    double* rp = ws.r.data();
+    // Block Thomas: forward elimination ...
+    simd::lu5_factor_vec<P>(bp);
+    simd::lu5_solve_vec_vec<P>(bp, rp);
+    simd::lu5_solve_block_vec<P>(bp, cp);
+    for (long q = 1; q < nc; ++q) {
+      const std::size_t blk = static_cast<std::size_t>(q) * 25;
+      const std::size_t prevblk = static_cast<std::size_t>(q - 1) * 25;
+      const std::size_t vb = static_cast<std::size_t>(q) * 5;
+      const std::size_t prevvb = static_cast<std::size_t>(q - 1) * 5;
+      simd::mm5_sub_vec<P>(ap + blk, cp + prevblk, bp + blk);
+      simd::mv5_sub_vec<P>(ap + blk, rp + prevvb, rp + vb);
+      simd::lu5_factor_vec<P>(bp + blk);
+      simd::lu5_solve_vec_vec<P>(bp + blk, rp + vb);
+      simd::lu5_solve_block_vec<P>(bp + blk, cp + blk);
+    }
+    // ... and back substitution.
+    for (long q = nc - 2; q >= 0; --q) {
+      const std::size_t blk = static_cast<std::size_t>(q) * 25;
+      simd::mv5_sub_vec<P>(cp + blk, rp + static_cast<std::size_t>(q + 1) * 5,
+                           rp + static_cast<std::size_t>(q) * 5);
+    }
+    for (long q = 0; q < nc; ++q)
+      for (int m = 0; m < kComps; ++m)
+        rset(q + 1, m,
+             ws.r[static_cast<std::size_t>(q) * 5 + static_cast<std::size_t>(m)]);
+    return;
+  }
 
   for (long q = 0; q < nc; ++q) {
     const long cidx = q + 1;
@@ -102,7 +186,7 @@ void over_range(WorkerTeam* team, long n, const F& body) {
   }
 }
 
-template <class P>
+template <class P, bool V = false>
 AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   // Team before the fields: under FirstTouch each rank commits the
   // k-plane slabs it will sweep, instead of every page faulting in on
@@ -141,7 +225,7 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   auto x_sweep = [&](long lo, long hi, LineWork<P>& ws) {
     for (long j = lo; j < hi; ++j)
       for (long k = 1; k < n - 1; ++k)
-        solve_line<P>(
+        solve_line<P, V>(
             f.sys, f.sys.ax, f.h, dt, n,
             [&](long c) {
               return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
@@ -161,7 +245,7 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   auto y_sweep = [&](long lo, long hi, LineWork<P>& ws) {
     for (long i = lo; i < hi; ++i)
       for (long k = 1; k < n - 1; ++k)
-        solve_line<P>(
+        solve_line<P, V>(
             f.sys, f.sys.ay, f.h, dt, n,
             [&](long c) {
               return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
@@ -181,7 +265,7 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   auto z_sweep = [&](long lo, long hi, LineWork<P>& ws) {
     for (long i = lo; i < hi; ++i)
       for (long j = 1; j < n - 1; ++j)
-        solve_line<P>(
+        solve_line<P, V>(
             f.sys, f.sys.az, f.h, dt, n,
             [&](long c) {
               return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
@@ -332,5 +416,6 @@ AppOutput bt_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 
 extern template AppOutput bt_run<Unchecked>(const AppParams&, int, const TeamOptions&);
 extern template AppOutput bt_run<Checked>(const AppParams&, int, const TeamOptions&);
+extern template AppOutput bt_run<Unchecked, true>(const AppParams&, int, const TeamOptions&);
 
 }  // namespace npb::bt_detail

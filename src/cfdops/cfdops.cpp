@@ -21,6 +21,10 @@ const char* to_string(ArrayShape s) noexcept {
 
 CfdResult run_cfd_op(CfdOp op, const CfdConfig& cfg) {
   using namespace cfdops_detail;
+  // Vec lanes run along the linearized trailing dimension; the
+  // dimension-preserving family has no such contiguity guarantee, so vec
+  // implies the linearized translation regardless of cfg.shape.
+  if (cfg.mode == Mode::Vec) return LinVec::run(op, cfg);
   if (cfg.shape == ArrayShape::Linearized)
     return cfg.mode == Mode::Native ? LinNative::run(op, cfg) : LinJava::run(op, cfg);
   return cfg.mode == Mode::Native ? MdNative::run(op, cfg) : MdJava::run(op, cfg);

@@ -1,8 +1,10 @@
 #pragma once
 
 // Kernel templates for the basic CFD operations; explicitly instantiated in
-// cfdops_native.cpp and cfdops_java.cpp over (policy, array family).
+// cfdops_native.cpp, cfdops_java.cpp and cfdops_vec.cpp over (policy, array
+// family, vectorization).
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "par/parallel_for.hpp"
 #include "par/region.hpp"
 #include "par/team.hpp"
+#include "simd/simd.hpp"
 
 namespace npb::cfdops_detail {
 
@@ -55,12 +58,16 @@ void over_reps(WorkerTeam* team, bool fused, int reps, long lo0, long hi0,
   for (int rep = 0; rep < reps; ++rep) over(team, lo0, hi0, body);
 }
 
-/// All five kernels over one (policy, array-family) combination.  A3/A4/A5
-/// are Array3/4/5 for the linearized translation and MdArray3/4/5 for the
-/// dimension-preserving one.
+/// All five kernels over one (policy, array-family, vectorization)
+/// combination.  A3/A4/A5 are Array3/4/5 for the linearized translation and
+/// MdArray3/4/5 for the dimension-preserving one.  V=true selects the
+/// hand-vectorized inner loops (--mode=vec): lanes run along the contiguous
+/// trailing dimension, which only exists for the linearized family, so vec is
+/// only ever instantiated over (Unchecked, Array3/4/5).
 template <class P, template <class, class> class A3, template <class, class> class A4,
-          template <class, class> class A5>
+          template <class, class> class A5, bool V = false>
 struct Kernels {
+  static_assert(!V || !P::kChecked, "vec kernels require unchecked access");
   using G3 = A3<double, P>;
   using G4 = A4<double, P>;
   using G5 = A5<double, P>;
@@ -95,12 +102,27 @@ struct Kernels {
     const double t0 = wtime();
     over_reps(team, cfg.fused, cfg.reps, 0, cfg.n1, [&](long lo, long hi) {
       for (long i = lo; i < hi; ++i)
-        for (long j = 0; j < cfg.n2; ++j)
-          for (long k = 0; k < cfg.n3; ++k)
-            out(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                static_cast<std::size_t>(k)) =
-                in(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                   static_cast<std::size_t>(k));
+        for (long j = 0; j < cfg.n2; ++j) {
+          const auto I = static_cast<std::size_t>(i);
+          const auto J = static_cast<std::size_t>(j);
+          if constexpr (V) {
+            // Lane copy along the contiguous k row; bit-identical to the
+            // scalar assignment (Exact tier).
+            const double* ip = &in(I, J, 0);
+            double* op = &out(I, J, 0);
+            long k = 0;
+            for (; k + simd::Dvec::width <= cfg.n3; k += simd::Dvec::width)
+              simd::store(op + k, simd::load(ip + k));
+            if (k < cfg.n3)
+              simd::store_partial(op + k, static_cast<int>(cfg.n3 - k),
+                                  simd::load_partial(ip + k,
+                                                     static_cast<int>(cfg.n3 - k)));
+          } else {
+            for (long k = 0; k < cfg.n3; ++k)
+              out(I, J, static_cast<std::size_t>(k)) =
+                  in(I, J, static_cast<std::size_t>(k));
+          }
+        }
     });
     const double secs = wtime() - t0;
     P::take_snapshot();
@@ -121,22 +143,82 @@ struct Kernels {
     const double t0 = wtime();
     over_reps(team, cfg.fused, cfg.reps, r, cfg.n1 - r, [&](long lo, long hi) {
       for (long i = lo; i < hi; ++i)
-        for (long j = r; j < cfg.n2 - r; ++j)
-          for (long k = r; k < cfg.n3 - r; ++k) {
-            const auto I = static_cast<std::size_t>(i);
-            const auto J = static_cast<std::size_t>(j);
-            const auto K = static_cast<std::size_t>(k);
-            double v = c0 * in(I, J, K) +
-                       c1 * (in(I - 1, J, K) + in(I + 1, J, K) + in(I, J - 1, K) +
-                             in(I, J + 1, K) + in(I, J, K - 1) + in(I, J, K + 1));
-            P::flops(13);
+        for (long j = r; j < cfg.n2 - r; ++j) {
+          const auto I = static_cast<std::size_t>(i);
+          const auto J = static_cast<std::size_t>(j);
+          if constexpr (V) {
+            // Lanes run along the contiguous k row; the star neighbours are
+            // unit offsets within the row (k +/- d) and fixed row offsets
+            // across it (i/j +/- d).  The neighbour sum replicates the scalar
+            // left-to-right association per element, so any drift against
+            // scalar comes only from FMA contraction (tight tier).
+            const double* pc = &in(I, J, 0);
+            const double* pim = &in(I - 1, J, 0);
+            const double* pip = &in(I + 1, J, 0);
+            const double* pjm = &in(I, J - 1, 0);
+            const double* pjp = &in(I, J + 1, 0);
+            // The radius-2 rows only exist (i, j >= 2) when radius == 2.
+            const double* pim2 = nullptr;
+            const double* pip2 = nullptr;
+            const double* pjm2 = nullptr;
+            const double* pjp2 = nullptr;
             if (radius == 2) {
-              v += c2 * (in(I - 2, J, K) + in(I + 2, J, K) + in(I, J - 2, K) +
-                         in(I, J + 2, K) + in(I, J, K - 2) + in(I, J, K + 2));
-              P::flops(7);
+              pim2 = &in(I - 2, J, 0);
+              pip2 = &in(I + 2, J, 0);
+              pjm2 = &in(I, J - 2, 0);
+              pjp2 = &in(I, J + 2, 0);
             }
-            out(I, J, K) = v;
+            double* po = &out(I, J, 0);
+            const simd::Dvec vc0 = simd::Dvec::broadcast(c0);
+            const simd::Dvec vc1 = simd::Dvec::broadcast(c1);
+            const simd::Dvec vc2 = simd::Dvec::broadcast(c2);
+            constexpr long W = simd::Dvec::width;
+            long k = r;
+            for (; k + W <= cfg.n3 - r; k += W) {
+              simd::Dvec nb = simd::load(pim + k) + simd::load(pip + k);
+              nb += simd::load(pjm + k);
+              nb += simd::load(pjp + k);
+              nb += simd::load(pc + k - 1);
+              nb += simd::load(pc + k + 1);
+              simd::Dvec v = vc0 * simd::load(pc + k) + vc1 * nb;
+              if (radius == 2) {
+                simd::Dvec nb2 = simd::load(pim2 + k) + simd::load(pip2 + k);
+                nb2 += simd::load(pjm2 + k);
+                nb2 += simd::load(pjp2 + k);
+                nb2 += simd::load(pc + k - 2);
+                nb2 += simd::load(pc + k + 2);
+                v += vc2 * nb2;
+              }
+              simd::store(po + k, v);
+            }
+            for (; k < cfg.n3 - r; ++k) {
+              const auto K = static_cast<std::size_t>(k);
+              double v = c0 * in(I, J, K) +
+                         c1 * (in(I - 1, J, K) + in(I + 1, J, K) + in(I, J - 1, K) +
+                               in(I, J + 1, K) + in(I, J, K - 1) + in(I, J, K + 1));
+              if (radius == 2)
+                v += c2 * (in(I - 2, J, K) + in(I + 2, J, K) + in(I, J - 2, K) +
+                           in(I, J + 2, K) + in(I, J, K - 2) + in(I, J, K + 2));
+              out(I, J, K) = v;
+            }
+            P::flops(static_cast<std::uint64_t>(13 + (radius == 2 ? 7 : 0)) *
+                     static_cast<std::uint64_t>(cfg.n3 - 2 * r));
+          } else {
+            for (long k = r; k < cfg.n3 - r; ++k) {
+              const auto K = static_cast<std::size_t>(k);
+              double v = c0 * in(I, J, K) +
+                         c1 * (in(I - 1, J, K) + in(I + 1, J, K) + in(I, J - 1, K) +
+                               in(I, J + 1, K) + in(I, J, K - 1) + in(I, J, K + 1));
+              P::flops(13);
+              if (radius == 2) {
+                v += c2 * (in(I - 2, J, K) + in(I + 2, J, K) + in(I, J - 2, K) +
+                           in(I, J + 2, K) + in(I, J, K - 2) + in(I, J, K + 2));
+                P::flops(7);
+              }
+              out(I, J, K) = v;
+            }
           }
+        }
     });
     const double secs = wtime() - t0;
     P::take_snapshot();
@@ -172,14 +254,27 @@ struct Kernels {
             const auto I = static_cast<std::size_t>(i);
             const auto J = static_cast<std::size_t>(j);
             const auto K = static_cast<std::size_t>(k);
-            for (std::size_t m = 0; m < 5; ++m) {
-              double s = 0.0;
-              for (std::size_t l = 0; l < 5; ++l) {
-                s += mats(I, J, K, m, l) * vin(I, J, K, l);
-                P::muladds(1);
+            if constexpr (V) {
+              // Each 5-term row dot runs as a lane dot over the contiguous
+              // matrix row against the contiguous 5-vector (reassociates;
+              // the vec tolerance tier bounds the checksum drift).
+              const double* mp = &mats(I, J, K, 0, 0);
+              const double* xp = &vin(I, J, K, 0);
+              double* yp = &vout(I, J, K, 0);
+              for (int m = 0; m < 5; ++m)
+                yp[m] = simd::dot(mp + m * 5, xp, 5);
+              P::muladds(25);
+              P::flops(50);
+            } else {
+              for (std::size_t m = 0; m < 5; ++m) {
+                double s = 0.0;
+                for (std::size_t l = 0; l < 5; ++l) {
+                  s += mats(I, J, K, m, l) * vin(I, J, K, l);
+                  P::muladds(1);
+                }
+                vout(I, J, K, m) = s;
+                P::flops(10);
               }
-              vout(I, J, K, m) = s;
-              P::flops(10);
             }
           }
     });
@@ -207,16 +302,29 @@ struct Kernels {
                 1.0e-6 * static_cast<double>((3 * i + 5 * j + 7 * k + 11 * static_cast<long>(m)) % 101);
     double total = 0.0;
     auto body = [&](long lo, long hi) -> double {
-      double s = 0.0;
-      for (long i = lo; i < hi; ++i)
-        for (long j = 0; j < cfg.n2; ++j)
-          for (long k = 0; k < cfg.n3; ++k)
-            for (std::size_t m = 0; m < 5; ++m) {
-              s += q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
-                     static_cast<std::size_t>(k), m);
-              P::flops(1);
-            }
-      return s;
+      if constexpr (V) {
+        // Each rank's block q[lo..hi) x n2 x n3 x 5 is one contiguous run of
+        // the linearized array; sum it with the lane accumulator + in-order
+        // hsum (reassociates within the rank; the rank combine order is
+        // unchanged, so fused and forked still agree bit-for-bit).
+        const long row = cfg.n2 * cfg.n3 * 5;
+        double s = 0.0;
+        for (long i = lo; i < hi; ++i)
+          s += simd::sum(&q(static_cast<std::size_t>(i), 0, 0, 0), row);
+        P::flops(static_cast<std::uint64_t>((hi - lo) * row));
+        return s;
+      } else {
+        double s = 0.0;
+        for (long i = lo; i < hi; ++i)
+          for (long j = 0; j < cfg.n2; ++j)
+            for (long k = 0; k < cfg.n3; ++k)
+              for (std::size_t m = 0; m < 5; ++m) {
+                s += q(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                       static_cast<std::size_t>(k), m);
+                P::flops(1);
+              }
+        return s;
+      }
     };
     P::reset_counts();
     const double t0 = wtime();
@@ -254,8 +362,9 @@ struct Kernels {
     const mem::ScopedMemConfig mem_scope(cfg.mem);
     std::optional<WorkerTeam> team_storage;
     if (cfg.threads > 0)
-      team_storage.emplace(cfg.threads, TeamOptions{cfg.barrier, cfg.warmup_spins,
-                                                    Schedule{}, cfg.fused});
+      team_storage.emplace(cfg.threads,
+                           TeamOptions{cfg.barrier, cfg.warmup_spins, Schedule{},
+                                       cfg.fused, 0, cfg.mode});
     WorkerTeam* team = team_storage ? &*team_storage : nullptr;
     // cfdops kernels partition statically (over()), so first-touch uses the
     // default static schedule too.
@@ -274,14 +383,16 @@ struct Kernels {
 using LinNative = Kernels<Unchecked, Array3, Array4, Array5>;
 using LinJava = Kernels<Checked, Array3, Array4, Array5>;
 using LinCounting = Kernels<Counting, Array3, Array4, Array5>;
+using LinVec = Kernels<Unchecked, Array3, Array4, Array5, true>;
 using MdNative = Kernels<Unchecked, MdArray3, MdArray4, MdArray5>;
 using MdJava = Kernels<Checked, MdArray3, MdArray4, MdArray5>;
 using MdCounting = Kernels<Counting, MdArray3, MdArray4, MdArray5>;
 
-// Instantiated in cfdops_native.cpp / cfdops_java.cpp respectively.
+// Instantiated in cfdops_native.cpp / cfdops_java.cpp / cfdops_vec.cpp.
 extern template struct Kernels<Unchecked, Array3, Array4, Array5>;
 extern template struct Kernels<Checked, Array3, Array4, Array5>;
 extern template struct Kernels<Counting, Array3, Array4, Array5>;
+extern template struct Kernels<Unchecked, Array3, Array4, Array5, true>;
 extern template struct Kernels<Unchecked, MdArray3, MdArray4, MdArray5>;
 extern template struct Kernels<Checked, MdArray3, MdArray4, MdArray5>;
 extern template struct Kernels<Counting, MdArray3, MdArray4, MdArray5>;

@@ -1,0 +1,5 @@
+#include "cfdops/cfdops_impl.hpp"
+
+namespace npb::cfdops_detail {
+template struct Kernels<Unchecked, Array3, Array4, Array5, true>;
+}  // namespace npb::cfdops_detail

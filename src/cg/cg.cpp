@@ -25,13 +25,15 @@ RunResult run_cg(const RunConfig& cfg) {
   using namespace cg_detail;
   const CgParams p = cg_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const CgOutput o = cfg.mode == Mode::Native
-                         ? cg_run<Unchecked>(p, cfg.threads, topts)
-                         : cg_run<Checked>(p, cfg.threads, topts);
+  const CgOutput o = cfg.mode == Mode::Java
+                         ? cg_run<Checked>(p, cfg.threads, topts)
+                         : cfg.mode == Mode::Vec
+                               ? cg_run<Unchecked, true>(p, cfg.threads, topts)
+                               : cg_run<Unchecked>(p, cfg.threads, topts);
 
   RunResult r;
   r.name = "CG";

@@ -18,6 +18,7 @@
 #include "par/parallel_for.hpp"
 #include "par/region.hpp"
 #include "par/team.hpp"
+#include "simd/simd.hpp"
 
 namespace npb::cg_detail {
 
@@ -144,6 +145,54 @@ double dot_rows(const Array1<double, P>& a, const Array1<double, P>& b, long lo,
   return s;
 }
 
+// ---- vec-mode kernels -------------------------------------------------------
+// Hand-vectorized counterparts of spmv_rows/dot_rows for --mode=vec.  Only
+// instantiated with the Unchecked policy (raw-pointer access; the bounds
+// check of java mode is exactly what vectorization cannot cross).  The row
+// kernel is the paper's load-imbalance loop and the repo's one genuinely
+// irregular gather: column indices are data, so x is gathered lane by lane
+// while the matrix values stream as aligned-friendly contiguous loads.  Both
+// kernels reassociate their sums (lane accumulator + in-order hsum + tail),
+// which is why vec mode verifies under a tolerance tier, not bit-identity.
+
+template <class P>
+void spmv_rows_vec(const Csr<P>& m, const Array1<double, P>& x,
+                   Array1<double, P>& y, long lo, long hi) {
+  static_assert(!P::kChecked, "vec kernels require unchecked access");
+  const double* val = m.values.data();
+  const int* col = m.colidx.data();
+  const double* xp = x.data();
+  const long* rp = m.rowptr.data();
+  double* yp = y.data();
+  constexpr int W = simd::Dvec::width;
+  for (long i = lo; i < hi; ++i) {
+    const long e0 = rp[i];
+    const long e1 = rp[i + 1];
+    simd::Dvec acc = simd::Dvec::zero();
+    long e = e0;
+    for (; e + W <= e1; e += W) {
+      simd::Dvec xv = simd::Dvec::zero();
+      for (int l = 0; l < W; ++l)
+        xv.set_lane(l, xp[col[e + l]]);
+      acc += simd::Dvec::load(val + e) * xv;
+    }
+    double sum = simd::hsum(acc);
+    for (; e < e1; ++e) sum += val[e] * xp[col[e]];
+    P::muladds(static_cast<std::uint64_t>(e1 - e0));
+    P::flops(2 * (e1 - e0));
+    yp[i] = sum;
+  }
+}
+
+template <class P>
+double dot_rows_vec(const Array1<double, P>& a, const Array1<double, P>& b,
+                    long lo, long hi) {
+  static_assert(!P::kChecked, "vec kernels require unchecked access");
+  P::muladds(static_cast<std::uint64_t>(hi - lo));
+  P::flops(2 * (hi - lo));
+  return simd::dot(a.data() + lo, b.data() + lo, hi - lo);
+}
+
 /// Scalar results of the conjugate-gradient solve, written by rank 0.
 struct CgScalars {
   double pq = 0.0;     ///< x'z stash for the master (fused norm phase)
@@ -168,7 +217,10 @@ struct CgScalars {
 /// so any claim order yields the same q bit-for-bit, and the combine order
 /// matches the forked conj_grad_forked path exactly, so the two drivers
 /// produce bit-identical results for a fixed schedule and thread count.
-template <class P>
+/// `V` selects the hand-vectorized mat-vec and dot kernels (--mode=vec);
+/// the axpy updates stay elementwise either way, so the only vec-vs-native
+/// divergence is the documented reduction reassociation.
+template <class P, bool V = false>
 void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z,
                Array1<double, P>& r, Array1<double, P>& pvec,
                Array1<double, P>& q, int cg_iters, ParallelRegion* rg, int rank,
@@ -178,13 +230,27 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
   auto reduce = [&](double mine) -> double {
     return rg == nullptr ? mine : rg->reduce_partials(rank, mine);
   };
+  auto dot = [&](const Array1<double, P>& a, const Array1<double, P>& b, long l,
+                 long h) {
+    if constexpr (V)
+      return dot_rows_vec(a, b, l, h);
+    else
+      return dot_rows<P>(a, b, l, h);
+  };
+  auto spmv_span = [&](const Array1<double, P>& in, Array1<double, P>& out,
+                       long rlo, long rhi) {
+    if constexpr (V)
+      spmv_rows_vec(m, in, out, rlo, rhi);
+    else
+      spmv_rows(m, in, out, rlo, rhi);
+  };
   auto spmv = [&](const Array1<double, P>& in, Array1<double, P>& out) {
     if (rg == nullptr) {
-      spmv_rows(m, in, out, lo, hi);
+      spmv_span(in, out, lo, hi);
       return;
     }
     rg->ranges(rank, sched, 0, m.n,
-               [&](int, long rlo, long rhi) { spmv_rows(m, in, out, rlo, rhi); });
+               [&](int, long rlo, long rhi) { spmv_span(in, out, rlo, rhi); });
   };
 
   for (long i = lo; i < hi; ++i) {
@@ -193,11 +259,11 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
     pvec[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
   }
   if (rg != nullptr) rg->barrier();  // the mat-vec reads every pvec block
-  double rho = reduce(dot_rows<P>(r, r, lo, hi));
+  double rho = reduce(dot(r, r, lo, hi));
 
   for (int it = 0; it < cg_iters; ++it) {
     spmv(pvec, q);
-    const double pq = reduce(dot_rows<P>(pvec, q, lo, hi));
+    const double pq = reduce(dot(pvec, q, lo, hi));
     const double alpha = rho / pq;
     const double rho0 = rho;
     for (long i = lo; i < hi; ++i) {
@@ -206,7 +272,7 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
       P::muladds(2);
     }
     P::flops(4 * (hi - lo));
-    rho = reduce(dot_rows<P>(r, r, lo, hi));
+    rho = reduce(dot(r, r, lo, hi));
     const double beta = rho / rho0;
     for (long i = lo; i < hi; ++i) {
       pvec[static_cast<std::size_t>(i)] =
@@ -232,8 +298,11 @@ void conj_grad(const Csr<P>& m, const Array1<double, P>& x, Array1<double, P>& z
 /// parallel loop, for --fused=off.  Dot products use Static
 /// parallel_reduce_sum (rank-ordered combine over the same block
 /// partition), the mat-vec uses `sched`, so results are bit-identical to
-/// the fused path.
-template <class P>
+/// the fused path.  Under V the dots compute each rank's block partial with
+/// dot_rows_vec and combine rank-ordered — the exact structure of the fused
+/// path's reduce_partials — so fused-vs-forked bit-identity holds in vec
+/// mode too (and the per-rank partial stays a Reduce fault-injection site).
+template <class P, bool V = false>
 void conj_grad_forked(const Csr<P>& m, const Array1<double, P>& x,
                       Array1<double, P>& z, Array1<double, P>& r,
                       Array1<double, P>& pvec, Array1<double, P>& q,
@@ -242,14 +311,30 @@ void conj_grad_forked(const Csr<P>& m, const Array1<double, P>& x,
   const long n = m.n;
   auto spmv = [&](const Array1<double, P>& in, Array1<double, P>& out) {
     parallel_ranges(team, sched, 0, n, [&](int, long rlo, long rhi) {
-      spmv_rows(m, in, out, rlo, rhi);
+      if constexpr (V)
+        spmv_rows_vec(m, in, out, rlo, rhi);
+      else
+        spmv_rows(m, in, out, rlo, rhi);
     });
   };
   auto dot = [&](const Array1<double, P>& a, const Array1<double, P>& b) {
-    return parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
-      P::muladds(1);
-      return a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
-    });
+    if constexpr (V) {
+      const ReduceScratchGuard guard(team);
+      detail::PaddedDouble* partial = team.reduce_scratch();
+      team.run([&](int rank) {
+        const Range blk = partition(0, n, rank, team.size());
+        partial[rank].v =
+            fault::poison(rank, dot_rows_vec(a, b, blk.lo, blk.hi));
+      });
+      double total = 0.0;
+      for (int t = 0; t < team.size(); ++t) total += partial[t].v;
+      return total;
+    } else {
+      return parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
+        P::muladds(1);
+        return a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+      });
+    }
   };
 
   parallel_ranges(team, Schedule{}, 0, n, [&](int, long lo, long hi) {
@@ -294,7 +379,7 @@ void conj_grad_forked(const Csr<P>& m, const Array1<double, P>& x,
   sc.rnorm = std::sqrt(sumsq);
 }
 
-template <class P>
+template <class P, bool V = false>
 CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
   // Thread creation happens at initialization (untimed), as in the paper —
   // and *before* any allocation, so a FirstTouch placement can fault the
@@ -347,7 +432,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
     for (int outer = 1; outer <= p.niter; ++outer) {
       {
         obs::ScopedTimer ot(r_cg);
-        conj_grad(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, sc, sched);
+        conj_grad<P, V>(m, x, z, r, pvec, q, p.cg_iters, nullptr, 0, 1, sc,
+                        sched);
       }
       obs::ScopedTimer ot(r_norm);
       double xz = 0.0, zz = 0.0;
@@ -381,8 +467,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
           spmd(team, [&](ParallelRegion& rg, int rank) {
             {
               obs::ScopedTimer ot(r_cg);
-              conj_grad(m, x, z, r, pvec, q, p.cg_iters, &rg, rank, nt, sc,
-                        sched);
+              conj_grad<P, V>(m, x, z, r, pvec, q, p.cg_iters, &rg, rank, nt,
+                              sc, sched);
             }
             obs::ScopedTimer ot(r_norm);
             const Range blk = partition(0, n, rank, nt);
@@ -409,7 +495,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
         steps.step(outer, [&](WorkerTeam& team, int) {
           {
             obs::ScopedTimer ot(r_cg);
-            conj_grad_forked(m, x, z, r, pvec, q, p.cg_iters, team, sc, sched);
+            conj_grad_forked<P, V>(m, x, z, r, pvec, q, p.cg_iters, team, sc,
+                                   sched);
           }
           obs::ScopedTimer ot(r_norm);
           const double xz = parallel_reduce_sum(team, Schedule{}, 0, n, [&](long i) {
@@ -439,5 +526,6 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
 
 extern template CgOutput cg_run<Unchecked>(const CgParams&, int, const TeamOptions&);
 extern template CgOutput cg_run<Checked>(const CgParams&, int, const TeamOptions&);
+extern template CgOutput cg_run<Unchecked, true>(const CgParams&, int, const TeamOptions&);
 
 }  // namespace npb::cg_detail

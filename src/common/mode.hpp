@@ -1,20 +1,44 @@
 #pragma once
 
+#include <optional>
+#include <string_view>
+
 namespace npb {
 
 /// Which language environment a kernel models.
 ///
 /// The paper compares Fortran (f77 -O3) against Java 1.1-1.3 JITs.  We model
-/// the two as compile-time variants of the same kernel templates:
+/// the two as compile-time variants of the same kernel templates, plus a
+/// third variant that asks the opposite question — how much of the remaining
+/// gap to the hardware explicit vectorization recovers:
 ///  - `Native`: unchecked linearized array access, FMA contraction permitted
 ///    (the translation unit is built with -ffp-contract=fast).
 ///  - `Java`: every array access bounds-checked and the translation unit is
 ///    built with -ffp-contract=off -fno-tree-vectorize, modelling the strict
 ///    Java rounding rules (no madd) and JIT-era code generation.
-enum class Mode { Native, Java };
+///  - `Vec`: unchecked access with the hottest inner loops hand-vectorized
+///    through the src/simd wrapper (the analogue of NPB3.3's VERSION=VEC
+///    BT/LU variants).  Lane-wise reassociation of reductions means vec
+///    checksums match native only within a tolerance tier, never
+///    bit-for-bit — see tests/tolerance.hpp and the VecDifferential matrix.
+enum class Mode { Native, Java, Vec };
 
 inline const char* to_string(Mode m) noexcept {
-  return m == Mode::Native ? "native" : "java";
+  switch (m) {
+    case Mode::Native: return "native";
+    case Mode::Java: return "java";
+    case Mode::Vec: return "vec";
+  }
+  return "?";
+}
+
+/// Strict parse of a --mode= flag value; nullopt on anything unknown so
+/// drivers can reject with a usage error instead of silently defaulting.
+inline std::optional<Mode> parse_mode(std::string_view s) noexcept {
+  if (s == "native") return Mode::Native;
+  if (s == "java") return Mode::Java;
+  if (s == "vec") return Mode::Vec;
+  return std::nullopt;
 }
 
 }  // namespace npb

@@ -25,13 +25,16 @@ RunResult run_ep(const RunConfig& cfg) {
   using namespace ep_detail;
   const EpParams p = ep_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const EpOutput o = cfg.mode == Mode::Native
-                         ? ep_run<Unchecked>(p.log2_pairs, cfg.threads, topts)
-                         : ep_run<Checked>(p.log2_pairs, cfg.threads, topts);
+  // EP's hot loop is the branchy rejection-sampling kernel — nothing to lane-
+  // parallelize — so --mode=vec runs the native instantiation (bit-identical;
+  // the vec differential holds it to the Exact tier).
+  const EpOutput o = cfg.mode == Mode::Java
+                         ? ep_run<Checked>(p.log2_pairs, cfg.threads, topts)
+                         : ep_run<Unchecked>(p.log2_pairs, cfg.threads, topts);
 
   RunResult r;
   r.name = "EP";

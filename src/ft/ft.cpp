@@ -25,13 +25,16 @@ RunResult run_ft(const RunConfig& cfg) {
   using namespace ft_detail;
   const FtParams p = ft_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const FtOutput o = cfg.mode == Mode::Native
-                         ? ft_run<Unchecked>(p, cfg.threads, topts)
-                         : ft_run<Checked>(p, cfg.threads, topts);
+  // FT's butterflies are strided complex recurrences the wrapper's
+  // contiguous double lanes don't map onto, so --mode=vec runs the native
+  // instantiation (bit-identical; Exact tier).
+  const FtOutput o = cfg.mode == Mode::Java
+                         ? ft_run<Checked>(p, cfg.threads, topts)
+                         : ft_run<Unchecked>(p, cfg.threads, topts);
 
   RunResult r;
   r.name = "FT";

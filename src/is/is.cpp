@@ -23,14 +23,16 @@ RunResult run_is(const RunConfig& cfg) {
   using namespace is_detail;
   const IsParams p = is_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
+  // IS is integer bucket/counting work with no floating-point inner loop, so
+  // --mode=vec runs the native instantiation (bit-identical; Exact tier).
   const IsOutput o =
-      cfg.mode == Mode::Native
-          ? is_run<Unchecked>(p.total_keys, p.max_key, p.iterations, cfg.threads, topts)
-          : is_run<Checked>(p.total_keys, p.max_key, p.iterations, cfg.threads, topts);
+      cfg.mode == Mode::Java
+          ? is_run<Checked>(p.total_keys, p.max_key, p.iterations, cfg.threads, topts)
+          : is_run<Unchecked>(p.total_keys, p.max_key, p.iterations, cfg.threads, topts);
 
   RunResult r;
   r.name = "IS";

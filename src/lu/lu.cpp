@@ -23,13 +23,16 @@ RunResult run_lu(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const AppOutput o = cfg.mode == Mode::Native
-                          ? lu_run<Unchecked>(p, cfg.threads, topts)
-                          : lu_run<Checked>(p, cfg.threads, topts);
+  // LU's SSOR sweeps carry a point-to-point dependence through every 5x5
+  // block solve (wavefront order), so --mode=vec runs the native
+  // instantiation (bit-identical; Exact tier).
+  const AppOutput o = cfg.mode == Mode::Java
+                          ? lu_run<Checked>(p, cfg.threads, topts)
+                          : lu_run<Unchecked>(p, cfg.threads, topts);
 
   // Per point per iteration: RHS stencil (~500 flops) plus two relaxation
   // sweeps of ~600 flops each (block builds, couplings, factor, solve).
@@ -44,13 +47,13 @@ RunResult run_lu_hp(const RunConfig& cfg) {
   using namespace lu_detail;
   const AppParams p = lu_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const AppOutput o = cfg.mode == Mode::Native
-                          ? lu_run_hp<Unchecked>(p, cfg.threads, topts)
-                          : lu_run_hp<Checked>(p, cfg.threads, topts);
+  const AppOutput o = cfg.mode == Mode::Java
+                          ? lu_run_hp<Checked>(p, cfg.threads, topts)
+                          : lu_run_hp<Unchecked>(p, cfg.threads, topts);
 
   const double pts = static_cast<double>((p.n - 2)) * static_cast<double>((p.n - 2)) *
                      static_cast<double>((p.n - 2));

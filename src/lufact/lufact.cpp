@@ -21,8 +21,10 @@ long lufact_order(ProblemClass cls) noexcept {
 
 LufactResult run_lufact(const LufactConfig& cfg) {
   using namespace lufact_detail;
-  return cfg.mode == Mode::Native ? lufact_run<Unchecked>(cfg)
-                                  : lufact_run<Checked>(cfg);
+  // The BLAS1 factorization is pivot-search dominated; --mode=vec runs the
+  // native instantiation (bit-identical; Exact tier).
+  return cfg.mode == Mode::Java ? lufact_run<Checked>(cfg)
+                                : lufact_run<Unchecked>(cfg);
 }
 
 }  // namespace npb

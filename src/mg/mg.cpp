@@ -25,13 +25,15 @@ RunResult run_mg(const RunConfig& cfg) {
   using namespace mg_detail;
   const MgParams p = mg_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const MgOutput o = cfg.mode == Mode::Native
-                         ? mg_run<Unchecked>(p, cfg.threads, topts)
-                         : mg_run<Checked>(p, cfg.threads, topts);
+  const MgOutput o = cfg.mode == Mode::Java
+                         ? mg_run<Checked>(p, cfg.threads, topts)
+                         : cfg.mode == Mode::Vec
+                               ? mg_run<Unchecked, true>(p, cfg.threads, topts)
+                               : mg_run<Unchecked>(p, cfg.threads, topts);
 
   RunResult r;
   r.name = "MG";

@@ -22,6 +22,7 @@
 #include "par/parallel_for.hpp"
 #include "par/region.hpp"
 #include "par/team.hpp"
+#include "simd/simd.hpp"
 
 namespace npb::mg_detail {
 
@@ -78,6 +79,85 @@ void stencil27(const Grid<P>& in, const Grid<P>* v, Grid<P>& out, const Stencil&
           out(z, y, x) += au;
         }
       }
+    }
+  }
+}
+
+/// Hand-vectorized stencil27 for --mode=vec: lanes ride the unit-stride i1
+/// axis, so the 27 neighbour reads become 27 contiguous (unaligned) vector
+/// loads per W output points.  Each lane evaluates exactly the scalar
+/// expression for its element — neighbour sums in the same order, then the
+/// four coefficient mul-adds — so the only scalar-vs-vec divergence is FMA
+/// contraction choice, not reassociation; this is why MG's tolerance tier is
+/// the tightest of the vec benchmarks.  The i1 tail (interior extents are
+/// powers of two, off by one from the lane grid) falls back to the scalar
+/// body.
+template <class P, StencilOp Op>
+void stencil27_vec(const Grid<P>& in, const Grid<P>* v, Grid<P>& out,
+                   const Stencil& w, long n, long lo3, long hi3) {
+  static_assert(!P::kChecked, "vec kernels require unchecked access");
+  const double* ip = in.data();
+  const double* vp = v != nullptr ? v->data() : nullptr;
+  double* op = out.data();
+  const long sy = static_cast<long>(in.extent(2));  // +1 in i2
+  const long sz = static_cast<long>(in.extent(1)) * sy;  // +1 in i3
+  constexpr int W = simd::Dvec::width;
+  const simd::Dvec w0 = simd::Dvec::broadcast(w[0]);
+  const simd::Dvec w1 = simd::Dvec::broadcast(w[1]);
+  const simd::Dvec w2 = simd::Dvec::broadcast(w[2]);
+  const simd::Dvec w3 = simd::Dvec::broadcast(w[3]);
+  for (long i3 = lo3; i3 < hi3; ++i3) {
+    for (long i2 = 1; i2 <= n; ++i2) {
+      const long base = i3 * sz + i2 * sy;
+      long x = 1;
+      for (; x + W - 1 <= n; x += W) {
+        const auto at = [&](long dz, long dy, long dx) {
+          return simd::Dvec::load(ip + base + dz * sz + dy * sy + x + dx);
+        };
+        const simd::Dvec centre = at(0, 0, 0);
+        const simd::Dvec faces = at(-1, 0, 0) + at(1, 0, 0) + at(0, -1, 0) +
+                                 at(0, 1, 0) + at(0, 0, -1) + at(0, 0, 1);
+        const simd::Dvec edges = at(-1, -1, 0) + at(-1, 1, 0) + at(1, -1, 0) +
+                                 at(1, 1, 0) + at(-1, 0, -1) + at(-1, 0, 1) +
+                                 at(1, 0, -1) + at(1, 0, 1) + at(0, -1, -1) +
+                                 at(0, -1, 1) + at(0, 1, -1) + at(0, 1, 1);
+        const simd::Dvec corners = at(-1, -1, -1) + at(-1, -1, 1) +
+                                   at(-1, 1, -1) + at(-1, 1, 1) +
+                                   at(1, -1, -1) + at(1, -1, 1) +
+                                   at(1, 1, -1) + at(1, 1, 1);
+        const simd::Dvec au = w0 * centre + w1 * faces + w2 * edges + w3 * corners;
+        if constexpr (Op == StencilOp::Resid) {
+          simd::store(op + base + x, simd::Dvec::load(vp + base + x) - au);
+        } else {
+          simd::store(op + base + x, simd::Dvec::load(op + base + x) + au);
+        }
+      }
+      for (; x <= n; ++x) {
+        const double centre = ip[base + x];
+        const double faces = ip[base - sz + x] + ip[base + sz + x] +
+                             ip[base - sy + x] + ip[base + sy + x] +
+                             ip[base + x - 1] + ip[base + x + 1];
+        const double edges =
+            ip[base - sz - sy + x] + ip[base - sz + sy + x] +
+            ip[base + sz - sy + x] + ip[base + sz + sy + x] +
+            ip[base - sz + x - 1] + ip[base - sz + x + 1] +
+            ip[base + sz + x - 1] + ip[base + sz + x + 1] +
+            ip[base - sy + x - 1] + ip[base - sy + x + 1] +
+            ip[base + sy + x - 1] + ip[base + sy + x + 1];
+        const double corners =
+            ip[base - sz - sy + x - 1] + ip[base - sz - sy + x + 1] +
+            ip[base - sz + sy + x - 1] + ip[base - sz + sy + x + 1] +
+            ip[base + sz - sy + x - 1] + ip[base + sz - sy + x + 1] +
+            ip[base + sz + sy + x - 1] + ip[base + sz + sy + x + 1];
+        const double au = w[0] * centre + w[1] * faces + w[2] * edges + w[3] * corners;
+        if constexpr (Op == StencilOp::Resid) {
+          op[base + x] = vp[base + x] - au;
+        } else {
+          op[base + x] += au;
+        }
+      }
+      P::flops(33 * n);
+      P::muladds(4 * n);
     }
   }
 }
@@ -248,7 +328,7 @@ void over_planes(WorkerTeam* team, Schedule sched, long n, const F& body) {
   team->run([&](int rank) { claim_chunks(queue, rank, body); });
 }
 
-template <class P>
+template <class P, bool V = false>
 MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   const int lt = prm.log2_n;
   const long n = 1L << lt;
@@ -294,7 +374,10 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     {
       obs::ScopedTimer ot(r_resid);
       planes(nl, [&](long lo, long hi) {
-        stencil27<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
+        if constexpr (V)
+          stencil27_vec<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
+        else
+          stencil27<P, StencilOp::Resid>(ul, &vv, rl, kA, nl, lo, hi);
       });
     }
     obs::ScopedTimer ot(r_comm3);
@@ -307,7 +390,10 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
     {
       obs::ScopedTimer ot(r_smooth);
       planes(nl, [&](long lo, long hi) {
-        stencil27<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
+        if constexpr (V)
+          stencil27_vec<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
+        else
+          stencil27<P, StencilOp::Apply>(rl, nullptr, ul, kS, nl, lo, hi);
       });
     }
     obs::ScopedTimer ot(r_comm3);
@@ -435,5 +521,6 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
 
 extern template MgOutput mg_run<Unchecked>(const MgParams&, int, const TeamOptions&);
 extern template MgOutput mg_run<Checked>(const MgParams&, int, const TeamOptions&);
+extern template MgOutput mg_run<Unchecked, true>(const MgParams&, int, const TeamOptions&);
 
 }  // namespace npb::mg_detail

@@ -10,6 +10,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/mode.hpp"
 #include "common/wtime.hpp"
 #include "fault/fault.hpp"
 #include "obs/obs.hpp"
@@ -72,6 +73,11 @@ struct TeamOptions {
   /// hanging.  Must exceed the longest healthy time step.  0 (default)
   /// compiles the timestamps and the thread away at runtime.
   long watchdog_ms = 0;
+  /// Kernel mode this team executes (native / java / vec).  The kernel
+  /// *selection* is compile-time — each driver dispatches to the per-mode
+  /// translation unit — but the runtime layers see the mode here: a degraded
+  /// retry re-runs at the same mode, and obs/bench reports label rows by it.
+  Mode mode = Mode::Native;
 };
 
 /// Thrown by WorkerTeam::barrier() on a rank whose region was aborted because

@@ -1,0 +1,147 @@
+#pragma once
+
+// Hand-vectorized 5x5 block primitives — the vec-mode counterparts of
+// pseudoapp/block_impl.hpp, used by the BT line solver's forward elimination
+// and back substitution (the loops NPB3.3's VERSION=VEC restructures).
+//
+// Two vectorization shapes appear, chosen per primitive by which index is
+// contiguous in the row-major 25-double block:
+//
+//  * broadcast-axpy over a block row (mm5_sub_vec, lu5_factor_vec,
+//    lu5_solve_block_vec): the output row is updated as
+//    row_i -= a[i][k] * row_k, lanes running along the contiguous row.  Each
+//    output element sees the SAME per-element operation order as the scalar
+//    primitive, so these do not reassociate — any drift against scalar comes
+//    only from contraction differences.
+//
+//  * in-order lane dot (mv5_sub_vec, lu5_solve_vec_vec): the short row dot
+//    is computed as a lane accumulator + strict in-lane-order hsum + scalar
+//    tail (see simd.hpp), which DOES reassociate the sum; the vec tolerance
+//    tier in the differential tests bounds it.
+//
+// All row helpers chunk by Dvec::width with a masked remainder, so every
+// primitive is correct at any configured lane width (including the scalar
+// backend's width 1, where they degenerate to the scalar loops).
+//
+// All primitives take raw pointers (base + offset resolved by the caller)
+// and remain templated on the access policy P purely for the op accounting
+// the profiling bench reads; vec kernels only ever instantiate P=Unchecked.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+
+namespace npb::simd {
+
+inline constexpr int kB = 5;  ///< block order (pseudoapp::kComps)
+
+/// y[0..n) -= s * x[0..n), lane-chunked with a masked remainder.  Each
+/// element's update is one multiply and one subtract in scalar order.
+inline void axpy_sub_n(double* y, const double* x, double s, int n) noexcept {
+  const Dvec sv = Dvec::broadcast(s);
+  int j = 0;
+  for (; j + Dvec::width <= n; j += Dvec::width)
+    store(y + j, load(y + j) - sv * load(x + j));
+  if (j < n) {
+    const int r = n - j;
+    store_partial(y + j, r,
+                  load_partial(y + j, r) - sv * load_partial(x + j, r));
+  }
+}
+
+/// y[0..n) /= d, lane-chunked.  Division stays division (never a reciprocal
+/// multiply) so each element matches the scalar primitive's rounding.
+inline void div_n(double* y, double d, int n) noexcept {
+  const Dvec dv = Dvec::broadcast(d);
+  int j = 0;
+  for (; j + Dvec::width <= n; j += Dvec::width)
+    store(y + j, load(y + j) / dv);
+  for (; j < n; ++j) y[j] /= d;
+}
+
+/// y[0..5) -= A * x  with A the 25-double row-major block at `a`.
+/// Row dots via the lane-dot primitive (reassociates; tolerance-tier).
+template <class P>
+inline void mv5_sub_vec(const double* a, const double* x, double* y) {
+  for (int i = 0; i < kB; ++i) {
+    P::muladds(kB);
+    P::flops(11);
+    y[i] -= dot(a + i * kB, x, kB);
+  }
+}
+
+/// C -= A * B for 25-double row-major blocks.  Lanes run along B's and C's
+/// contiguous rows: c_row_i -= a[i][k] * b_row_k, k in scalar order, so each
+/// C element accumulates in exactly the scalar order (no reassociation).
+template <class P>
+inline void mm5_sub_vec(const double* a, const double* b, double* c) {
+  for (int i = 0; i < kB; ++i) {
+    for (int k = 0; k < kB; ++k) {
+      axpy_sub_n(c + i * kB, b + k * kB, a[i * kB + k], kB);
+      P::muladds(kB);
+    }
+    P::flops(11 * kB);
+  }
+}
+
+/// In-place Doolittle LU of the block at `a` (no pivoting, as in the scalar
+/// primitive).  The trailing-row update a[i][k+1..5) -= lik * a[k][k+1..5)
+/// runs lane-parallel along the contiguous row remainder.
+template <class P>
+inline void lu5_factor_vec(double* a) {
+  for (int k = 0; k < kB; ++k) {
+    const double pivot = 1.0 / a[k * kB + k];
+    const int rem = kB - 1 - k;
+    for (int i = k + 1; i < kB; ++i) {
+      const double lik = a[i * kB + k] * pivot;
+      a[i * kB + k] = lik;
+      axpy_sub_n(a + i * kB + k + 1, a + k * kB + k + 1, lik, rem);
+      P::muladds(static_cast<std::uint64_t>(rem));
+      P::flops(10);
+    }
+  }
+}
+
+/// x = A^{-1} x for a 5-vector against the factored block at `a`.  The
+/// forward/backward substitutions are 5-term dots over the already-solved
+/// prefix/suffix — short lane dots with the in-order hsum discipline.
+template <class P>
+inline void lu5_solve_vec_vec(const double* a, double* x) {
+  for (int i = 1; i < kB; ++i) {
+    P::muladds(static_cast<std::uint64_t>(i));
+    P::flops(static_cast<std::uint64_t>(2 * i));
+    x[i] -= dot(a + i * kB, x, i);
+  }
+  for (int i = kB - 1; i >= 0; --i) {
+    double s = x[i];
+    s -= dot(a + i * kB + i + 1, x + i + 1, kB - 1 - i);
+    x[i] = s / a[i * kB + i];
+    P::muladds(static_cast<std::uint64_t>(kB - 1 - i));
+    P::flops(static_cast<std::uint64_t>(2 * (kB - i)));
+  }
+}
+
+/// X = A^{-1} X for a full 5x5 block X.  The five right-hand-side columns
+/// are independent and contiguous within each row of X, so the lanes run
+/// across columns: x_row_i -= a[i][j] * x_row_j with j in scalar order —
+/// per-element accumulation order identical to the scalar primitive.
+template <class P>
+inline void lu5_solve_block_vec(const double* a, double* x) {
+  for (int i = 1; i < kB; ++i) {
+    for (int j = 0; j < i; ++j) {
+      axpy_sub_n(x + i * kB, x + j * kB, a[i * kB + j], kB);
+      P::muladds(kB);
+    }
+  }
+  for (int i = kB - 1; i >= 0; --i) {
+    for (int j = i + 1; j < kB; ++j) {
+      axpy_sub_n(x + i * kB, x + j * kB, a[i * kB + j], kB);
+      P::muladds(kB);
+    }
+    div_n(x + i * kB, a[i * kB + i], kB);
+    P::flops(50);
+  }
+}
+
+}  // namespace npb::simd

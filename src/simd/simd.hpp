@@ -1,0 +1,293 @@
+#pragma once
+
+// Thin portable SIMD wrapper behind the third kernel mode (--mode=vec).
+//
+// The paper's gap-to-Fortran question ends at the vector units: NPB3.3 ships
+// hand-vectorized BT/LU variants (VERSION=VEC) because the autovectorizer
+// alone does not reach them.  This header gives the vec kernels one fixed
+// abstraction, `Dvec` — a pack of `kWidth` doubles — with three
+// configure-time backends:
+//
+//   NPB_SIMD_BACKEND=stdsimd  std::experimental::simd (fixed_size ABI), the
+//                             portable TS implementation GCC/libstdc++ ship;
+//   NPB_SIMD_BACKEND=array    a plain double[kWidth] struct whose elementwise
+//                             operator loops the compiler turns into vector
+//                             instructions (the fallback when the TS header
+//                             is unavailable);
+//   NPB_SIMD_BACKEND=scalar   kWidth == 1, every op degenerates to a scalar —
+//                             the semantics-checking fallback CI keeps green.
+//
+// Width is pinned at configure time (NPB_SIMD_WIDTH, default 4) and is the
+// *same for every backend except scalar*, so a vec-mode checksum does not
+// depend on which backend produced it: lane-parallel kernels execute the
+// identical per-element expression tree, and every horizontal sum is defined
+// as the strict in-lane-order reduction lane0 + lane1 + ... (never a
+// pairwise tree), so reassociation relative to the serial loop happens in
+// exactly one documented place — the lane-striped accumulator of sum()/dot()
+// — which is what the vec tolerance tier in the differential tests bounds.
+//
+// Alignment: the mem subsystem guarantees 64 B base alignment for every
+// AlignedBuffer-backed array, so `load_aligned` is valid on array heads;
+// stencil kernels shifting by +-1 along the fastest axis use the unaligned
+// `load`, which every targeted ISA supports.
+
+#include <cstddef>
+
+#if !defined(NPB_SIMD_BACKEND_SCALAR) && !defined(NPB_SIMD_BACKEND_ARRAY) && \
+    !defined(NPB_SIMD_BACKEND_STDSIMD)
+#if defined(__has_include)
+#if __has_include(<experimental/simd>)
+#define NPB_SIMD_BACKEND_STDSIMD 1
+#else
+#define NPB_SIMD_BACKEND_ARRAY 1
+#endif
+#else
+#define NPB_SIMD_BACKEND_ARRAY 1
+#endif
+#endif
+
+#ifndef NPB_SIMD_WIDTH
+#define NPB_SIMD_WIDTH 4
+#endif
+
+#if defined(NPB_SIMD_BACKEND_STDSIMD)
+#include <experimental/simd>
+#endif
+
+namespace npb::simd {
+
+#if defined(NPB_SIMD_BACKEND_SCALAR)
+inline constexpr int kWidth = 1;
+#else
+inline constexpr int kWidth = NPB_SIMD_WIDTH;
+#endif
+static_assert(kWidth >= 1 && kWidth <= 16, "unsupported NPB_SIMD_WIDTH");
+
+inline const char* backend_name() noexcept {
+#if defined(NPB_SIMD_BACKEND_SCALAR)
+  return "scalar";
+#elif defined(NPB_SIMD_BACKEND_STDSIMD)
+  return "stdsimd";
+#else
+  return "array";
+#endif
+}
+
+#if defined(NPB_SIMD_BACKEND_STDSIMD)
+
+/// std::experimental::simd backend.  fixed_size keeps the lane count equal
+/// to the other backends' so checksums agree across backends.
+struct Dvec {
+  using rep = std::experimental::fixed_size_simd<double, kWidth>;
+  rep v;
+
+  static constexpr int width = kWidth;
+
+  Dvec() : v(0.0) {}
+  explicit Dvec(rep r) : v(r) {}
+
+  static Dvec broadcast(double x) { return Dvec(rep(x)); }
+  static Dvec zero() { return Dvec(); }
+  static Dvec load(const double* p) {
+    Dvec r;
+    r.v.copy_from(p, std::experimental::element_aligned);
+    return r;
+  }
+  static Dvec load_aligned(const double* p) {
+    Dvec r;
+    r.v.copy_from(p, std::experimental::vector_aligned);
+    return r;
+  }
+  void store(double* p) const { v.copy_to(p, std::experimental::element_aligned); }
+  void store_aligned(double* p) const {
+    v.copy_to(p, std::experimental::vector_aligned);
+  }
+  double lane(int i) const { return v[i]; }
+  void set_lane(int i, double x) { v[i] = x; }
+
+  Dvec operator-() const { return Dvec(-v); }
+  friend Dvec operator+(Dvec a, Dvec b) { return Dvec(a.v + b.v); }
+  friend Dvec operator-(Dvec a, Dvec b) { return Dvec(a.v - b.v); }
+  friend Dvec operator*(Dvec a, Dvec b) { return Dvec(a.v * b.v); }
+  friend Dvec operator/(Dvec a, Dvec b) { return Dvec(a.v / b.v); }
+  Dvec& operator+=(Dvec o) {
+    v += o.v;
+    return *this;
+  }
+  Dvec& operator-=(Dvec o) {
+    v -= o.v;
+    return *this;
+  }
+  Dvec& operator*=(Dvec o) {
+    v *= o.v;
+    return *this;
+  }
+};
+
+#elif defined(NPB_SIMD_BACKEND_SCALAR)
+
+/// Scalar fallback: one lane, every operation a plain double op.  Exists so
+/// runners without vector units (and the CI scalar job) execute the very
+/// same vec-kernel code paths.
+struct Dvec {
+  double v = 0.0;
+
+  static constexpr int width = 1;
+
+  static Dvec broadcast(double x) { return Dvec{x}; }
+  static Dvec zero() { return Dvec{}; }
+  static Dvec load(const double* p) { return Dvec{*p}; }
+  static Dvec load_aligned(const double* p) { return Dvec{*p}; }
+  void store(double* p) const { *p = v; }
+  void store_aligned(double* p) const { *p = v; }
+  double lane(int) const { return v; }
+  void set_lane(int, double x) { v = x; }
+
+  Dvec operator-() const { return Dvec{-v}; }
+  friend Dvec operator+(Dvec a, Dvec b) { return Dvec{a.v + b.v}; }
+  friend Dvec operator-(Dvec a, Dvec b) { return Dvec{a.v - b.v}; }
+  friend Dvec operator*(Dvec a, Dvec b) { return Dvec{a.v * b.v}; }
+  friend Dvec operator/(Dvec a, Dvec b) { return Dvec{a.v / b.v}; }
+  Dvec& operator+=(Dvec o) {
+    v += o.v;
+    return *this;
+  }
+  Dvec& operator-=(Dvec o) {
+    v -= o.v;
+    return *this;
+  }
+  Dvec& operator*=(Dvec o) {
+    v *= o.v;
+    return *this;
+  }
+};
+
+#else  // NPB_SIMD_BACKEND_ARRAY
+
+/// Fixed-width lane struct: elementwise loops the optimizer vectorizes.
+/// The loops are trivially countable (bound = kWidth), so -O3 turns each
+/// operator into packed arithmetic on any ISA with kWidth-wide doubles and
+/// into unrolled scalars elsewhere — semantics identical either way.
+struct Dvec {
+  double v[kWidth];
+
+  static constexpr int width = kWidth;
+
+  Dvec() {
+    for (int i = 0; i < kWidth; ++i) v[i] = 0.0;
+  }
+
+  static Dvec broadcast(double x) {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = x;
+    return r;
+  }
+  static Dvec zero() { return Dvec(); }
+  static Dvec load(const double* p) {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = p[i];
+    return r;
+  }
+  static Dvec load_aligned(const double* p) { return load(p); }
+  void store(double* p) const {
+    for (int i = 0; i < kWidth; ++i) p[i] = v[i];
+  }
+  void store_aligned(double* p) const { store(p); }
+  double lane(int i) const { return v[i]; }
+  void set_lane(int i, double x) { v[i] = x; }
+
+  Dvec operator-() const {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = -v[i];
+    return r;
+  }
+  friend Dvec operator+(Dvec a, Dvec b) {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend Dvec operator-(Dvec a, Dvec b) {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend Dvec operator*(Dvec a, Dvec b) {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  friend Dvec operator/(Dvec a, Dvec b) {
+    Dvec r;
+    for (int i = 0; i < kWidth; ++i) r.v[i] = a.v[i] / b.v[i];
+    return r;
+  }
+  Dvec& operator+=(Dvec o) {
+    for (int i = 0; i < kWidth; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  Dvec& operator-=(Dvec o) {
+    for (int i = 0; i < kWidth; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  Dvec& operator*=(Dvec o) {
+    for (int i = 0; i < kWidth; ++i) v[i] *= o.v[i];
+    return *this;
+  }
+};
+
+#endif  // backend selection
+
+/// Free-function spellings of the member load/store, so kernel code can say
+/// simd::store(p, v) next to simd::load(p) without mixing call styles.
+inline Dvec load(const double* p) noexcept { return Dvec::load(p); }
+inline void store(double* p, Dvec a) noexcept { a.store(p); }
+
+/// Strict in-lane-order horizontal sum: lane0 + lane1 + ... + laneW-1.
+/// Deliberately NOT a pairwise tree — the order is part of the vec-mode
+/// numerics contract (the differential tolerance matrix pins it).
+inline double hsum(Dvec a) noexcept {
+  double s = a.lane(0);
+  for (int i = 1; i < Dvec::width; ++i) s += a.lane(i);
+  return s;
+}
+
+/// Loads min(n, width) lanes from p; lanes >= n are zero.  The masked-tail
+/// primitive for trip counts that are not a lane multiple.
+inline Dvec load_partial(const double* p, int n) noexcept {
+  Dvec r = Dvec::zero();
+  const int m = n < Dvec::width ? n : Dvec::width;
+  for (int i = 0; i < m; ++i) r.set_lane(i, p[i]);
+  return r;
+}
+
+/// Stores the first min(n, width) lanes of a to p; bytes past n untouched.
+inline void store_partial(double* p, int n, Dvec a) noexcept {
+  const int m = n < Dvec::width ? n : Dvec::width;
+  for (int i = 0; i < m; ++i) p[i] = a.lane(i);
+}
+
+/// Sum of p[0..n): full lanes accumulate lane-striped, the accumulator is
+/// reduced strictly in lane order, then the scalar tail is added last.
+/// Reassociates relative to the serial left-to-right loop (that is the
+/// point); the result is deterministic for a fixed (width, n).
+inline double sum(const double* p, long n) noexcept {
+  Dvec acc = Dvec::zero();
+  long i = 0;
+  for (; i + Dvec::width <= n; i += Dvec::width) acc += Dvec::load(p + i);
+  double s = hsum(acc);
+  for (; i < n; ++i) s += p[i];
+  return s;
+}
+
+/// Dot product of a[0..n) and b[0..n), same accumulation discipline as sum().
+inline double dot(const double* a, const double* b, long n) noexcept {
+  Dvec acc = Dvec::zero();
+  long i = 0;
+  for (; i + Dvec::width <= n; i += Dvec::width)
+    acc += Dvec::load(a + i) * Dvec::load(b + i);
+  double s = hsum(acc);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace npb::simd

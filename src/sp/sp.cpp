@@ -23,13 +23,15 @@ RunResult run_sp(const RunConfig& cfg) {
   using namespace sp_detail;
   const AppParams p = sp_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
-                          cfg.fused, cfg.fault.watchdog_ms};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
-  const AppOutput o = cfg.mode == Mode::Native
-                          ? sp_run<Unchecked>(p, cfg.threads, topts)
-                          : sp_run<Checked>(p, cfg.threads, topts);
+  const AppOutput o = cfg.mode == Mode::Java
+                          ? sp_run<Checked>(p, cfg.threads, topts)
+                          : cfg.mode == Mode::Vec
+                                ? sp_run<Unchecked, true>(p, cfg.threads, topts)
+                                : sp_run<Unchecked>(p, cfg.threads, topts);
 
   // Per point per iteration: RHS stencil (~500 flops), six 5x5 transforms
   // (~330) and 15 pentadiagonal row eliminations (~300).

@@ -14,6 +14,7 @@
 #include "par/team.hpp"
 #include "pseudoapp/app.hpp"
 #include "pseudoapp/field_impl.hpp"
+#include "simd/simd.hpp"
 
 namespace npb::sp_detail {
 
@@ -33,7 +34,15 @@ struct PentaWork {
 /// with eigenvalue field lambda*phi(c).  The LHS bands carry convection,
 /// diffusion and the 4th-difference dissipation with NPB's modified
 /// near-boundary rows (mirroring the RHS operator).
-template <class P, class PhiAt, class RGet, class RSet>
+///
+/// Under V (--mode=vec) the band *setup* of the interior rows (the ones with
+/// the full 5-point dissipation shape) runs lane-parallel: phi is gathered
+/// lane by lane (its stride depends on the sweep direction), the five band
+/// values compute elementwise in the scalar operation order, and the stores
+/// land in the contiguous per-q workspaces.  The banded elimination itself
+/// is a loop-carried recurrence (row q+1 needs the eliminated row q) and
+/// deliberately stays scalar — same numerics in both modes.
+template <class P, bool V = false, class PhiAt, class RGet, class RSet>
 void penta_line(const System& sys, double lambda, double h, double dt, long n,
                 const PhiAt& phi_at, const RGet& rget, const RSet& rset,
                 PentaWork<P>& ws) {
@@ -42,7 +51,45 @@ void penta_line(const System& sys, double lambda, double h, double dt, long n,
   const double de = dt * sys.eps4;
   const long nc = n - 2;
 
+  [[maybe_unused]] long q0 = 0;
+  if constexpr (V) {
+    static_assert(!P::kChecked, "vec kernels require unchecked access");
+    constexpr int W = simd::Dvec::width;
+    // Boundary rows (q = 0, 1, nc-2, nc-1) keep the scalar path below; the
+    // interior block [2, nc-2) is lane-chunked here.  A chunk only runs when
+    // it fits entirely inside the interior.
+    const double diff = dt * sys.nu * invh2;
+    const simd::Dvec vdiff = simd::Dvec::broadcast(diff);
+    const simd::Dvec vone = simd::Dvec::broadcast(1.0);
+    const simd::Dvec vde = simd::Dvec::broadcast(de);
+    const simd::Dvec vm4de = simd::Dvec::broadcast(-4.0 * de);
+    const simd::Dvec v6de = simd::Dvec::broadcast(6.0 * de);
+    const simd::Dvec vtwo = simd::Dvec::broadcast(2.0);
+    const simd::Dvec vdt = simd::Dvec::broadcast(dt);
+    const simd::Dvec vlambda = simd::Dvec::broadcast(lambda);
+    const simd::Dvec vinv2h = simd::Dvec::broadcast(inv2h);
+    for (long q = 2; q + W <= nc - 2; q += W) {
+      simd::Dvec phi = simd::Dvec::zero();
+      for (int l = 0; l < W; ++l) phi.set_lane(l, phi_at(q + 1 + l));
+      const simd::Dvec conv = vdt * (vlambda * phi) * vinv2h;
+      const auto Q = static_cast<std::size_t>(q);
+      simd::store(ws.e.data() + Q, vde);
+      simd::store(ws.a.data() + Q, -conv - vdiff + vm4de);
+      simd::store(ws.b.data() + Q, vone + vtwo * vdiff + v6de);
+      simd::store(ws.c.data() + Q, conv - vdiff + vm4de);
+      simd::store(ws.f.data() + Q, vde);
+      for (int l = 0; l < W; ++l)
+        ws.r[Q + static_cast<std::size_t>(l)] = rget(q + 1 + l);
+      P::flops(12 * W);
+      q0 = q + W;  // scalar loop resumes after the last full chunk
+    }
+  }
+
   for (long q = 0; q < nc; ++q) {
+    if constexpr (V) {
+      // Skip the rows the lane loop above already produced.
+      if (q >= 2 && q < q0) continue;
+    }
     const long cidx = q + 1;
     const double lam = lambda * phi_at(cidx);
     const double conv = dt * lam * inv2h;
@@ -146,6 +193,32 @@ void transform_planes(Fields<P>& f, const Mat5& m, double scale, long lo, long h
       }
 }
 
+/// Hand-vectorized transform for --mode=vec.  The five components of one
+/// grid point are contiguous (m is the innermost Array4 index), so each
+/// matrix row contracts against them as one in-order lane dot (simd::dot) —
+/// the 5-term sums reassociate, bounded by the vec tolerance tier.
+template <class P>
+void transform_planes_vec(Fields<P>& f, const Mat5& m, double scale, long lo,
+                          long hi) {
+  static_assert(!P::kChecked, "vec kernels require unchecked access");
+  const long n = f.n;
+  for (long i = lo; i < hi; ++i)
+    for (long j = 1; j < n - 1; ++j)
+      for (long k = 1; k < n - 1; ++k) {
+        double* rp = &f.rhs(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                            static_cast<std::size_t>(k), 0);
+        Vec5 v{};
+        for (int a = 0; a < kComps; ++a) {
+          const double s = simd::dot(m.data() + a * kComps, rp, kComps);
+          v[static_cast<std::size_t>(a)] = scale * s;
+          P::muladds(kComps);
+          P::flops(11);
+        }
+        for (int a = 0; a < kComps; ++a)
+          rp[a] = v[static_cast<std::size_t>(a)];
+      }
+}
+
 template <class F>
 void over_range(WorkerTeam* team, long n, const F& body) {
   if (team == nullptr) {
@@ -158,7 +231,7 @@ void over_range(WorkerTeam* team, long n, const F& body) {
   }
 }
 
-template <class P>
+template <class P, bool V = false>
 AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   // Team before the fields: under FirstTouch each rank commits the
   // k-plane slabs it will sweep, instead of every page faulting in on
@@ -183,9 +256,16 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   auto do_rhs = [&] {
     over_range(team, n, [&](long lo, long hi) { compute_rhs_planes(f, lo, hi); });
   };
+  auto transform_lohi = [&](const Mat5& m, double scale, long lo, long hi) {
+    if constexpr (V)
+      transform_planes_vec(f, m, scale, lo, hi);
+    else
+      transform_planes(f, m, scale, lo, hi);
+  };
   auto transform = [&](const Mat5& m, double scale) {
     obs::ScopedTimer ot(r_transform);
-    over_range(team, n, [&](long lo, long hi) { transform_planes(f, m, scale, lo, hi); });
+    over_range(team, n,
+               [&](long lo, long hi) { transform_lohi(m, scale, lo, hi); });
   };
 
   AppOutput out;
@@ -199,7 +279,7 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
     for (long j = lo; j < hi; ++j)
       for (long k = 1; k < n - 1; ++k)
         for (int m = 0; m < kComps; ++m)
-          penta_line<P>(
+          penta_line<P, V>(
               f.sys, f.sys.lx[static_cast<std::size_t>(m)], f.h, dt, n,
               [&](long c) {
                 return f.phi(static_cast<std::size_t>(c), static_cast<std::size_t>(j),
@@ -219,7 +299,7 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
     for (long i = lo; i < hi; ++i)
       for (long k = 1; k < n - 1; ++k)
         for (int m = 0; m < kComps; ++m)
-          penta_line<P>(
+          penta_line<P, V>(
               f.sys, f.sys.ly[static_cast<std::size_t>(m)], f.h, dt, n,
               [&](long c) {
                 return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(c),
@@ -239,7 +319,7 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
     for (long i = lo; i < hi; ++i)
       for (long j = 1; j < n - 1; ++j)
         for (int m = 0; m < kComps; ++m)
-          penta_line<P>(
+          penta_line<P, V>(
               f.sys, f.sys.lz[static_cast<std::size_t>(m)], f.h, dt, n,
               [&](long c) {
                 return f.phi(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
@@ -330,7 +410,7 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
           PentaWork<P> ws(n);
           auto transform_rg = [&](const Mat5& m, double scale) {
             obs::ScopedTimer ot(r_transform);
-            transform_planes(f, m, scale, r.lo, r.hi);
+            transform_lohi(m, scale, r.lo, r.hi);
           };
           {
             obs::ScopedTimer ot(r_rhs);
@@ -374,7 +454,7 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
         auto transform_nt = [&](const Mat5& m, double scale) {
           obs::ScopedTimer ot(r_transform);
           over_nt(tm, nt,
-                  [&](long lo, long hi) { transform_planes(f, m, scale, lo, hi); });
+                  [&](long lo, long hi) { transform_lohi(m, scale, lo, hi); });
         };
         {
           obs::ScopedTimer ot(r_rhs);
@@ -433,5 +513,6 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 
 extern template AppOutput sp_run<Unchecked>(const AppParams&, int, const TeamOptions&);
 extern template AppOutput sp_run<Checked>(const AppParams&, int, const TeamOptions&);
+extern template AppOutput sp_run<Unchecked, true>(const AppParams&, int, const TeamOptions&);
 
 }  // namespace npb::sp_detail

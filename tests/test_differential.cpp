@@ -23,6 +23,7 @@
 #include "common/verify.hpp"
 #include "fault/fault.hpp"
 #include "npb/registry.hpp"
+#include "tolerance.hpp"
 
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
 #define NPB_UNDER_SANITIZER 1
@@ -181,6 +182,88 @@ INSTANTIATE_TEST_SUITE_P(FusedMatrix, FusedDifferential,
                          ::testing::ValuesIn(build_fused_matrix()),
                          fused_cell_name);
 
+// ---- vec-vs-native tolerance matrix ----------------------------------------
+// The vec kernels reassociate exactly one thing — the lane-striped
+// accumulators of sum()/dot()-shaped reductions — so each benchmark's vec
+// checksums sit a *predictable* distance from native, and that distance is a
+// per-benchmark contract this matrix pins (benchmark x schedule x team size,
+// vec vs native at the same configuration):
+//
+//  * EP/IS/FT/LU dispatch vec to the native instantiation (no lane kernels
+//    apply) — Tier::Exact, any drift is a dispatch bug.
+//  * MG's vec stencil preserves per-element operation order; only FMA
+//    contraction decisions differ, and the l2norm checksum accumulates
+//    serially — a tight ULP budget.
+//  * BT/SP reassociate the 5-term block dots of the line solvers, amplified
+//    across the time-step recursion (measured worst: BT ~1.2M ulps,
+//    schedule- and width-independent) — a loose ULP budget, ~4e-9 relative,
+//    that still sits under half the NPB acceptance epsilon.
+//  * CG reassociates the full-length dot products inside an iterative solve
+//    whose iteration count is fixed — drift compounds past useful ULP
+//    bounds, so it gets the NPB acceptance epsilon (the tier NPB itself
+//    judges CG by).
+//
+// NPB verification must also hold in vec mode for every cell.
+
+testing::Tolerance vec_tolerance(std::string_view name) {
+  using testing::Tolerance;
+  if (name == "CG") return Tolerance::npb_eps();
+  if (name == "MG") return Tolerance::ulps(4096);
+  if (name == "BT" || name == "SP") return Tolerance::ulps(1ull << 24);
+  return Tolerance::exact();
+}
+
+class VecDifferential : public ::testing::TestWithParam<FusedCell> {
+ protected:
+  // Native baselines shared across nothing (each cell's baseline is its own
+  // configuration), but cached so a re-run within one process is free.
+  static const RunResult& native_baseline(const FusedCell& cell) {
+    static std::map<std::string, RunResult> cache;
+    const std::string key = std::string(cell.name) + "/" +
+                            to_string(cell.sched.kind) + "/" +
+                            std::to_string(cell.threads);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      RunConfig cfg;
+      cfg.cls = ProblemClass::S;
+      cfg.mode = Mode::Native;
+      cfg.threads = cell.threads;
+      cfg.schedule = cell.sched;
+      it = cache.emplace(key, find_benchmark(cell.name)(cfg)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(VecDifferential, VecChecksumsWithinTierOfNative) {
+  const FusedCell cell = GetParam();
+  const RunResult& native = native_baseline(cell);
+  ASSERT_TRUE(native.verified) << native.verify_detail;
+
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Vec;
+  cfg.threads = cell.threads;
+  cfg.schedule = cell.sched;
+  RunFn fn = find_benchmark(cell.name);
+  ASSERT_NE(fn, nullptr);
+  const RunResult vec = fn(cfg);
+
+  EXPECT_TRUE(vec.verified)
+      << cell.name << " failed NPB verification in vec mode:\n"
+      << vec.verify_detail;
+  const testing::TierResult diff = testing::compare_checksums(
+      vec.checksums, native.checksums, vec_tolerance(cell.name));
+  EXPECT_TRUE(diff.passed)
+      << cell.name << " sched=" << to_string(cell.sched)
+      << " threads=" << cell.threads << " vec drifted out of tier: "
+      << diff.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(VecMatrix, VecDifferential,
+                         ::testing::ValuesIn(build_fused_matrix()),
+                         fused_cell_name);
+
 // ---- fault-retry bit-identity ----------------------------------------------
 // The recovery promise of the fault subsystem: a step that faults, restores
 // its checkpoint, and retries at the *same* width must finish with checksums
@@ -198,6 +281,7 @@ struct FaultCell {
   const char* label;
   const char* spec;
   int threads;
+  Mode mode = Mode::Native;
 };
 
 std::string fault_cell_name(const ::testing::TestParamInfo<FaultCell>& info) {
@@ -217,27 +301,37 @@ std::vector<FaultCell> build_fault_matrix() {
   };
   constexpr int kThreadCounts[] = {2, 3, 7};
   std::vector<FaultCell> cells;
-  for (const auto& b : suite())
+  for (const auto& b : suite()) {
     for (const FaultKind& f : kFaults)
       for (int th : kThreadCounts) {
         if (NPB_UNDER_SANITIZER && th != 3) continue;
         cells.push_back({b.name, f.label, f.spec, th});
       }
+    // The vec column: a thrown fault at the reduce site while the kernels
+    // run lane-parallel.  The retry re-runs the same partition at the same
+    // width with the same lane kernels, so the recovery promise is
+    // unchanged: bit-identical to the fault-free vec run (it fires inside
+    // steps only where reductions do — CG — and is vacuously clean
+    // elsewhere).
+    cells.push_back({b.name, "vecreduce", "reduce:throw:*:1:0", 3, Mode::Vec});
+  }
   return cells;
 }
 
 class FaultRetryDifferential : public ::testing::TestWithParam<FaultCell> {
  protected:
-  // Fault-free baselines shared across the three fault kinds of a
-  // (benchmark, threads) pair.
-  static const RunResult& clean_baseline(const char* name, int threads) {
-    static std::map<std::pair<std::string, int>, RunResult> cache;
-    const auto key = std::make_pair(std::string(name), threads);
+  // Fault-free baselines shared across the fault kinds of a
+  // (benchmark, threads, mode) triple.
+  static const RunResult& clean_baseline(const char* name, int threads,
+                                         Mode mode) {
+    static std::map<std::string, RunResult> cache;
+    const std::string key = std::string(name) + "/" + std::to_string(threads) +
+                            "/" + to_string(mode);
     auto it = cache.find(key);
     if (it == cache.end()) {
       RunConfig cfg;
       cfg.cls = ProblemClass::S;
-      cfg.mode = Mode::Native;
+      cfg.mode = mode;
       cfg.threads = threads;
       it = cache.emplace(key, find_benchmark(name)(cfg)).first;
     }
@@ -247,12 +341,13 @@ class FaultRetryDifferential : public ::testing::TestWithParam<FaultCell> {
 
 TEST_P(FaultRetryDifferential, RetriedStepBitIdenticalToFaultFree) {
   const FaultCell cell = GetParam();
-  const RunResult& clean = clean_baseline(cell.name, cell.threads);
+  const RunResult& clean =
+      clean_baseline(cell.name, cell.threads, cell.mode);
   ASSERT_TRUE(clean.verified) << clean.verify_detail;
 
   RunConfig cfg;
   cfg.cls = ProblemClass::S;
-  cfg.mode = Mode::Native;
+  cfg.mode = cell.mode;
   cfg.threads = cell.threads;
   const auto spec = fault::parse_fault_spec(cell.spec);
   ASSERT_TRUE(spec.has_value()) << cell.spec;
@@ -269,6 +364,19 @@ TEST_P(FaultRetryDifferential, RetriedStepBitIdenticalToFaultFree) {
     EXPECT_EQ(faulted.checksums[i], clean.checksums[i])
         << cell.name << " threads=" << cell.threads << " spec=" << cell.spec
         << ": checksum " << i << " diverged after fault recovery";
+
+  if (cell.mode == Mode::Vec) {
+    // The recovered vec run must also still sit inside the benchmark's vec
+    // tolerance tier of the native answer — the retry may not launder a
+    // numerics change through the fault path.
+    const RunResult& native =
+        clean_baseline(cell.name, cell.threads, Mode::Native);
+    const testing::TierResult diff = testing::compare_checksums(
+        faulted.checksums, native.checksums, vec_tolerance(cell.name));
+    EXPECT_TRUE(diff.passed)
+        << cell.name << " recovered vec run out of tier vs native: "
+        << diff.detail;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(FaultMatrix, FaultRetryDifferential,
@@ -280,26 +388,36 @@ INSTANTIATE_TEST_SUITE_P(FaultMatrix, FaultRetryDifferential,
 // retry budget at full width is burned, the runner shrinks the team by the
 // blamed rank and re-runs the step there.  Results after a width change are
 // valid but not bit-identical (partition-dependent summation order), so the
-// assertion is NPB verification plus evidence that injection really fired
-// more than once before the width dropped.
+// degraded checksums are held to the weakest tier of tests/tolerance.hpp —
+// the NPB acceptance epsilon — against a clean full-width run, plus evidence
+// that injection really fired more than once before the width dropped.
 
 class DegradedRecovery : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(DegradedRecovery, PersistentRankFaultShrinksTeamAndStillVerifies) {
-  RunConfig cfg;
-  cfg.cls = ProblemClass::S;
-  cfg.mode = Mode::Native;
-  cfg.threads = 3;
+  RunConfig clean_cfg;
+  clean_cfg.cls = ProblemClass::S;
+  clean_cfg.mode = Mode::Native;
+  clean_cfg.threads = 3;
+  RunFn fn = find_benchmark(GetParam());
+  ASSERT_NE(fn, nullptr);
+  const RunResult clean = fn(clean_cfg);
+  ASSERT_TRUE(clean.verified) << clean.verify_detail;
+
+  RunConfig cfg = clean_cfg;
   const auto spec = fault::parse_fault_spec("region:throw:*:2:0:persist");
   ASSERT_TRUE(spec.has_value());
   cfg.fault.specs.push_back(*spec);
   cfg.fault.max_retries = 1;
   cfg.fault.backoff_ms = 0;
-  RunFn fn = find_benchmark(GetParam());
-  ASSERT_NE(fn, nullptr);
   const RunResult r = fn(cfg);
   EXPECT_TRUE(r.verified) << GetParam() << " failed to recover by degrading: "
                           << r.verify_detail;
+  const testing::TierResult diff = testing::compare_checksums(
+      r.checksums, clean.checksums, testing::Tolerance::npb_eps());
+  EXPECT_TRUE(diff.passed) << GetParam()
+                           << " degraded run out of npb-epsilon tier: "
+                           << diff.detail;
   // Initial attempt + at least one full-width retry fired before the shrink
   // to width 2 removed the faulty rank (the session's counter survives the
   // run; the next install resets it).

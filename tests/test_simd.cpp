@@ -1,0 +1,279 @@
+// Property battery for the portable SIMD wrapper (src/simd) — the layer the
+// vec kernel mode stands on.  Every property here is backend-independent:
+// the same assertions must hold for the stdsimd, array and scalar backends,
+// which is exactly what the CI vec job checks by building this test twice.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "array/policies.hpp"
+#include "pseudoapp/block_impl.hpp"
+#include "simd/blocks.hpp"
+#include "simd/simd.hpp"
+#include "tolerance.hpp"
+
+namespace npb {
+namespace {
+
+using simd::Dvec;
+using testing::ulp_distance;
+
+constexpr int W = Dvec::width;
+
+TEST(Simd, WidthMatchesBackendContract) {
+  EXPECT_GE(W, 1);
+  EXPECT_LE(W, 16);
+  EXPECT_EQ(W, simd::kWidth);
+  const std::string backend = simd::backend_name();
+  if (backend == "scalar") {
+    EXPECT_EQ(W, 1);
+  } else {
+    // Non-scalar backends share the configured width, so vec checksums do
+    // not depend on which backend produced them.
+    EXPECT_EQ(W, NPB_SIMD_WIDTH);
+  }
+}
+
+TEST(Simd, BroadcastAndLaneAccess) {
+  const Dvec b = Dvec::broadcast(2.5);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(b.lane(i), 2.5);
+  Dvec z = Dvec::zero();
+  for (int i = 0; i < W; ++i) EXPECT_EQ(z.lane(i), 0.0);
+  for (int i = 0; i < W; ++i) z.set_lane(i, 1.0 + i);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(z.lane(i), 1.0 + i);
+}
+
+TEST(Simd, AlignedRoundTrip) {
+  alignas(64) double src[16];
+  alignas(64) double dst[16];
+  for (int i = 0; i < 16; ++i) {
+    src[i] = 0.1 * i - 0.5;
+    dst[i] = -99.0;
+  }
+  const Dvec v = Dvec::load_aligned(src);
+  v.store_aligned(dst);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(dst[i], src[i]);
+  for (int i = W; i < 16; ++i) EXPECT_EQ(dst[i], -99.0) << "lane overrun";
+}
+
+TEST(Simd, UnalignedRoundTrip) {
+  // Offset the pointers by one double off the 64 B line — the shape every
+  // stencil shift along the fastest axis produces.
+  alignas(64) double src[20];
+  alignas(64) double dst[20];
+  for (int i = 0; i < 20; ++i) {
+    src[i] = 3.0e-3 * i + 1.0;
+    dst[i] = -1.0;
+  }
+  const Dvec v = simd::load(src + 1);
+  simd::store(dst + 1, v);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(dst[1 + i], src[1 + i]);
+  EXPECT_EQ(dst[0], -1.0);
+  EXPECT_EQ(dst[1 + W], -1.0);
+}
+
+TEST(Simd, PartialLoadStoreMaskedTails) {
+  double src[17];
+  for (int i = 0; i < 17; ++i) src[i] = 1.0 + i;
+  for (int n = 0; n <= W; ++n) {
+    const Dvec v = simd::load_partial(src, n);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(v.lane(i), src[i]) << "n=" << n;
+    for (int i = n; i < W; ++i) EXPECT_EQ(v.lane(i), 0.0) << "n=" << n;
+
+    double dst[17];
+    for (int i = 0; i < 17; ++i) dst[i] = -7.0;
+    simd::store_partial(dst, n, Dvec::broadcast(5.0));
+    for (int i = 0; i < n; ++i) EXPECT_EQ(dst[i], 5.0) << "n=" << n;
+    for (int i = n; i < 17; ++i) EXPECT_EQ(dst[i], -7.0) << "n=" << n;
+  }
+  // n past the width clamps to the width instead of overrunning lanes.
+  const Dvec v = simd::load_partial(src, W + 3);
+  for (int i = 0; i < W; ++i) EXPECT_EQ(v.lane(i), src[i]);
+}
+
+TEST(Simd, ElementwiseArithmeticMatchesScalar) {
+  Dvec a = Dvec::zero();
+  Dvec b = Dvec::zero();
+  for (int i = 0; i < W; ++i) {
+    a.set_lane(i, 1.5 - 0.25 * i);
+    b.set_lane(i, 0.75 + 0.5 * i);
+  }
+  const Dvec sum = a + b;
+  const Dvec dif = a - b;
+  const Dvec prd = a * b;
+  const Dvec quo = a / b;
+  const Dvec neg = -a;
+  for (int i = 0; i < W; ++i) {
+    const double x = a.lane(i);
+    const double y = b.lane(i);
+    EXPECT_EQ(sum.lane(i), x + y);
+    EXPECT_EQ(dif.lane(i), x - y);
+    EXPECT_EQ(prd.lane(i), x * y);
+    EXPECT_EQ(quo.lane(i), x / y);
+    EXPECT_EQ(neg.lane(i), -x);
+  }
+  Dvec c = a;
+  c += b;
+  c *= b;
+  c -= a;
+  for (int i = 0; i < W; ++i)
+    EXPECT_EQ(c.lane(i), (a.lane(i) + b.lane(i)) * b.lane(i) - a.lane(i));
+}
+
+TEST(Simd, HsumIsStrictInLaneOrder) {
+  // The contract is the exact order lane0 + lane1 + ..., not any tree — so
+  // hsum must be bit-identical to the serial fold, including on inputs
+  // chosen to make other association orders differ.
+  Dvec v = Dvec::zero();
+  const double vals[16] = {1.0e16, 1.0,  -1.0e16, 3.0,   0.1,    -7.0e7, 0.3, 2.0e-9,
+                           5.0e8,  -0.25, 1.0e-3,  42.0, -1.0e12, 8.0,   0.5, -6.0e5};
+  for (int i = 0; i < W; ++i) v.set_lane(i, vals[i]);
+  double serial = v.lane(0);
+  for (int i = 1; i < W; ++i) serial += v.lane(i);
+  EXPECT_EQ(simd::hsum(v), serial);
+}
+
+TEST(Simd, SumMatchesSerialWithinUlpBound) {
+  // Non-multiple trip counts exercise the masked tail; the lane-striped
+  // accumulator reassociates, so the bound is ULPs, not equality.
+  for (const long n : {0L, 1L, 3L, 7L, 64L, 1001L}) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] = 1.0e-3 * static_cast<double>(i % 97) - 0.02;
+    const double serial =
+        std::accumulate(x.begin(), x.end(), 0.0);
+    const double lanes = simd::sum(x.data(), n);
+    EXPECT_LE(ulp_distance(lanes, serial), 256u) << "n=" << n;
+  }
+}
+
+TEST(Simd, DotMatchesSerialWithinUlpBound) {
+  for (const long n : {1L, 5L, 25L, 130L}) {
+    std::vector<double> a(static_cast<std::size_t>(n));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (long i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(i)] = 0.31 * static_cast<double>(i % 13) - 1.0;
+      b[static_cast<std::size_t>(i)] = 0.53 * static_cast<double>(i % 7) + 0.25;
+    }
+    double serial = 0.0;
+    for (long i = 0; i < n; ++i)
+      serial += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    EXPECT_LE(ulp_distance(simd::dot(a.data(), b.data(), n), serial), 256u)
+        << "n=" << n;
+  }
+}
+
+// ---- 5x5 block primitives vs the scalar pseudo-app primitives --------------
+// The vec BT line solver runs on these; each must match its scalar
+// counterpart either exactly (broadcast-axpy shapes preserve per-element
+// order) or within a small ULP budget (lane-dot shapes reassociate).
+
+std::array<double, 25> test_block(double seed) {
+  std::array<double, 25> m{};
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j)
+      m[static_cast<std::size_t>(i * 5 + j)] =
+          (i == j ? 4.0 + seed : 0.3 * ((i * 7 + j * 3) % 5) - 0.5);
+  return m;
+}
+
+TEST(SimdBlocks, Mv5SubMatchesScalarWithinUlps) {
+  const auto a = test_block(0.25);
+  std::array<double, 5> x{0.5, -1.25, 2.0, 0.125, -0.75};
+  std::array<double, 5> y_s{1.0, 2.0, 3.0, 4.0, 5.0};
+  std::array<double, 5> y_v = y_s;
+  pseudoapp::mv5_sub<Unchecked>(a, 0, x, 0, y_s, 0);
+  simd::mv5_sub_vec<Unchecked>(a.data(), x.data(), y_v.data());
+  for (int i = 0; i < 5; ++i)
+    EXPECT_LE(ulp_distance(y_v[static_cast<std::size_t>(i)],
+                           y_s[static_cast<std::size_t>(i)]), 8u);
+}
+
+TEST(SimdBlocks, Mm5SubPreservesScalarElementOrder) {
+  const auto a = test_block(0.5);
+  const auto b = test_block(-0.125);
+  auto c_s = test_block(1.0);
+  auto c_v = c_s;
+  pseudoapp::mm5_sub<Unchecked>(a, 0, b, 0, c_s, 0);
+  simd::mm5_sub_vec<Unchecked>(a.data(), b.data(), c_v.data());
+  // Same per-element accumulation order; only FMA contraction decisions can
+  // differ between the scalar and lane loops.
+  for (int i = 0; i < 25; ++i)
+    EXPECT_LE(ulp_distance(c_v[static_cast<std::size_t>(i)],
+                           c_s[static_cast<std::size_t>(i)]), 4u);
+}
+
+TEST(SimdBlocks, LuFactorSolveMatchesScalarWithinUlps) {
+  const auto a0 = test_block(0.75);
+  auto a_s = a0;
+  auto a_v = a0;
+  pseudoapp::lu5_factor<Unchecked>(a_s, 0);
+  simd::lu5_factor_vec<Unchecked>(a_v.data());
+  for (int i = 0; i < 25; ++i)
+    EXPECT_LE(ulp_distance(a_v[static_cast<std::size_t>(i)],
+                           a_s[static_cast<std::size_t>(i)]), 8u);
+
+  std::array<double, 5> x_s{1.0, -0.5, 0.25, 2.0, -1.0};
+  auto x_v = x_s;
+  pseudoapp::lu5_solve_vec<Unchecked>(a_s, 0, x_s, 0);
+  simd::lu5_solve_vec_vec<Unchecked>(a_v.data(), x_v.data());
+  for (int i = 0; i < 5; ++i)
+    EXPECT_LE(ulp_distance(x_v[static_cast<std::size_t>(i)],
+                           x_s[static_cast<std::size_t>(i)]), 64u);
+
+  auto bx_s = test_block(-0.25);
+  auto bx_v = bx_s;
+  pseudoapp::lu5_solve_block<Unchecked>(a_s, 0, bx_s, 0);
+  simd::lu5_solve_block_vec<Unchecked>(a_v.data(), bx_v.data());
+  for (int i = 0; i < 25; ++i)
+    EXPECT_LE(ulp_distance(bx_v[static_cast<std::size_t>(i)],
+                           bx_s[static_cast<std::size_t>(i)]), 64u);
+}
+
+// ---- tolerance layer self-checks -------------------------------------------
+
+TEST(Tolerance, UlpDistanceBasics) {
+  EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+  EXPECT_EQ(ulp_distance(0.0, -0.0), 0u);
+  const double next = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(ulp_distance(1.0, next), 1u);
+  EXPECT_EQ(ulp_distance(next, 1.0), 1u);
+  EXPECT_EQ(ulp_distance(-1.0, std::nextafter(-1.0, -2.0)), 1u);
+  // Across zero the distance spans both subnormal ranges symmetrically.
+  EXPECT_EQ(ulp_distance(std::nextafter(0.0, 1.0), std::nextafter(-0.0, -1.0)),
+            2u);
+  EXPECT_GT(ulp_distance(1.0, 2.0), 1000u);
+}
+
+TEST(Tolerance, CompareChecksumTiers) {
+  using testing::Tolerance;
+  const std::vector<double> ref{1.0, -2.5, 0.0};
+  std::vector<double> same = ref;
+  EXPECT_TRUE(testing::compare_checksums(same, ref, Tolerance::exact()).passed);
+
+  std::vector<double> nudged = ref;
+  nudged[0] = std::nextafter(nudged[0], 2.0);
+  EXPECT_FALSE(
+      testing::compare_checksums(nudged, ref, Tolerance::exact()).passed);
+  EXPECT_TRUE(
+      testing::compare_checksums(nudged, ref, Tolerance::ulps(4)).passed);
+
+  std::vector<double> off = ref;
+  off[1] += 1.0e-9;
+  EXPECT_FALSE(
+      testing::compare_checksums(off, ref, Tolerance::ulps(4)).passed);
+  EXPECT_TRUE(
+      testing::compare_checksums(off, ref, Tolerance::npb_eps()).passed);
+  EXPECT_FALSE(
+      testing::compare_checksums(off, ref, Tolerance::npb_eps(1.0e-12)).passed);
+
+  EXPECT_FALSE(testing::compare_checksums({1.0}, ref, Tolerance::exact()).passed)
+      << "size mismatch must fail";
+}
+
+}  // namespace
+}  // namespace npb

@@ -1,0 +1,149 @@
+#pragma once
+
+// Tolerance-tier comparison layer for differential tests.
+//
+// The differential matrices pin three distinct strengths of "same answer",
+// and conflating them hides bugs: fused-vs-forked and retry-at-same-width
+// promise bit-identity, vec kernels reassociate lane sums and promise only a
+// bounded ULP drift, and width-changed (degraded) runs only promise the NPB
+// acceptance epsilon.  Each comparison below names which promise it checks.
+//
+//  * Tier::Exact       — bit-identical doubles (NaN == NaN, +0 != -0 is
+//                        tolerated: the scalar and vec kernels can produce
+//                        differently-signed zeros from x - x vs -(x - x)).
+//  * Tier::UlpBounded  — within N units-in-the-last-place, computed on the
+//                        sign-magnitude integer number line (adjacent
+//                        representable doubles are distance 1 apart, +0 and
+//                        -0 are distance 0).  The right tier for
+//                        reassociated sums over well-conditioned data.
+//  * Tier::NpbEpsilon  — relative error below an epsilon (default the NPB
+//                        acceptance threshold 1e-8), with an absolute floor
+//                        so zeros stay comparable.  The weakest tier; for
+//                        comparisons across a changed partition width.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace npb::testing {
+
+/// Maps a double onto the sign-magnitude integer number line: adjacent
+/// representable doubles map to adjacent integers, negatives descend below
+/// zero, and +0/-0 both map to 0.
+inline std::int64_t ulp_index(double x) noexcept {
+  std::int64_t bits = 0;
+  static_assert(sizeof bits == sizeof x);
+  std::memcpy(&bits, &x, sizeof bits);
+  // Negative doubles order backwards in raw two's-complement bits; flip them
+  // below zero so the line is monotone.
+  return bits < 0 ? std::numeric_limits<std::int64_t>::min() - bits : bits;
+}
+
+/// ULP distance between two doubles: how many representable doubles apart
+/// they are.  0 for bit-identical values and for +0 vs -0.  NaNs are
+/// incomparable (max distance) unless both are NaN (distance 0).
+inline std::uint64_t ulp_distance(double a, double b) noexcept {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::isnan(a) && std::isnan(b)
+               ? 0
+               : std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::int64_t ia = ulp_index(a);
+  const std::int64_t ib = ulp_index(b);
+  return ia >= ib ? static_cast<std::uint64_t>(ia) - static_cast<std::uint64_t>(ib)
+                  : static_cast<std::uint64_t>(ib) - static_cast<std::uint64_t>(ia);
+}
+
+/// |got - ref| / max(|ref|, floor): relative error with an absolute floor so
+/// a reference of exactly zero remains comparable.
+inline double rel_error(double got, double ref, double floor = 1.0) noexcept {
+  const double denom = std::fabs(ref) > floor ? std::fabs(ref) : floor;
+  return std::fabs(got - ref) / denom;
+}
+
+enum class Tier { Exact, UlpBounded, NpbEpsilon };
+
+inline const char* to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::Exact: return "exact";
+    case Tier::UlpBounded: return "ulp-bounded";
+    case Tier::NpbEpsilon: return "npb-epsilon";
+  }
+  return "?";
+}
+
+/// One comparison budget: a tier plus its bound.  The named constructors are
+/// what tests should use, so the tier choice reads at the call site.
+struct Tolerance {
+  Tier tier = Tier::Exact;
+  std::uint64_t max_ulps = 0;    ///< UlpBounded only
+  double epsilon = 1.0e-8;       ///< NpbEpsilon only (NPB acceptance value)
+
+  static constexpr Tolerance exact() { return {Tier::Exact, 0, 0.0}; }
+  static constexpr Tolerance ulps(std::uint64_t n) {
+    return {Tier::UlpBounded, n, 0.0};
+  }
+  static constexpr Tolerance npb_eps(double eps = 1.0e-8) {
+    return {Tier::NpbEpsilon, 0, eps};
+  }
+};
+
+/// Result of comparing two checksum vectors under a tolerance; `detail`
+/// reports the worst element either way so a passing-but-close matrix cell
+/// can be read off a log.
+struct TierResult {
+  bool passed = false;
+  std::string detail;
+};
+
+inline TierResult compare_checksums(const std::vector<double>& got,
+                                    const std::vector<double>& ref,
+                                    const Tolerance& tol) {
+  TierResult r;
+  std::ostringstream os;
+  if (got.size() != ref.size()) {
+    os << "size mismatch: got " << got.size() << " checksums, expected "
+       << ref.size();
+    r.detail = os.str();
+    return r;
+  }
+  bool ok = true;
+  std::uint64_t worst_ulps = 0;
+  double worst_rel = 0.0;
+  std::size_t worst_at = 0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const std::uint64_t u = ulp_distance(got[i], ref[i]);
+    const double re = rel_error(got[i], ref[i]);
+    if (u > worst_ulps) {
+      worst_ulps = u;
+      worst_at = i;
+    }
+    if (re > worst_rel) worst_rel = re;
+    switch (tol.tier) {
+      case Tier::Exact:
+        ok = ok && u == 0;
+        break;
+      case Tier::UlpBounded:
+        ok = ok && u <= tol.max_ulps;
+        break;
+      case Tier::NpbEpsilon:
+        ok = ok && re <= tol.epsilon;
+        break;
+    }
+  }
+  os.setf(std::ios::scientific);
+  os << "tier=" << to_string(tol.tier);
+  if (tol.tier == Tier::UlpBounded) os << "(max " << tol.max_ulps << " ulps)";
+  if (tol.tier == Tier::NpbEpsilon) os << "(eps " << tol.epsilon << ")";
+  os << ": worst " << worst_ulps << " ulps (rel err " << worst_rel
+     << ") at checksum " << worst_at << " of " << got.size();
+  r.passed = ok;
+  r.detail = os.str();
+  return r;
+}
+
+}  // namespace npb::testing

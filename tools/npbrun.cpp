@@ -1,7 +1,7 @@
 // Command-line suite driver (the analogue of NPB's run scripts): runs any
 // benchmark at any configuration and prints a paper-style result block.
 //
-//   npbrun <benchmark|all> [--class=S] [--mode=native|java] [--threads=N]
+//   npbrun <benchmark|all> [--class=S] [--mode=native|java|vec] [--threads=N]
 //          [--barrier=condvar|spin] [--schedule=static|dynamic[,C]|guided[,M]]
 //          [--fused=on|off] [--mem-align=BYTES] [--first-touch] [--huge-pages]
 //          [--fault-spec=SITE:KIND:STEP:RANK:SEED[:persist]] (repeatable)
@@ -28,7 +28,7 @@ namespace {
 
 void usage() {
   std::fputs(
-      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java]\n"
+      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java|vec]\n"
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
       "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
       "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
@@ -92,10 +92,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.cls = *c;
-    } else if (std::strcmp(a, "--mode=java") == 0) {
-      cfg.mode = npb::Mode::Java;
-    } else if (std::strcmp(a, "--mode=native") == 0) {
-      cfg.mode = npb::Mode::Native;
+    } else if (std::strncmp(a, "--mode=", 7) == 0) {
+      const auto m = npb::parse_mode(a + 7);
+      if (!m) {
+        std::fprintf(stderr, "bad mode '%s' (want native, java or vec)\n",
+                     a + 7);
+        return 2;
+      }
+      cfg.mode = *m;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       if (!parse_flag_int(a + 10, cfg.threads)) {
         std::fprintf(stderr, "bad thread count '%s' (want a number >= 0)\n",
