@@ -1,5 +1,5 @@
 #include "bt/bt_impl.hpp"
 
 namespace npb::bt_detail {
-template AppOutput bt_run<Unchecked>(const AppParams&, int, const TeamOptions&);
+template AppOutput bt_run<Unchecked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
 }  // namespace npb::bt_detail

@@ -380,15 +380,16 @@ void conj_grad_forked(const Csr<P>& m, const Array1<double, P>& x,
 }
 
 template <class P, bool V = false>
-CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
+CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts,
+           WorkerTeam* pooled = nullptr) {
   // Thread creation happens at initialization (untimed), as in the paper —
   // and *before* any allocation, so a FirstTouch placement can fault the
   // matrix and vectors in on the ranks that will traverse them (the
   // co-location the paper's CG warm-up trick was after).
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
+  std::optional<TeamRef> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts, pooled);
   const mem::ScopedTeamPlacement placement(
-      team_storage ? &*team_storage : nullptr, topts.schedule);
+      team_storage ? team_storage->get() : nullptr, topts.schedule);
 
   const Csr<P> m = make_matrix<P>(p);
   const long n = m.n;
@@ -455,7 +456,7 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
     // after step() returns, so retries never double-count.
     fault::Checkpoint ckpt;
     ckpt.add(x.data(), x.size() * sizeof(double));
-    fault::StepRunner steps(*team_storage, topts, ckpt);
+    fault::StepRunner steps(**team_storage, topts, ckpt);
     const auto healthy = [&] { return sc.healthy(); };
     for (int outer = 1; outer <= p.niter; ++outer) {
       if (topts.fused) {
@@ -524,8 +525,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts) {
   return out;
 }
 
-extern template CgOutput cg_run<Unchecked>(const CgParams&, int, const TeamOptions&);
-extern template CgOutput cg_run<Checked>(const CgParams&, int, const TeamOptions&);
-extern template CgOutput cg_run<Unchecked, true>(const CgParams&, int, const TeamOptions&);
+extern template CgOutput cg_run<Unchecked>(const CgParams&, int, const TeamOptions&, WorkerTeam*);
+extern template CgOutput cg_run<Checked>(const CgParams&, int, const TeamOptions&, WorkerTeam*);
+extern template CgOutput cg_run<Unchecked, true>(const CgParams&, int, const TeamOptions&, WorkerTeam*);
 
 }  // namespace npb::cg_detail

@@ -1,5 +1,5 @@
 #include "cg/cg_impl.hpp"
 
 namespace npb::cg_detail {
-template CgOutput cg_run<Unchecked, true>(const CgParams&, int, const TeamOptions&);
+template CgOutput cg_run<Unchecked, true>(const CgParams&, int, const TeamOptions&, WorkerTeam*);
 }  // namespace npb::cg_detail

@@ -139,7 +139,7 @@ class StepRunner {
   /// restore/retry path as a thrown fault.
   template <class Body, class Healthy>
   void step(long step_no, Body&& body, Healthy&& healthy) {
-    Injector& inj = Injector::instance();
+    Injector& inj = current();
     // Fast path: no save, no gating.  A running watchdog keeps the retry
     // machinery engaged even without injection specs, so a genuinely hung
     // rank (the watchdog's real-world case) still gets restore-and-retry
@@ -188,7 +188,7 @@ class StepRunner {
   /// (every injection site and the watchdog call note_failed) and retry at
   /// the smaller width.  Unattributed failures shrink by one.
   void degrade(long step_no) {
-    Injector& inj = Injector::instance();
+    Injector& inj = current();
     if (!inj.allow_degraded() || width_ <= 1)
       throw std::runtime_error(
           "fault recovery exhausted at step " + std::to_string(step_no) +
@@ -201,6 +201,7 @@ class StepRunner {
     degraded_ = std::make_unique<WorkerTeam>(nw, topts_);
     width_ = nw;
     inj.clear_failed();
+    inj.note_degraded(nw);
     if (obs::kActive && obs::ObsRegistry::instance().enabled())
       obs::ObsRegistry::instance().record(obs::kRegionFaultDegradedWidth, -1,
                                           static_cast<double>(nw));

@@ -135,13 +135,14 @@ void relax_upper(Fields<P>& f, double dt, long i, long j, long k, CellWork<P>& w
 }
 
 template <class P>
-AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts,
+           WorkerTeam* pooled = nullptr) {
   // Team before the fields: under FirstTouch each rank commits the
   // k-plane slabs it will sweep, instead of every page faulting in on
   // the master during init_fields.
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  std::optional<TeamRef> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts, pooled);
+  WorkerTeam* team = team_storage ? team_storage->get() : nullptr;
   const mem::ScopedTeamPlacement placement(team, topts.schedule);
 
   Fields<P> f(prm.n);
@@ -309,13 +310,14 @@ AppOutput lu_run(const AppParams& prm, int threads, const TeamOptions& topts) {
 /// the results are bitwise identical to lu_run's — only the synchronization
 /// pattern (and hence scalability) differs.
 template <class P>
-AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts) {
+AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts,
+           WorkerTeam* pooled = nullptr) {
   // Team before the fields: under FirstTouch each rank commits the
   // k-plane slabs it will sweep, instead of every page faulting in on
   // the master during init_fields.
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  std::optional<TeamRef> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts, pooled);
+  WorkerTeam* team = team_storage ? team_storage->get() : nullptr;
   const mem::ScopedTeamPlacement placement(team, topts.schedule);
 
   Fields<P> f(prm.n);
@@ -461,9 +463,9 @@ AppOutput lu_run_hp(const AppParams& prm, int threads, const TeamOptions& topts)
   return out;
 }
 
-extern template AppOutput lu_run<Unchecked>(const AppParams&, int, const TeamOptions&);
-extern template AppOutput lu_run<Checked>(const AppParams&, int, const TeamOptions&);
-extern template AppOutput lu_run_hp<Unchecked>(const AppParams&, int, const TeamOptions&);
-extern template AppOutput lu_run_hp<Checked>(const AppParams&, int, const TeamOptions&);
+extern template AppOutput lu_run<Unchecked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
+extern template AppOutput lu_run<Checked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
+extern template AppOutput lu_run_hp<Unchecked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
+extern template AppOutput lu_run_hp<Checked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
 
 }  // namespace npb::lu_detail

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/threadctx.hpp"
 #include "fault/fault.hpp"
 
 #if defined(__linux__)
@@ -19,14 +20,20 @@ struct GlobalStats {
   std::atomic<std::uint64_t> allocations{0};
   std::atomic<std::uint64_t> arena_hit_bytes{0};
   std::atomic<std::uint64_t> arena_hits{0};
-  // First-touch fills only ever run on the master thread (place_fill refuses
-  // on workers), so plain doubles are race-free here.
-  double first_touch_seconds = 0.0;
-  std::uint64_t first_touch_fills = 0;
+  // Atomic: under the service scheduler several job masters run first-touch
+  // fills concurrently (each on its own team).
+  std::atomic<double> first_touch_seconds{0.0};
+  std::atomic<std::uint64_t> first_touch_fills{0};
 };
 
 GlobalStats g_stats;
-detail::Context g_context;
+
+// Each thread that installs a scoped config owns its own context storage and
+// publishes its address through the threadctx slot; team workers inherit the
+// dispatching master's slot, so they see the job's context rather than a
+// process-wide one.  Threads with an empty slot (nothing ever installed) read
+// their default-constructed local context — the old global-default behavior.
+thread_local detail::Context t_context;
 
 bool is_pow2(std::size_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
 
@@ -75,8 +82,10 @@ MemStats stats() noexcept {
   s.allocations = g_stats.allocations.load(std::memory_order_relaxed);
   s.arena_hit_bytes = g_stats.arena_hit_bytes.load(std::memory_order_relaxed);
   s.arena_hits = g_stats.arena_hits.load(std::memory_order_relaxed);
-  s.first_touch_seconds = g_stats.first_touch_seconds;
-  s.first_touch_fills = g_stats.first_touch_fills;
+  s.first_touch_seconds =
+      g_stats.first_touch_seconds.load(std::memory_order_relaxed);
+  s.first_touch_fills =
+      g_stats.first_touch_fills.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -85,8 +94,8 @@ void reset_stats() noexcept {
   g_stats.allocations.store(0, std::memory_order_relaxed);
   g_stats.arena_hit_bytes.store(0, std::memory_order_relaxed);
   g_stats.arena_hits.store(0, std::memory_order_relaxed);
-  g_stats.first_touch_seconds = 0.0;
-  g_stats.first_touch_fills = 0;
+  g_stats.first_touch_seconds.store(0.0, std::memory_order_relaxed);
+  g_stats.first_touch_fills.store(0, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -109,11 +118,17 @@ void* raw_alloc(std::size_t bytes, std::size_t alignment, bool huge) {
 
 void raw_free(void* p) noexcept { std::free(p); }
 
-const Context& context() noexcept { return g_context; }
+const Context& context() noexcept {
+  const void* p = threadctx::current().mem_context;
+  return p != nullptr ? *static_cast<const Context*>(p) : t_context;
+}
 
 Context exchange_context(const Context& next) noexcept {
-  Context prev = g_context;
-  g_context = next;
+  Context prev = context();
+  t_context = next;
+  threadctx::Slots slots = threadctx::current();
+  slots.mem_context = &t_context;
+  threadctx::exchange(slots);
   return prev;
 }
 
@@ -136,8 +151,8 @@ void note_hit(std::size_t bytes) noexcept {
 }
 
 void note_first_touch(double seconds) noexcept {
-  g_stats.first_touch_seconds += seconds;
-  ++g_stats.first_touch_fills;
+  g_stats.first_touch_seconds.fetch_add(seconds, std::memory_order_relaxed);
+  g_stats.first_touch_fills.fetch_add(1, std::memory_order_relaxed);
   if (obs::kActive && obs::ObsRegistry::instance().enabled())
     obs::ObsRegistry::instance().record(obs::kRegionMemFirstTouch,
                                         obs::thread_rank(), seconds);

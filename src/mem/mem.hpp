@@ -120,10 +120,12 @@ namespace detail {
 void* raw_alloc(std::size_t bytes, std::size_t alignment, bool huge);
 void raw_free(void* p) noexcept;
 
-/// The installed allocation policy.  One global (not thread-local): worker
-/// threads allocating per-rank scratch inside a team region must see the
-/// same arena/options the master installed.  Mutation is master-only,
-/// between team regions; the team dispatch orders it for the workers.
+/// The installed allocation policy.  Per-thread storage published through a
+/// threadctx slot: worker threads allocating per-rank scratch inside a team
+/// region inherit the dispatching master's slot (WorkerTeam::dispatch
+/// snapshots it), so they see the arena/options that job installed — and two
+/// jobs running concurrently under the service scheduler each see their own.
+/// Mutation is master-only, between team regions, exactly as before.
 struct Context {
   MemOptions options{};
   Arena* arena = nullptr;

@@ -329,15 +329,16 @@ void over_planes(WorkerTeam* team, Schedule sched, long n, const F& body) {
 }
 
 template <class P, bool V = false>
-MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
+MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts,
+           WorkerTeam* pooled = nullptr) {
   const int lt = prm.log2_n;
   const long n = 1L << lt;
 
   // Team before grids: a FirstTouch placement then commits every level's
   // pages plane-slab by plane-slab on the ranks that will smooth them.
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  std::optional<TeamRef> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts, pooled);
+  WorkerTeam* team = team_storage ? team_storage->get() : nullptr;
   const Schedule sched = topts.schedule;
   const mem::ScopedTeamPlacement placement(team, sched);
 
@@ -519,8 +520,8 @@ MgOutput mg_run(const MgParams& prm, int threads, const TeamOptions& topts) {
   return out;
 }
 
-extern template MgOutput mg_run<Unchecked>(const MgParams&, int, const TeamOptions&);
-extern template MgOutput mg_run<Checked>(const MgParams&, int, const TeamOptions&);
-extern template MgOutput mg_run<Unchecked, true>(const MgParams&, int, const TeamOptions&);
+extern template MgOutput mg_run<Unchecked>(const MgParams&, int, const TeamOptions&, WorkerTeam*);
+extern template MgOutput mg_run<Checked>(const MgParams&, int, const TeamOptions&, WorkerTeam*);
+extern template MgOutput mg_run<Unchecked, true>(const MgParams&, int, const TeamOptions&, WorkerTeam*);
 
 }  // namespace npb::mg_detail

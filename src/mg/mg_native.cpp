@@ -1,5 +1,5 @@
 #include "mg/mg_impl.hpp"
 
 namespace npb::mg_detail {
-template MgOutput mg_run<Unchecked>(const MgParams&, int, const TeamOptions&);
+template MgOutput mg_run<Unchecked>(const MgParams&, int, const TeamOptions&, WorkerTeam*);
 }  // namespace npb::mg_detail

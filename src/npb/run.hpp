@@ -13,6 +13,8 @@
 
 namespace npb {
 
+class WorkerTeam;
+
 /// One benchmark execution request.  `threads == 0` runs the plain serial
 /// code path (no team, no synchronization — the paper's "Serial" column);
 /// `threads >= 1` runs the master-workers translation with that many worker
@@ -43,6 +45,11 @@ struct RunConfig {
   /// (--max-retries, degradation).  Default-constructed = disarmed; the
   /// benchmark hot paths then pay one relaxed load per hook.
   fault::FaultOptions fault{};
+  /// Pooled team to run on (service scheduler checkout), or null to build a
+  /// private team.  Borrowed only when its width and TeamOptions match the
+  /// request exactly (see TeamRef); a mismatch silently builds a private
+  /// team, so a stale pool entry can change performance but never results.
+  WorkerTeam* team = nullptr;
 };
 
 struct RunResult {

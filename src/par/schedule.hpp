@@ -50,6 +50,13 @@ struct Schedule {
   static constexpr Schedule guided(long min_chunk = 0) noexcept {
     return {Kind::Guided, min_chunk};
   }
+
+  /// Identity matters to the service team pool: a pooled team is only
+  /// borrowable when its schedule matches the job's exactly.
+  friend constexpr bool operator==(const Schedule& a,
+                                   const Schedule& b) noexcept {
+    return a.kind == b.kind && a.chunk == b.chunk;
+  }
 };
 
 const char* to_string(Schedule::Kind k) noexcept;

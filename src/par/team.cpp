@@ -34,6 +34,7 @@ WorkerTeam::WorkerTeam(int nthreads, TeamOptions opts)
       opts_(opts),
       barrier_(make_barrier(opts.barrier, nthreads)),
       scratch_(static_cast<std::size_t>(nthreads)),
+      wd_injector_(&fault::current()),
       watchdog_active_(opts.watchdog_ms > 0),
       barrier_entry_(watchdog_active_ ? static_cast<std::size_t>(nthreads)
                                       : 0) {
@@ -74,6 +75,11 @@ void WorkerTeam::dispatch(JobFn invoke, void* ctx) {
     std::unique_lock<std::mutex> lk(m_);
     job_invoke_ = invoke;
     job_ctx_ = ctx;
+    // Hand the caller's job context (mem context, fault injector) to the
+    // workers for the span of this dispatch.  Also point the watchdog at the
+    // caller's injector so blame lands on the job currently running here.
+    job_slots_ = threadctx::current();
+    wd_injector_.store(&fault::current(), std::memory_order_release);
     job_issued_at_ = obs_on ? wtime() : 0.0;
     done_ = 0;
     ++generation_;
@@ -118,6 +124,7 @@ void WorkerTeam::worker_main(int rank) {
   for (;;) {
     JobFn invoke = nullptr;
     void* ctx = nullptr;
+    threadctx::Slots slots;
     double issued = 0.0;
     {
       std::unique_lock<std::mutex> lk(m_);
@@ -126,8 +133,12 @@ void WorkerTeam::worker_main(int rank) {
       seen = generation_;
       invoke = job_invoke_;
       ctx = job_ctx_;
+      slots = job_slots_;
       issued = job_issued_at_;
     }
+    // Run the job under the dispatcher's context (job-scoped mem/fault state
+    // under the service scheduler; null slots = process defaults otherwise).
+    const threadctx::Slots prev_slots = threadctx::exchange(slots);
     if (obs::kActive && issued > 0.0 &&
         obs::ObsRegistry::instance().enabled())
       obs::ObsRegistry::instance().record(obs::kRegionDispatch, rank,
@@ -149,6 +160,7 @@ void WorkerTeam::worker_main(int rank) {
       // rank will never reach.  dispatch() un-poisons after the join.
       barrier_->abort();
     }
+    threadctx::exchange(prev_slots);
     {
       std::lock_guard<std::mutex> lk(m_);
       if (err && !first_error_) first_error_ = err;
@@ -197,8 +209,9 @@ void WorkerTeam::watchdog_main() {
               std::memory_order_acquire) > 0.0)
         continue;
       // This rank never reached the barrier its siblings are parked at:
-      // blame it for the degradation policy and the report.
-      fault::Injector::instance().note_failed(r);
+      // blame it in the injector of the job running here (refreshed at each
+      // dispatch) so degradation shrinks the right tenant's team.
+      wd_injector_.load(std::memory_order_acquire)->note_failed(r);
       if (obs_on)
         obs::ObsRegistry::instance().record(obs::kRegionFaultStuckRank, r,
                                             static_cast<double>(r));

@@ -232,13 +232,14 @@ void over_range(WorkerTeam* team, long n, const F& body) {
 }
 
 template <class P, bool V = false>
-AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
+AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts,
+           WorkerTeam* pooled = nullptr) {
   // Team before the fields: under FirstTouch each rank commits the
   // k-plane slabs it will sweep, instead of every page faulting in on
   // the master during init_fields.
-  std::optional<WorkerTeam> team_storage;
-  if (threads > 0) team_storage.emplace(threads, topts);
-  WorkerTeam* team = team_storage ? &*team_storage : nullptr;
+  std::optional<TeamRef> team_storage;
+  if (threads > 0) team_storage.emplace(threads, topts, pooled);
+  WorkerTeam* team = team_storage ? team_storage->get() : nullptr;
   const mem::ScopedTeamPlacement placement(team, topts.schedule);
 
   Fields<P> f(prm.n);
@@ -511,8 +512,8 @@ AppOutput sp_run(const AppParams& prm, int threads, const TeamOptions& topts) {
   return out;
 }
 
-extern template AppOutput sp_run<Unchecked>(const AppParams&, int, const TeamOptions&);
-extern template AppOutput sp_run<Checked>(const AppParams&, int, const TeamOptions&);
-extern template AppOutput sp_run<Unchecked, true>(const AppParams&, int, const TeamOptions&);
+extern template AppOutput sp_run<Unchecked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
+extern template AppOutput sp_run<Checked>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
+extern template AppOutput sp_run<Unchecked, true>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
 
 }  // namespace npb::sp_detail

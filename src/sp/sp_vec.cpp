@@ -1,5 +1,5 @@
 #include "sp/sp_impl.hpp"
 
 namespace npb::sp_detail {
-template AppOutput sp_run<Unchecked, true>(const AppParams&, int, const TeamOptions&);
+template AppOutput sp_run<Unchecked, true>(const AppParams&, int, const TeamOptions&, WorkerTeam*);
 }  // namespace npb::sp_detail

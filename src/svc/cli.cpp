@@ -1,0 +1,242 @@
+#include "svc/cli.hpp"
+
+#include <cstring>
+
+#include "fault/options.hpp"
+#include "mem/mem.hpp"
+#include "npb/registry.hpp"
+
+namespace npb::svc {
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// Strict non-negative integer parse for flag values: digits only, bounded;
+/// atoi-style silent zeros ('--threads=two' -> 0) are rejected instead.
+bool parse_flag_int(const char* s, int& out) {
+  if (*s == '\0' || std::strlen(s) > 9) return false;
+  int v = 0;
+  for (; *s != '\0'; ++s) {
+    if (*s < '0' || *s > '9') return false;
+    v = v * 10 + (*s - '0');
+  }
+  out = v;
+  return true;
+}
+
+/// "1,2,2,3" -> {1,2,2,3}; widths 0..32 (0 = a serial slot).
+bool parse_pool_widths(const char* s, std::vector<int>& out,
+                       std::string* error) {
+  out.clear();
+  std::string tok;
+  for (const char* p = s;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      tok += *p;
+      continue;
+    }
+    int w = 0;
+    if (!parse_flag_int(tok.c_str(), w) || w > 32)
+      return fail(error,
+                  "bad pool width '" + tok + "' (want 0..32, comma-separated)");
+    out.push_back(w);
+    tok.clear();
+    if (*p == '\0') break;
+  }
+  return !out.empty();
+}
+
+bool parse_serve_args(int argc, const char* const* argv, CliOptions& opts,
+                      std::string* error) {
+  opts.action = CliOptions::Action::Serve;
+  const char* first = argv[1];
+  if (std::strncmp(first, "--serve=", 8) == 0) opts.serve_input = first + 8;
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--pool=", 7) == 0) {
+      if (!parse_pool_widths(a + 7, opts.pool_widths, error)) {
+        if (error != nullptr && error->empty())
+          *error = "bad pool spec '" + std::string(a + 7) + "'";
+        return false;
+      }
+    } else if (std::strncmp(a, "--queue-cap=", 12) == 0) {
+      int v = 0;
+      if (!parse_flag_int(a + 12, v) || v < 1)
+        return fail(error, "bad queue capacity '" + std::string(a + 12) +
+                               "' (want a number >= 1)");
+      opts.queue_capacity = static_cast<std::size_t>(v);
+    } else if (std::strncmp(a, "--service-report=", 17) == 0) {
+      opts.service_report = a + 17;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      opts.verbose = true;
+    } else {
+      return fail(error, "unknown --serve argument '" + std::string(a) + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  return
+      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java|vec]\n"
+      "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
+      "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
+      "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
+      "              [--huge-pages] [--fault-spec=SPEC] [--watchdog-ms=N]\n"
+      "              [--max-retries=N] [--backoff-ms=N] [--no-degrade]\n"
+      "              [--obs-report=FILE]\n"
+      "       npbrun --serve[=JOBS.ndjson] [--pool=W,W,...] [--queue-cap=N]\n"
+      "              [--service-report=FILE] [--verbose]\n"
+      "--mem-align takes a power of two (K/M suffixes allowed); --first-touch\n"
+      "initializes large arrays on the worker team with the compute schedule;\n"
+      "--huge-pages requests 2 MiB pages for buffers that large (Linux hint).\n"
+      "--schedule picks the loop schedule for CG/IS/MG/EP threaded loops\n"
+      "(pseudo-apps keep static slabs); dynamic/guided default CHUNK to\n"
+      "n/(16*threads) and MIN_CHUNK to 1.\n"
+      "--fused=on (default) runs each time step as one fused SPMD region;\n"
+      "--fused=off restores one fork/join per parallel loop (checksums are\n"
+      "bit-identical either way for a fixed schedule and thread count).\n"
+      "--fault-spec injects a deterministic fault (repeatable); SPEC is\n"
+      "SITE:KIND:STEP:RANK:SEED[:persist] with SITE one of\n"
+      "barrier|region|collective|queue|reduce|alloc|*, KIND one of\n"
+      "throw|delay(MS)|nan-poison|alloc-fail, STEP/RANK a number or *, and\n"
+      "SEED the 0-based crossing of the site the fault fires on.  Recovery:\n"
+      "--max-retries per-step retries from checkpoint (default 3) with\n"
+      "--backoff-ms linear backoff (default 1), then team-shrink degradation\n"
+      "unless --no-degrade.  --watchdog-ms aborts a barrier stuck longer than\n"
+      "N ms so the step retries instead of hanging.\n"
+      "--serve reads one JSON job spec per line (file or stdin), runs them\n"
+      "concurrently on a pooled team runtime, and emits a service JSON\n"
+      "(per-job results + latency/utilization aggregates).\n";
+}
+
+std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
+                                            std::string* error) {
+  if (error != nullptr) error->clear();
+  if (argc < 2) {
+    fail(error, "");
+    return std::nullopt;
+  }
+  CliOptions opts;
+
+  if (std::strcmp(argv[1], "--serve") == 0 ||
+      std::strncmp(argv[1], "--serve=", 8) == 0) {
+    if (!parse_serve_args(argc, argv, opts, error)) return std::nullopt;
+    return opts;
+  }
+
+  opts.which = argv[1];
+  if (opts.which != "all" && opts.which != "ALL" &&
+      find_benchmark(opts.which) == nullptr) {
+    fail(error, "unknown benchmark '" + opts.which + "'");
+    return std::nullopt;
+  }
+  RunConfig& cfg = opts.cfg;
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--class=", 8) == 0) {
+      const auto c = parse_class(a + 8);
+      if (!c) {
+        fail(error, "bad class '" + std::string(a + 8) + "'");
+        return std::nullopt;
+      }
+      cfg.cls = *c;
+    } else if (std::strncmp(a, "--mode=", 7) == 0) {
+      const auto m = parse_mode(a + 7);
+      if (!m) {
+        fail(error, "bad mode '" + std::string(a + 7) +
+                        "' (want native, java or vec)");
+        return std::nullopt;
+      }
+      cfg.mode = *m;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      if (!parse_flag_int(a + 10, cfg.threads)) {
+        fail(error, "bad thread count '" + std::string(a + 10) +
+                        "' (want a number >= 0)");
+        return std::nullopt;
+      }
+    } else if (std::strcmp(a, "--barrier=spin") == 0) {
+      cfg.barrier = BarrierKind::SpinSense;
+    } else if (std::strcmp(a, "--barrier=condvar") == 0) {
+      cfg.barrier = BarrierKind::CondVar;
+    } else if (std::strncmp(a, "--schedule=", 11) == 0) {
+      const auto s = parse_schedule(a + 11);
+      if (!s) {
+        fail(error, "bad schedule '" + std::string(a + 11) + "'");
+        return std::nullopt;
+      }
+      cfg.schedule = *s;
+    } else if (std::strncmp(a, "--fused=", 8) == 0) {
+      if (std::strcmp(a + 8, "on") == 0) {
+        cfg.fused = true;
+      } else if (std::strcmp(a + 8, "off") == 0) {
+        cfg.fused = false;
+      } else {
+        fail(error, "bad fused value '" + std::string(a + 8) +
+                        "' (want on or off)");
+        return std::nullopt;
+      }
+    } else if (std::strncmp(a, "--fault-spec=", 13) == 0) {
+      const auto spec = fault::parse_fault_spec(a + 13);
+      if (!spec) {
+        fail(error,
+             "bad fault spec '" + std::string(a + 13) +
+                 "'\n(want SITE:KIND:STEP:RANK:SEED[:persist], e.g. "
+                 "region:throw:3:1:0 or barrier:delay(50):*:0:2;\n"
+                 " nan-poison requires site reduce, alloc-fail requires "
+                 "site alloc)");
+        return std::nullopt;
+      }
+      cfg.fault.specs.push_back(*spec);
+    } else if (std::strncmp(a, "--watchdog-ms=", 14) == 0) {
+      int v = 0;
+      if (!parse_flag_int(a + 14, v)) {
+        fail(error,
+             "bad watchdog timeout '" + std::string(a + 14) + "' (want ms >= 0)");
+        return std::nullopt;
+      }
+      cfg.fault.watchdog_ms = v;
+    } else if (std::strncmp(a, "--max-retries=", 14) == 0) {
+      if (!parse_flag_int(a + 14, cfg.fault.max_retries)) {
+        fail(error, "bad retry count '" + std::string(a + 14) +
+                        "' (want a number >= 0)");
+        return std::nullopt;
+      }
+    } else if (std::strncmp(a, "--backoff-ms=", 13) == 0) {
+      if (!parse_flag_int(a + 13, cfg.fault.backoff_ms)) {
+        fail(error, "bad backoff '" + std::string(a + 13) + "' (want ms >= 0)");
+        return std::nullopt;
+      }
+    } else if (std::strcmp(a, "--no-degrade") == 0) {
+      cfg.fault.allow_degraded = false;
+    } else if (std::strncmp(a, "--mem-align=", 12) == 0) {
+      const auto al = mem::parse_alignment(a + 12);
+      if (!al) {
+        fail(error, "bad alignment '" + std::string(a + 12) +
+                        "' (want a power of two)");
+        return std::nullopt;
+      }
+      cfg.mem.alignment = *al;
+    } else if (std::strcmp(a, "--first-touch") == 0) {
+      cfg.mem.placement = mem::Placement::FirstTouch;
+    } else if (std::strcmp(a, "--huge-pages") == 0) {
+      cfg.mem.huge_pages = true;
+    } else if (std::strcmp(a, "--warmup") == 0) {
+      cfg.warmup_spins = 1000000;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      opts.verbose = true;
+    } else if (std::strncmp(a, "--obs-report=", 13) == 0) {
+      opts.obs_report = a + 13;
+    } else {
+      fail(error, "unknown argument '" + std::string(a) + "'");
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+}  // namespace npb::svc

@@ -1,0 +1,47 @@
+#pragma once
+
+// npbrun's argument parsing, as a library function so tests can hammer it
+// in-process (the fuzz battery in test_cli feeds it random malformed flags
+// and asserts it always rejects with a message, never crashes, and never
+// returns a half-parsed config).  npbrun's main() is a thin shell over this.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "npb/run.hpp"
+
+namespace npb::svc {
+
+struct CliOptions {
+  enum class Action {
+    RunBenchmarks,  ///< classic one-shot mode: run `which` with `cfg`
+    Serve,          ///< --serve: read NDJSON job specs, run the scheduler
+  };
+
+  Action action = Action::RunBenchmarks;
+
+  // RunBenchmarks
+  std::string which;  ///< benchmark name or "all" (validated against suite())
+  RunConfig cfg;
+  bool verbose = false;
+  std::string obs_report;
+
+  // Serve
+  std::string serve_input;     ///< job-spec file; empty = stdin
+  std::string service_report;  ///< service JSON output file; empty = stdout
+  std::vector<int> pool_widths{1, 2, 3};
+  std::size_t queue_capacity = 64;
+};
+
+/// Usage text (the same block main() prints on error), without the trailing
+/// benchmark list.
+std::string usage_text();
+
+/// Parses the full argv.  nullopt on any malformed input with `*error` set
+/// to a one-line message (empty when the problem is just "no arguments").
+/// Every flag value is validated strictly; there is no partial success.
+std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
+                                            std::string* error);
+
+}  // namespace npb::svc

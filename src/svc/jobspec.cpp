@@ -1,0 +1,189 @@
+#include "svc/jobspec.hpp"
+
+#include "common/classes.hpp"
+#include "common/mode.hpp"
+#include "fault/options.hpp"
+#include "mem/mem.hpp"
+#include "npb/registry.hpp"
+#include "par/schedule.hpp"
+
+namespace npb::svc {
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+bool want_string(const json::Value& v, const char* key, std::string* error) {
+  if (v.is_string()) return true;
+  return fail(error, std::string("key \"") + key + "\" must be a string");
+}
+
+bool want_bool(const json::Value& v, const char* key, std::string* error) {
+  if (v.is_bool()) return true;
+  return fail(error, std::string("key \"") + key + "\" must be a boolean");
+}
+
+bool want_count(const json::Value& v, const char* key, std::string* error) {
+  if (v.is_int() && v.as_int() >= 0) return true;
+  return fail(error,
+              std::string("key \"") + key + "\" must be an integer >= 0");
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_job_spec(const json::Value& v,
+                                      std::string* error) {
+  if (!v.is_object()) {
+    fail(error, "job spec must be a JSON object");
+    return std::nullopt;
+  }
+  JobSpec spec;
+  bool have_benchmark = false;
+  for (const auto& [key, val] : v.entries()) {
+    if (key == "id") {
+      if (!want_string(val, "id", error)) return std::nullopt;
+      spec.id = val.as_string();
+    } else if (key == "benchmark") {
+      if (!want_string(val, "benchmark", error)) return std::nullopt;
+      spec.benchmark = val.as_string();
+      if (find_benchmark(spec.benchmark) == nullptr) {
+        fail(error, "unknown benchmark \"" + spec.benchmark + "\"");
+        return std::nullopt;
+      }
+      have_benchmark = true;
+    } else if (key == "class") {
+      if (!want_string(val, "class", error)) return std::nullopt;
+      const auto c = parse_class(val.as_string());
+      if (!c) {
+        fail(error, "bad class \"" + val.as_string() + "\"");
+        return std::nullopt;
+      }
+      spec.cfg.cls = *c;
+    } else if (key == "mode") {
+      if (!want_string(val, "mode", error)) return std::nullopt;
+      const auto m = parse_mode(val.as_string());
+      if (!m) {
+        fail(error, "bad mode \"" + val.as_string() +
+                        "\" (want native, java or vec)");
+        return std::nullopt;
+      }
+      spec.cfg.mode = *m;
+    } else if (key == "threads") {
+      if (!want_count(val, "threads", error)) return std::nullopt;
+      spec.cfg.threads = static_cast<int>(val.as_int());
+    } else if (key == "barrier") {
+      if (!want_string(val, "barrier", error)) return std::nullopt;
+      if (val.as_string() == "spin") {
+        spec.cfg.barrier = BarrierKind::SpinSense;
+      } else if (val.as_string() == "condvar") {
+        spec.cfg.barrier = BarrierKind::CondVar;
+      } else {
+        fail(error, "bad barrier \"" + val.as_string() +
+                        "\" (want condvar or spin)");
+        return std::nullopt;
+      }
+    } else if (key == "schedule") {
+      if (!want_string(val, "schedule", error)) return std::nullopt;
+      const auto s = parse_schedule(val.as_string());
+      if (!s) {
+        fail(error, "bad schedule \"" + val.as_string() + "\"");
+        return std::nullopt;
+      }
+      spec.cfg.schedule = *s;
+    } else if (key == "fused") {
+      if (!want_bool(val, "fused", error)) return std::nullopt;
+      spec.cfg.fused = val.as_bool();
+    } else if (key == "align") {
+      if (!want_count(val, "align", error)) return std::nullopt;
+      const auto al = mem::parse_alignment(std::to_string(val.as_int()));
+      if (!al) {
+        fail(error, "bad align (want a power of two)");
+        return std::nullopt;
+      }
+      spec.cfg.mem.alignment = *al;
+    } else if (key == "first_touch") {
+      if (!want_bool(val, "first_touch", error)) return std::nullopt;
+      spec.cfg.mem.placement = val.as_bool() ? mem::Placement::FirstTouch
+                                             : mem::Placement::Serial;
+    } else if (key == "huge_pages") {
+      if (!want_bool(val, "huge_pages", error)) return std::nullopt;
+      spec.cfg.mem.huge_pages = val.as_bool();
+    } else if (key == "faults") {
+      if (!val.is_array()) {
+        fail(error, "key \"faults\" must be an array of spec strings");
+        return std::nullopt;
+      }
+      for (const json::Value& f : val.items()) {
+        if (!f.is_string()) {
+          fail(error, "key \"faults\" must be an array of spec strings");
+          return std::nullopt;
+        }
+        const auto fs = fault::parse_fault_spec(f.as_string());
+        if (!fs) {
+          fail(error, "bad fault spec \"" + f.as_string() + "\"");
+          return std::nullopt;
+        }
+        spec.cfg.fault.specs.push_back(*fs);
+      }
+    } else if (key == "watchdog_ms") {
+      if (!want_count(val, "watchdog_ms", error)) return std::nullopt;
+      spec.cfg.fault.watchdog_ms = static_cast<long>(val.as_int());
+    } else if (key == "max_retries") {
+      if (!want_count(val, "max_retries", error)) return std::nullopt;
+      spec.cfg.fault.max_retries = static_cast<int>(val.as_int());
+    } else if (key == "backoff_ms") {
+      if (!want_count(val, "backoff_ms", error)) return std::nullopt;
+      spec.cfg.fault.backoff_ms = static_cast<int>(val.as_int());
+    } else if (key == "no_degrade") {
+      if (!want_bool(val, "no_degrade", error)) return std::nullopt;
+      spec.cfg.fault.allow_degraded = !val.as_bool();
+    } else if (key == "warmup") {
+      if (!want_bool(val, "warmup", error)) return std::nullopt;
+      spec.cfg.warmup_spins = val.as_bool() ? 1000000 : 0;
+    } else {
+      fail(error, "unknown key \"" + key + "\"");
+      return std::nullopt;
+    }
+  }
+  if (!have_benchmark) {
+    fail(error, "missing required key \"benchmark\"");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<std::vector<JobSpec>> parse_job_stream(const std::string& text,
+                                                     std::string* error) {
+  std::vector<JobSpec> specs;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::string err;
+    const auto doc = json::parse(line, &err);
+    if (!doc) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " + err;
+      return std::nullopt;
+    }
+    auto spec = parse_job_spec(*doc, &err);
+    if (!spec) {
+      if (error != nullptr)
+        *error = "line " + std::to_string(line_no) + ": " + err;
+      return std::nullopt;
+    }
+    if (spec->id.empty()) spec->id = "job-" + std::to_string(line_no);
+    specs.push_back(std::move(*spec));
+  }
+  return specs;
+}
+
+}  // namespace npb::svc

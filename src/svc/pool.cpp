@@ -1,0 +1,78 @@
+#include "svc/pool.hpp"
+
+namespace npb::svc {
+
+TeamPool::TeamPool(const std::vector<int>& widths) {
+  entries_.reserve(widths.size());
+  for (const int w : widths) {
+    Entry e;
+    e.width = w > 0 ? w : 0;
+    e.arena = std::make_unique<mem::Arena>();
+    entries_.push_back(std::move(e));
+  }
+}
+
+std::optional<TeamLease> TeamPool::try_checkout(int width,
+                                                const TeamOptions& opts) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.in_use || e.width != width) continue;
+    if (e.width > 0) {
+      if (e.team == nullptr) {
+        // Team construction happens under the pool lock; it is thread
+        // creation only (no job state), and serializing it keeps the entry
+        // from being handed out twice.
+        e.team = std::make_unique<WorkerTeam>(e.width, opts);
+        ++stats_.builds;
+      } else if (e.team->options() == opts) {
+        ++stats_.warm_hits;
+      } else {
+        e.team.reset();
+        e.team = std::make_unique<WorkerTeam>(e.width, opts);
+        ++stats_.rebuilds;
+      }
+    }
+    e.in_use = true;
+    ++stats_.checkouts;
+    return TeamLease{e.team.get(), e.arena.get(), i};
+  }
+  return std::nullopt;
+}
+
+void TeamPool::checkin(const TeamLease& lease, bool healthy) {
+  std::lock_guard<std::mutex> lk(m_);
+  Entry& e = entries_.at(lease.entry);
+  if (!healthy) e.team.reset();
+  e.in_use = false;
+  ++stats_.checkins;
+}
+
+bool TeamPool::has_width(int width) const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const Entry& e : entries_)
+    if (e.width == width) return true;
+  return false;
+}
+
+int TeamPool::total_width() const {
+  std::lock_guard<std::mutex> lk(m_);
+  int total = 0;
+  for (const Entry& e : entries_) total += e.width;
+  return total;
+}
+
+int TeamPool::width_in_use() const {
+  std::lock_guard<std::mutex> lk(m_);
+  int total = 0;
+  for (const Entry& e : entries_)
+    if (e.in_use) total += e.width;
+  return total;
+}
+
+PoolStats TeamPool::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+}  // namespace npb::svc

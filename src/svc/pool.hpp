@@ -1,0 +1,88 @@
+#pragma once
+
+// Pooled worker teams for the benchmark service, keyed by width.  Each pool
+// entry owns at most one WorkerTeam plus its own Arena; a checkout hands
+// both to a job, so repeated same-shape jobs land on warm threads AND warm
+// pages (the Arena's shape-keyed reuse returns the same already-placed
+// buffers the previous job of that shape used).  Teams are rebuilt in place
+// when a job asks for different TeamOptions (schedule, barrier, fused mode,
+// watchdog) — the arena, the real warm-page win, survives the rebuild.
+//
+// The pool hands out entries; it never blocks.  Queuing, fairness, and
+// admission control live in JobScheduler.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "mem/mem.hpp"
+#include "par/team.hpp"
+
+namespace npb::svc {
+
+/// One checked-out pool entry.  `team` is null for width-0 (serial) leases,
+/// which carry only an arena.
+struct TeamLease {
+  WorkerTeam* team = nullptr;
+  mem::Arena* arena = nullptr;
+  std::size_t entry = 0;  ///< pool slot, for checkin
+};
+
+struct PoolStats {
+  std::uint64_t checkouts = 0;   ///< successful try_checkout calls
+  std::uint64_t checkins = 0;
+  std::uint64_t warm_hits = 0;   ///< existing team matched width + options
+  std::uint64_t rebuilds = 0;    ///< team existed but options mismatched
+  std::uint64_t builds = 0;      ///< entry had no live team (first use, or
+                                 ///< destroyed by an unhealthy checkin)
+};
+
+class TeamPool {
+ public:
+  /// One entry per element of `widths` (0 = a serial slot with an arena but
+  /// no team).  Teams are built lazily at first checkout.
+  explicit TeamPool(const std::vector<int>& widths);
+
+  TeamPool(const TeamPool&) = delete;
+  TeamPool& operator=(const TeamPool&) = delete;
+
+  /// Checks out a free entry of exactly `width`, building or rebuilding its
+  /// team so it matches `opts` exactly.  nullopt when every entry of that
+  /// width is busy — or when the pool has no entry of that width at all
+  /// (query has_width() to tell the cases apart).
+  std::optional<TeamLease> try_checkout(int width, const TeamOptions& opts);
+
+  /// Returns a lease.  `healthy == false` (the job threw out of its driver)
+  /// destroys the entry's team — the next checkout rebuilds from scratch —
+  /// while the arena is always kept: buffers were released back to it by the
+  /// driver's unwind, and pages cannot be "poisoned" by a failed job.
+  void checkin(const TeamLease& lease, bool healthy);
+
+  /// True when some entry (busy or not) has this width.
+  bool has_width(int width) const;
+
+  /// Sum of all entry widths (serial entries count 0) — the denominator of
+  /// the oversubscription property and the utilization metric.
+  int total_width() const;
+
+  /// Widths currently checked out, summed — never exceeds total_width().
+  int width_in_use() const;
+
+  PoolStats stats() const;
+
+ private:
+  struct Entry {
+    int width = 0;
+    std::unique_ptr<WorkerTeam> team;
+    std::unique_ptr<mem::Arena> arena;
+    bool in_use = false;
+  };
+
+  mutable std::mutex m_;
+  std::vector<Entry> entries_;
+  PoolStats stats_;
+};
+
+}  // namespace npb::svc

@@ -1,0 +1,26 @@
+#pragma once
+
+// Service-level report: every job outcome plus the scheduler's aggregate
+// metrics, as one JSON document with escaped strings and sorted keys (see
+// common/json.hpp) so two runs of the same job mix diff cleanly.
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "svc/scheduler.hpp"
+
+namespace npb::svc {
+
+/// One job outcome as a JSON object (benchmark, config echo, latencies,
+/// checksums, fault/degradation counters).
+json::Value job_json(const JobOutcome& out);
+
+/// The full service document: {"jobs": [...], "service": {...}}.
+json::Value service_json(const std::vector<JobOutcome>& outcomes,
+                         const ServiceStats& stats);
+
+/// Writes `v.dump()` plus a trailing newline to `path`; false on I/O error.
+bool write_json(const json::Value& v, const std::string& path);
+
+}  // namespace npb::svc

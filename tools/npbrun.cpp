@@ -1,200 +1,122 @@
 // Command-line suite driver (the analogue of NPB's run scripts): runs any
-// benchmark at any configuration and prints a paper-style result block.
+// benchmark at any configuration and prints a paper-style result block, or —
+// with --serve — runs a stream of newline-delimited JSON job specs
+// concurrently on the pooled team runtime and emits a service-level JSON.
 //
-//   npbrun <benchmark|all> [--class=S] [--mode=native|java|vec] [--threads=N]
-//          [--barrier=condvar|spin] [--schedule=static|dynamic[,C]|guided[,M]]
-//          [--fused=on|off] [--mem-align=BYTES] [--first-touch] [--huge-pages]
-//          [--fault-spec=SITE:KIND:STEP:RANK:SEED[:persist]] (repeatable)
-//          [--watchdog-ms=N] [--max-retries=N] [--backoff-ms=N] [--no-degrade]
-//          [--warmup] [--verbose]
-//          [--obs-report=FILE]   (JSON, or CSV when FILE ends in .csv)
-//
-// Exit status is non-zero if any run fails verification, so the tool can
-// anchor CI jobs.  Every flag value is validated strictly — a malformed
-// value ('--fused=maybe', '--threads=two', a bad --fault-spec) is a usage
-// error (exit 2), never a silent default.
+// Argument parsing lives in src/svc/cli.{hpp,cpp} (so the test suite can
+// fuzz it in-process); this file is the thin I/O shell.  Exit status: 2 on
+// any malformed argument or job spec (strictly validated, never a silent
+// default), 1 when any run fails verification or any job fails, 0 otherwise.
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "fault/options.hpp"
 #include "mem/mem.hpp"
 #include "npb/registry.hpp"
 #include "obs/report.hpp"
+#include "svc/cli.hpp"
+#include "svc/report.hpp"
+#include "svc/scheduler.hpp"
 
 namespace {
 
-void usage() {
-  std::fputs(
-      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java|vec]\n"
-      "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
-      "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
-      "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
-      "              [--huge-pages] [--fault-spec=SPEC] [--watchdog-ms=N]\n"
-      "              [--max-retries=N] [--backoff-ms=N] [--no-degrade]\n"
-      "              [--obs-report=FILE]\n"
-      "--mem-align takes a power of two (K/M suffixes allowed); --first-touch\n"
-      "initializes large arrays on the worker team with the compute schedule;\n"
-      "--huge-pages requests 2 MiB pages for buffers that large (Linux hint).\n"
-      "--schedule picks the loop schedule for CG/IS/MG/EP threaded loops\n"
-      "(pseudo-apps keep static slabs); dynamic/guided default CHUNK to\n"
-      "n/(16*threads) and MIN_CHUNK to 1.\n"
-      "--fused=on (default) runs each time step as one fused SPMD region;\n"
-      "--fused=off restores one fork/join per parallel loop (checksums are\n"
-      "bit-identical either way for a fixed schedule and thread count).\n"
-      "--fault-spec injects a deterministic fault (repeatable); SPEC is\n"
-      "SITE:KIND:STEP:RANK:SEED[:persist] with SITE one of\n"
-      "barrier|region|collective|queue|reduce|alloc|*, KIND one of\n"
-      "throw|delay(MS)|nan-poison|alloc-fail, STEP/RANK a number or *, and\n"
-      "SEED the 0-based crossing of the site the fault fires on.  Recovery:\n"
-      "--max-retries per-step retries from checkpoint (default 3) with\n"
-      "--backoff-ms linear backoff (default 1), then team-shrink degradation\n"
-      "unless --no-degrade.  --watchdog-ms aborts a barrier stuck longer than\n"
-      "N ms so the step retries instead of hanging.\n"
-      "benchmarks:",
-      stderr);
+void usage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
+  std::fputs(npb::svc::usage_text().c_str(), stderr);
+  std::fputs("benchmarks:", stderr);
   for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
   std::fputs("\n", stderr);
 }
 
-/// Strict non-negative integer parse for flag values: digits only, bounded;
-/// atoi-style silent zeros ('--threads=two' -> 0) are rejected instead.
-bool parse_flag_int(const char* s, int& out) {
-  if (*s == '\0' || std::strlen(s) > 9) return false;
-  int v = 0;
-  for (; *s != '\0'; ++s) {
-    if (*s < '0' || *s > '9') return false;
-    v = v * 10 + (*s - '0');
-  }
-  out = v;
-  return true;
+bool read_all(std::FILE* f, std::string& out) {
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  return std::ferror(f) == 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage();
-    return 2;
-  }
-  const std::string which = argv[1];
-  npb::RunConfig cfg;
-  bool verbose = false;
-  std::string obs_report;
-  for (int i = 2; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strncmp(a, "--class=", 8) == 0) {
-      const auto c = npb::parse_class(a + 8);
-      if (!c) {
-        std::fprintf(stderr, "bad class '%s'\n", a + 8);
-        return 2;
-      }
-      cfg.cls = *c;
-    } else if (std::strncmp(a, "--mode=", 7) == 0) {
-      const auto m = npb::parse_mode(a + 7);
-      if (!m) {
-        std::fprintf(stderr, "bad mode '%s' (want native, java or vec)\n",
-                     a + 7);
-        return 2;
-      }
-      cfg.mode = *m;
-    } else if (std::strncmp(a, "--threads=", 10) == 0) {
-      if (!parse_flag_int(a + 10, cfg.threads)) {
-        std::fprintf(stderr, "bad thread count '%s' (want a number >= 0)\n",
-                     a + 10);
-        return 2;
-      }
-    } else if (std::strcmp(a, "--barrier=spin") == 0) {
-      cfg.barrier = npb::BarrierKind::SpinSense;
-    } else if (std::strcmp(a, "--barrier=condvar") == 0) {
-      cfg.barrier = npb::BarrierKind::CondVar;
-    } else if (std::strncmp(a, "--schedule=", 11) == 0) {
-      const auto s = npb::parse_schedule(a + 11);
-      if (!s) {
-        std::fprintf(stderr, "bad schedule '%s'\n", a + 11);
-        return 2;
-      }
-      cfg.schedule = *s;
-    } else if (std::strncmp(a, "--fused=", 8) == 0) {
-      if (std::strcmp(a + 8, "on") == 0) {
-        cfg.fused = true;
-      } else if (std::strcmp(a + 8, "off") == 0) {
-        cfg.fused = false;
-      } else {
-        std::fprintf(stderr, "bad fused value '%s' (want on or off)\n", a + 8);
-        return 2;
-      }
-    } else if (std::strncmp(a, "--fault-spec=", 13) == 0) {
-      const auto spec = npb::fault::parse_fault_spec(a + 13);
-      if (!spec) {
-        std::fprintf(stderr,
-                     "bad fault spec '%s'\n"
-                     "(want SITE:KIND:STEP:RANK:SEED[:persist], e.g. "
-                     "region:throw:3:1:0 or barrier:delay(50):*:0:2;\n"
-                     " nan-poison requires site reduce, alloc-fail requires "
-                     "site alloc)\n",
-                     a + 13);
-        return 2;
-      }
-      cfg.fault.specs.push_back(*spec);
-    } else if (std::strncmp(a, "--watchdog-ms=", 14) == 0) {
-      int v = 0;
-      if (!parse_flag_int(a + 14, v)) {
-        std::fprintf(stderr, "bad watchdog timeout '%s' (want ms >= 0)\n",
-                     a + 14);
-        return 2;
-      }
-      cfg.fault.watchdog_ms = v;
-    } else if (std::strncmp(a, "--max-retries=", 14) == 0) {
-      if (!parse_flag_int(a + 14, cfg.fault.max_retries)) {
-        std::fprintf(stderr, "bad retry count '%s' (want a number >= 0)\n",
-                     a + 14);
-        return 2;
-      }
-    } else if (std::strncmp(a, "--backoff-ms=", 13) == 0) {
-      if (!parse_flag_int(a + 13, cfg.fault.backoff_ms)) {
-        std::fprintf(stderr, "bad backoff '%s' (want ms >= 0)\n", a + 13);
-        return 2;
-      }
-    } else if (std::strcmp(a, "--no-degrade") == 0) {
-      cfg.fault.allow_degraded = false;
-    } else if (std::strncmp(a, "--mem-align=", 12) == 0) {
-      const auto al = npb::mem::parse_alignment(a + 12);
-      if (!al) {
-        std::fprintf(stderr, "bad alignment '%s' (want a power of two)\n", a + 12);
-        return 2;
-      }
-      cfg.mem.alignment = *al;
-    } else if (std::strcmp(a, "--first-touch") == 0) {
-      cfg.mem.placement = npb::mem::Placement::FirstTouch;
-    } else if (std::strcmp(a, "--huge-pages") == 0) {
-      cfg.mem.huge_pages = true;
-    } else if (std::strcmp(a, "--warmup") == 0) {
-      cfg.warmup_spins = 1000000;
-    } else if (std::strcmp(a, "--verbose") == 0) {
-      verbose = true;
-    } else if (std::strncmp(a, "--obs-report=", 13) == 0) {
-      obs_report = a + 13;
-    } else {
-      std::fprintf(stderr, "unknown argument '%s'\n", a);
-      usage();
+int serve(const npb::svc::CliOptions& opts) {
+  std::string text;
+  if (opts.serve_input.empty()) {
+    if (!read_all(stdin, text)) {
+      std::fputs("error reading job specs from stdin\n", stderr);
+      return 2;
+    }
+  } else {
+    std::FILE* f = std::fopen(opts.serve_input.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open job-spec file '%s'\n",
+                   opts.serve_input.c_str());
+      return 2;
+    }
+    const bool ok = read_all(f, text);
+    std::fclose(f);
+    if (!ok) {
+      std::fprintf(stderr, "error reading job-spec file '%s'\n",
+                   opts.serve_input.c_str());
       return 2;
     }
   }
 
+  // All-or-nothing parse before any job runs: a malformed line must be a
+  // usage error, never a half-run batch.
+  std::string error;
+  const auto specs = npb::svc::parse_job_stream(text, &error);
+  if (!specs) {
+    std::fprintf(stderr, "bad job spec: %s\n", error.c_str());
+    return 2;
+  }
+
+  npb::svc::SchedulerOptions sched_opts;
+  sched_opts.pool_widths = opts.pool_widths;
+  sched_opts.queue_capacity = opts.queue_capacity;
+  npb::svc::JobScheduler scheduler(sched_opts);
+  for (const npb::svc::JobSpec& spec : *specs) scheduler.submit_wait(spec);
+  const std::vector<npb::svc::JobOutcome> outcomes = scheduler.drain();
+
+  int failures = 0;
+  for (const auto& out : outcomes) {
+    const char* status = out.completed
+                             ? (out.verified ? "VERIFICATION SUCCESSFUL"
+                                             : "VERIFICATION FAILED")
+                             : "JOB FAILED";
+    std::printf(
+        "%-12s %-3s class=%s mode=%-6s threads=%-2d  queue %7.3fs  run "
+        "%7.3fs  %s\n",
+        out.spec.id.c_str(), out.spec.benchmark.c_str(),
+        npb::to_string(out.spec.cfg.cls), npb::to_string(out.spec.cfg.mode),
+        out.spec.cfg.threads, out.queue_seconds, out.run_seconds, status);
+    if (!out.error.empty()) std::printf("  error: %s\n", out.error.c_str());
+    if (out.degraded_width > 0)
+      std::printf("  degraded to width %d after %llu injected faults\n",
+                  out.degraded_width,
+                  static_cast<unsigned long long>(out.faults_injected));
+    if (!out.completed || !out.verified) ++failures;
+  }
+
+  const npb::json::Value doc =
+      npb::svc::service_json(outcomes, scheduler.stats());
+  if (opts.service_report.empty()) {
+    std::printf("%s\n", doc.dump().c_str());
+  } else if (npb::svc::write_json(doc, opts.service_report)) {
+    std::fprintf(stderr, "service report (%zu jobs) -> %s\n", outcomes.size(),
+                 opts.service_report.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write service report '%s'\n",
+                 opts.service_report.c_str());
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_benchmarks(const npb::svc::CliOptions& opts) {
   std::vector<const npb::BenchmarkInfo*> todo;
-  if (which == "all" || which == "ALL") {
+  if (opts.which == "all" || opts.which == "ALL") {
     for (const auto& b : npb::suite()) todo.push_back(&b);
   } else {
     for (const auto& b : npb::suite())
-      if (npb::find_benchmark(which) == b.fn) todo.push_back(&b);
-    if (todo.empty()) {
-      std::fprintf(stderr, "unknown benchmark '%s'\n", which.c_str());
-      usage();
-      return 2;
-    }
+      if (npb::find_benchmark(opts.which) == b.fn) todo.push_back(&b);
   }
 
   // One arena per invocation: "all" runs reuse same-shape buffers across
@@ -205,21 +127,36 @@ int main(int argc, char** argv) {
   npb::obs::ObsReport report;
   int failures = 0;
   for (const auto* b : todo) {
-    const npb::RunResult r = obs_report.empty()
-                                 ? b->fn(cfg)
-                                 : npb::run_instrumented(b->fn, cfg);
-    if (!obs_report.empty())
+    const npb::RunResult r = opts.obs_report.empty()
+                                 ? b->fn(opts.cfg)
+                                 : npb::run_instrumented(b->fn, opts.cfg);
+    if (!opts.obs_report.empty())
       report.add_run(r.name, npb::to_string(r.cls), npb::to_string(r.mode),
                      r.threads, r.seconds, r.obs);
-    std::printf("%-3s class=%s mode=%-6s threads=%-2d  %8.3fs  %10.1f Mop/s  %s\n",
-                r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
-                r.threads, r.seconds, r.mops,
-                r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
-    if (verbose || !r.verified) std::fputs(r.verify_detail.c_str(), stdout);
+    std::printf(
+        "%-3s class=%s mode=%-6s threads=%-2d  %8.3fs  %10.1f Mop/s  %s\n",
+        r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
+        r.threads, r.seconds, r.mops,
+        r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
+    if (opts.verbose || !r.verified) std::fputs(r.verify_detail.c_str(), stdout);
     if (!r.verified) ++failures;
   }
-  if (!obs_report.empty() && report.write(obs_report))
+  if (!opts.obs_report.empty() && report.write(opts.obs_report))
     std::fprintf(stderr, "obs report (%zu runs) -> %s\n", report.size(),
-                 obs_report.c_str());
+                 opts.obs_report.c_str());
   return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string error;
+  const auto opts = npb::svc::parse_npbrun_args(argc, argv, &error);
+  if (!opts) {
+    usage(error);
+    return 2;
+  }
+  return opts->action == npb::svc::CliOptions::Action::Serve
+             ? serve(*opts)
+             : run_benchmarks(*opts);
 }
