@@ -21,13 +21,18 @@ namespace npb {
 ///    BT/LU variants).  Lane-wise reassociation of reductions means vec
 ///    checksums match native only within a tolerance tier, never
 ///    bit-for-bit — see tests/tolerance.hpp and the VecDifferential matrix.
-enum class Mode { Native, Java, Vec };
+///  - `Msg`: the message-passing variants (EP/CG/FT/IS over src/msg) — the
+///    related work's model rather than the paper's.  Ranks are shards
+///    (threads or forked processes, see msg::TransportKind) and every
+///    cross-shard value moves through explicit send/recv collectives.
+enum class Mode { Native, Java, Vec, Msg };
 
 inline const char* to_string(Mode m) noexcept {
   switch (m) {
     case Mode::Native: return "native";
     case Mode::Java: return "java";
     case Mode::Vec: return "vec";
+    case Mode::Msg: return "msg";
   }
   return "?";
 }
@@ -38,6 +43,7 @@ inline std::optional<Mode> parse_mode(std::string_view s) noexcept {
   if (s == "native") return Mode::Native;
   if (s == "java") return Mode::Java;
   if (s == "vec") return Mode::Vec;
+  if (s == "msg") return Mode::Msg;
   return std::nullopt;
 }
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <limits>
 #include <thread>
 
@@ -38,6 +39,7 @@ const char* to_string(Site s) noexcept {
     case Site::Queue: return "queue";
     case Site::Reduce: return "reduce";
     case Site::Alloc: return "alloc";
+    case Site::Proc: return "proc";
   }
   return "?";
 }
@@ -48,6 +50,7 @@ const char* to_string(Kind k) noexcept {
     case Kind::Delay: return "delay";
     case Kind::NanPoison: return "nan-poison";
     case Kind::AllocFail: return "alloc-fail";
+    case Kind::Kill: return "kill";
   }
   return "?";
 }
@@ -88,6 +91,8 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
     spec.site = Site::Reduce;
   } else if (site == "alloc") {
     spec.site = Site::Alloc;
+  } else if (site == "proc") {
+    spec.site = Site::Proc;
   } else {
     return std::nullopt;
   }
@@ -99,6 +104,8 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
     spec.kind = Kind::NanPoison;
   } else if (kind == "alloc-fail") {
     spec.kind = Kind::AllocFail;
+  } else if (kind == "kill") {
+    spec.kind = Kind::Kill;
   } else if (kind.size() > 7 && kind.substr(0, 6) == "delay(" &&
              kind.back() == ')') {
     spec.kind = Kind::Delay;
@@ -111,6 +118,11 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
   if (spec.kind == Kind::NanPoison && (spec.any_site || spec.site != Site::Reduce))
     return std::nullopt;
   if (spec.kind == Kind::AllocFail && (spec.any_site || spec.site != Site::Alloc))
+    return std::nullopt;
+  // kill SIGKILLs the calling process; pinning it to Site::Proc (crossed
+  // only inside forked shm workers) keeps an in-process run from shooting
+  // the test binary itself.
+  if (spec.kind == Kind::Kill && (spec.any_site || spec.site != Site::Proc))
     return std::nullopt;
 
   const std::string_view step = next_field(rest);
@@ -215,10 +227,19 @@ void Injector::on_site_slow(Site site, int rank) {
   // warm-up and verification phases stay injection-free.
   if (step_.load(std::memory_order_acquire) < 0) return;
   for (CompiledSpec* cs : specs_) {
-    if (cs->spec.kind != Kind::Throw && cs->spec.kind != Kind::Delay) continue;
+    if (cs->spec.kind != Kind::Throw && cs->spec.kind != Kind::Delay &&
+        cs->spec.kind != Kind::Kill)
+      continue;
     if (!matches(*cs, site, rank)) continue;
     if (!crossed(*cs)) continue;
     record_injected(rank);
+    if (cs->spec.kind == Kind::Kill) {
+      // Die the way a crashed shard dies: no unwinding, no atexit, no
+      // flushed buffers.  The parent's waitpid/heartbeat machinery must do
+      // the detection — that is exactly what this fault exists to exercise.
+      raise(SIGKILL);
+      continue;  // not reached; keeps the control flow obvious
+    }
     if (cs->spec.kind == Kind::Delay) {
       std::this_thread::sleep_for(std::chrono::milliseconds(cs->spec.delay_ms));
       continue;  // jitter only; the step completes unless a watchdog aborts

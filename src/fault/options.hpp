@@ -9,10 +9,13 @@
 //
 //   site:kind:step:rank:seed[:persist]
 //
-//   site   barrier | region | collective | queue | reduce | alloc | *
+//   site   barrier | region | collective | queue | reduce | alloc | proc | *
 //          (a runtime choke point, see fault::Site)
-//   kind   throw | delay(MS) | nan-poison | alloc-fail
-//          (nan-poison requires site reduce; alloc-fail requires site alloc)
+//   kind   throw | delay(MS) | nan-poison | alloc-fail | kill
+//          (nan-poison requires site reduce; alloc-fail requires site alloc;
+//          kill requires site proc — it SIGKILLs the calling process, so it
+//          is tied to the only site crossed exclusively by the forked shm
+//          worker processes of a hybrid run, never by an in-process rank)
 //   step   time-step number the spec is armed for, or * for any step.
 //          Injection only ever happens inside a driver-declared step (see
 //          fault::StepRunner); setup and verification phases never inject.
@@ -32,6 +35,8 @@
 //                               becomes NaN
 //   alloc:alloc-fail:2:*:0      the first tracked allocation of step 2 fails
 //   region:throw:4:2:0:persist  rank 2 throws entering step 4, every retry
+//   proc:kill:*:2:0             shard 2's worker process SIGKILLs itself at
+//                               its first proc-site crossing inside a step
 
 #include <optional>
 #include <string>
@@ -44,10 +49,12 @@ namespace npb::fault {
 /// are compiled in: WorkerTeam::barrier() (Barrier), region-body entry in
 /// worker dispatch (Region), ParallelRegion collectives (Collective), chunk
 /// claiming loops (Queue), reduction partials (Reduce — the nan-poison
-/// site), and mem::acquire (Alloc).
-enum class Site { Barrier, Region, Collective, Queue, Reduce, Alloc };
+/// site), mem::acquire (Alloc), and the shm transport's send/barrier paths
+/// (Proc — crossed only inside forked hybrid worker processes, the Kill
+/// site).
+enum class Site { Barrier, Region, Collective, Queue, Reduce, Alloc, Proc };
 
-enum class Kind { Throw, Delay, NanPoison, AllocFail };
+enum class Kind { Throw, Delay, NanPoison, AllocFail, Kill };
 
 inline constexpr int kAnyRank = -2;
 inline constexpr long kAnyStep = -2;
@@ -86,7 +93,8 @@ std::string to_string(const FaultSpec& spec);
 
 /// Parses one `site:kind:step:rank:seed[:persist]` spec; nullopt on any
 /// malformed field (unknown site/kind, non-numeric step/rank/seed, a
-/// nan-poison away from the reduce site, an alloc-fail away from alloc).
+/// nan-poison away from the reduce site, an alloc-fail away from alloc, a
+/// kill away from proc).
 std::optional<FaultSpec> parse_fault_spec(std::string_view spec);
 
 }  // namespace npb::fault

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace npb::msg {
@@ -12,38 +13,52 @@ namespace npb::msg {
 /// recv() blocks until a message with the requested tag arrives; messages
 /// with the same tag are delivered in send order (the MPI ordering rule for
 /// a fixed (source, tag) pair).
+///
+/// Messages are indexed by tag (one FIFO per tag), so a recv wakeup costs a
+/// hash lookup instead of rescanning every queued message — under the old
+/// flat deque a receiver parked behind n unrelated-tag messages paid O(n)
+/// on every send's notify.
 class Channel {
  public:
   void send(int tag, std::vector<double> payload) {
+    std::size_t waiters = 0;
     {
       std::lock_guard<std::mutex> lk(m_);
-      box_.push_back({tag, std::move(payload)});
+      by_tag_[tag].push_back(std::move(payload));
+      waiters = waiters_;
     }
-    cv_.notify_all();
+    // With at most one parked receiver the single wakeup cannot be lost: the
+    // woken thread either matches this tag or rechecks and parks again with
+    // nobody else waiting.  Two or more waiters could want different tags,
+    // so only notify_all guarantees the matching one wakes.
+    if (waiters <= 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
   }
 
   std::vector<double> recv(int tag) {
     std::unique_lock<std::mutex> lk(m_);
     for (;;) {
-      for (auto it = box_.begin(); it != box_.end(); ++it) {
-        if (it->tag == tag) {
-          std::vector<double> out = std::move(it->payload);
-          box_.erase(it);
-          return out;
-        }
+      const auto it = by_tag_.find(tag);
+      if (it != by_tag_.end() && !it->second.empty()) {
+        std::vector<double> out = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) by_tag_.erase(it);
+        return out;
       }
+      ++waiters_;
       cv_.wait(lk);
+      --waiters_;
     }
   }
 
  private:
-  struct Message {
-    int tag;
-    std::vector<double> payload;
-  };
   std::mutex m_;
   std::condition_variable cv_;
-  std::deque<Message> box_;
+  std::unordered_map<int, std::deque<std::vector<double>>> by_tag_;
+  std::size_t waiters_ = 0;
 };
 
 }  // namespace npb::msg

@@ -1,29 +1,39 @@
 #include "msg/communicator.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace npb::msg {
 
 void Communicator::send(int dst, int tag, std::span<const double> data) {
   if (dst < 0 || dst >= size_) throw std::out_of_range("send: bad rank");
-  world_->channel(rank_, dst).send(tag, std::vector<double>(data.begin(), data.end()));
+  transport_->send(rank_, dst, tag, data);
 }
 
 void Communicator::recv(int src, int tag, std::span<double> out) {
   if (src < 0 || src >= size_) throw std::out_of_range("recv: bad rank");
-  const std::vector<double> msg = world_->channel(src, rank_).recv(tag);
+  const std::vector<double> msg = transport_->recv(rank_, src, tag);
   if (msg.size() != out.size())
     throw std::length_error("recv: message size " + std::to_string(msg.size()) +
                             " != buffer size " + std::to_string(out.size()));
   std::memcpy(out.data(), msg.data(), msg.size() * sizeof(double));
 }
 
-void Communicator::barrier() { world_->barrier_->arrive_and_wait(); }
+void Communicator::barrier() { transport_->barrier(rank_); }
+
+std::size_t Communicator::checked_count(double c) {
+  // 1e15 < 2^53, so every admitted value survives the double->size_t
+  // round-trip exactly; it is also far beyond any real message (doubles at
+  // that count would be 8 PB).
+  if (!(c >= 0.0) || c != std::floor(c) || c > 1e15)
+    throw std::length_error("alltoallv: invalid wire count " + std::to_string(c));
+  return static_cast<std::size_t>(c);
+}
 
 namespace {
 constexpr int kTagReduce = -101;
@@ -40,7 +50,8 @@ double Communicator::allreduce_sum(double value) {
 
 void Communicator::allreduce_sum(std::span<double> values) {
   // Gather to rank 0 in rank order (deterministic association), then
-  // broadcast the result.
+  // broadcast the result.  No send/recv cycle: non-roots send one message
+  // and park in recv; rank 0 drains then fans out.
   if (rank_ == 0) {
     std::vector<double> incoming(values.size());
     for (int src = 1; src < size_; ++src) {
@@ -62,23 +73,53 @@ void Communicator::broadcast(int root, std::span<double> data) {
   }
 }
 
+// The dense exchanges below run a shifted pairwise schedule: at step s every
+// rank sends to (rank + s) % size while receiving from (rank - s) % size.
+// Under a bounded transport (the shm rings) that alone is not deadlock-free:
+// at size 2 (or any step where peers are symmetric) both ranks send first,
+// and once a message exceeds ring capacity both block full with nobody
+// receiving.  exchange() closes the hole by splitting each step into
+// lock-step rounds no larger than the transport's eager limit — a chunk
+// that size always fits in a drained ring, so a rank blocked in send implies
+// its consumer sits at a strictly earlier round, and a wait cycle would need
+// rounds to decrease forever.  Chunks land at their natural offsets, so the
+// same bytes reach the same places and results are unchanged.
+
+void Communicator::exchange(int dst, int src, int tag,
+                            std::span<const double> out, std::span<double> in) {
+  const std::size_t limit = transport_->eager_limit();
+  const auto rounds_for = [limit](std::size_t n) {
+    return n <= limit ? std::size_t{1} : (n + limit - 1) / limit;
+  };
+  const std::size_t out_rounds = rounds_for(out.size());
+  const std::size_t in_rounds = rounds_for(in.size());
+  const std::size_t rounds = std::max(out_rounds, in_rounds);
+  for (std::size_t k = 0; k < rounds; ++k) {
+    if (k < out_rounds) {
+      const std::size_t at = k * limit;
+      send(dst, tag, out.subspan(at, std::min(limit, out.size() - at)));
+    }
+    if (k < in_rounds) {
+      const std::size_t at = k * limit;
+      recv(src, tag, in.subspan(at, std::min(limit, in.size() - at)));
+    }
+  }
+}
+
 void Communicator::alltoall(std::span<const double> sendbuf, std::span<double> recvbuf,
                             std::size_t block) {
   if (sendbuf.size() != block * static_cast<std::size_t>(size_) ||
       recvbuf.size() != block * static_cast<std::size_t>(size_))
     throw std::length_error("alltoall: buffer/block mismatch");
-  // Self-block is a local copy; the rest are pairwise exchanges.
   std::memcpy(recvbuf.data() + static_cast<std::size_t>(rank_) * block,
               sendbuf.data() + static_cast<std::size_t>(rank_) * block,
               block * sizeof(double));
-  for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_) continue;
-    send(peer, kTagAlltoall, sendbuf.subspan(static_cast<std::size_t>(peer) * block, block));
-  }
-  for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_) continue;
-    recv(peer, kTagAlltoall,
-         recvbuf.subspan(static_cast<std::size_t>(peer) * block, block));
+  for (int s = 1; s < size_; ++s) {
+    const int to = (rank_ + s) % size_;
+    const int from = (rank_ - s + size_) % size_;
+    exchange(to, from, kTagAlltoall,
+             sendbuf.subspan(static_cast<std::size_t>(to) * block, block),
+             recvbuf.subspan(static_cast<std::size_t>(from) * block, block));
   }
 }
 
@@ -86,36 +127,34 @@ std::vector<double> Communicator::alltoallv(
     const std::vector<std::vector<double>>& outgoing) {
   if (outgoing.size() != static_cast<std::size_t>(size_))
     throw std::length_error("alltoallv: need one outgoing vector per rank");
-  // Counts first (as one-double messages), then payloads.
-  std::vector<double> counts(static_cast<std::size_t>(size_));
-  for (int peer = 0; peer < size_; ++peer) {
-    const double c = static_cast<double>(outgoing[static_cast<std::size_t>(peer)].size());
-    if (peer == rank_) {
-      counts[static_cast<std::size_t>(peer)] = c;
-    } else {
-      send(peer, kTagAlltoallv, std::span<const double>(&c, 1));
-    }
+  // Counts first (as one-double messages), then payloads; both legs run the
+  // shifted schedule.  Counts arrive over the wire, so they are validated
+  // before they size any allocation.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(size_));
+  counts[static_cast<std::size_t>(rank_)] = outgoing[static_cast<std::size_t>(rank_)].size();
+  for (int s = 1; s < size_; ++s) {
+    const int to = (rank_ + s) % size_;
+    const int from = (rank_ - s + size_) % size_;
+    const double c = static_cast<double>(outgoing[static_cast<std::size_t>(to)].size());
+    send(to, kTagAlltoallv, std::span<const double>(&c, 1));
+    double in = 0.0;
+    recv(from, kTagAlltoallv, std::span<double>(&in, 1));
+    counts[static_cast<std::size_t>(from)] = checked_count(in);
   }
-  for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_) continue;
-    recv(peer, kTagAlltoallv,
-         std::span<double>(&counts[static_cast<std::size_t>(peer)], 1));
-  }
-  for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_) continue;
-    send(peer, kTagAlltoallv, outgoing[static_cast<std::size_t>(peer)]);
-  }
-  std::vector<double> merged;
-  for (int peer = 0; peer < size_; ++peer) {
-    const auto count = static_cast<std::size_t>(counts[static_cast<std::size_t>(peer)]);
-    const std::size_t at = merged.size();
-    merged.resize(at + count);
-    if (peer == rank_) {
-      std::memcpy(merged.data() + at, outgoing[static_cast<std::size_t>(peer)].data(),
-                  count * sizeof(double));
-    } else if (count > 0) {
-      recv(peer, kTagAlltoallv, std::span<double>(merged.data() + at, count));
-    }
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(size_) + 1, 0);
+  for (int peer = 0; peer < size_; ++peer)
+    offsets[static_cast<std::size_t>(peer) + 1] =
+        offsets[static_cast<std::size_t>(peer)] + counts[static_cast<std::size_t>(peer)];
+  std::vector<double> merged(offsets.back());
+  std::memcpy(merged.data() + offsets[static_cast<std::size_t>(rank_)],
+              outgoing[static_cast<std::size_t>(rank_)].data(),
+              counts[static_cast<std::size_t>(rank_)] * sizeof(double));
+  for (int s = 1; s < size_; ++s) {
+    const int to = (rank_ + s) % size_;
+    const int from = (rank_ - s + size_) % size_;
+    const std::size_t n = counts[static_cast<std::size_t>(from)];
+    exchange(to, from, kTagAlltoallv, outgoing[static_cast<std::size_t>(to)],
+             std::span<double>(merged.data() + offsets[static_cast<std::size_t>(from)], n));
   }
   return merged;
 }
@@ -125,33 +164,26 @@ void Communicator::allgatherv(std::span<const double> local, std::span<double> f
   if (offsets.size() != static_cast<std::size_t>(size_) + 1)
     throw std::length_error("allgatherv: offsets must have size+1 entries");
   constexpr int kTagGather = -105;
-  for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_) continue;
-    send(peer, kTagGather, local);
-  }
   std::memcpy(full.data() + offsets[static_cast<std::size_t>(rank_)], local.data(),
               local.size() * sizeof(double));
-  for (int peer = 0; peer < size_; ++peer) {
-    if (peer == rank_) continue;
-    const std::size_t at = offsets[static_cast<std::size_t>(peer)];
-    const std::size_t len = offsets[static_cast<std::size_t>(peer) + 1] - at;
-    recv(peer, kTagGather, full.subspan(at, len));
+  for (int s = 1; s < size_; ++s) {
+    const int to = (rank_ + s) % size_;
+    const int from = (rank_ - s + size_) % size_;
+    const std::size_t at = offsets[static_cast<std::size_t>(from)];
+    const std::size_t len = offsets[static_cast<std::size_t>(from) + 1] - at;
+    exchange(to, from, kTagGather, local, full.subspan(at, len));
   }
-}
-
-World::World(int nranks) : n_(nranks), barrier_(make_barrier(BarrierKind::CondVar, nranks)) {
-  channels_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
-  for (auto& c : channels_) c = std::make_unique<Channel>();
 }
 
 void World::run(const std::function<void(Communicator&)>& fn) {
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_));
+  const int n = transport_.size();
+  threads.reserve(static_cast<std::size_t>(n));
   std::mutex err_mutex;
   std::exception_ptr first_error;
-  for (int r = 0; r < n_; ++r) {
+  for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
-      Communicator comm(this, r, n_);
+      Communicator comm(transport_, r);
       try {
         fn(comm);
       } catch (...) {

@@ -1,29 +1,35 @@
 #pragma once
 
-// An in-process message-passing runtime, reproducing the related-work
+// An MPI-flavoured message-passing runtime, reproducing the related-work
 // alternative to the paper's shared-memory translation: the University of
 // Westminster group implemented FT and IS over a Java binding of MPI
-// ("javampi", Getov et al.).  Ranks are threads; all communication goes
-// through explicit send/recv mailboxes and collectives built on them — no
-// rank ever reads another rank's arrays directly.
+// ("javampi", Getov et al.).  Ranks communicate only through explicit
+// send/recv mailboxes and collectives built on them — no rank ever reads
+// another rank's arrays directly.
+//
+// The byte-moving mechanics live behind the Transport interface
+// (msg/transport.hpp): InProcTransport runs ranks as threads of this
+// process, ShmTransport (msg/shm.hpp) runs them as forked worker processes
+// over shared-memory rings.  Communicator is transport-agnostic.
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "msg/channel.hpp"
-#include "par/barrier.hpp"
+#include "msg/transport.hpp"
 
 namespace npb::msg {
-
-class World;
 
 /// A rank's handle on the world: MPI-flavoured point-to-point and
 /// collective operations.  Methods may be called concurrently by different
 /// ranks but each Communicator object belongs to exactly one rank.
 class Communicator {
  public:
+  Communicator(Transport& transport, int rank)
+      : transport_(&transport), rank_(rank), size_(transport.size()) {}
+
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return size_; }
 
@@ -51,34 +57,40 @@ class Communicator {
   void allgatherv(std::span<const double> local, std::span<double> full,
                   const std::vector<std::size_t>& offsets);
 
+  /// Validates an alltoallv count that traveled over the wire as a double:
+  /// must be a non-negative integral value small enough that the
+  /// double->size_t round-trip is exact.  Throws std::length_error
+  /// otherwise — a corrupted or hostile peer must not drive a resize().
+  static std::size_t checked_count(double c);
+
  private:
-  friend class World;
-  Communicator(World* world, int rank, int size)
-      : world_(world), rank_(rank), size_(size) {}
-  World* world_;
+  /// One pairwise-exchange step: send `out` to dst while receiving `in`
+  /// from src, split into lock-step rounds of at most the transport's
+  /// eager_limit() doubles each so a bounded transport can never deadlock
+  /// on a symmetric pair of over-capacity sends.  Chunks reassemble into
+  /// `in` at their natural offsets, so results are bit-identical to a
+  /// single-message exchange.
+  void exchange(int dst, int src, int tag, std::span<const double> out,
+                std::span<double> in);
+
+  Transport* transport_;
   int rank_;
   int size_;
 };
 
-/// Owns the mailboxes and launches one thread per rank.
+/// Owns an in-process transport and launches one thread per rank.  This is
+/// the original msg-layer entry point; tests and the run_*_mpi wrappers
+/// construct worlds directly.
 class World {
  public:
-  explicit World(int nranks);
+  explicit World(int nranks) : transport_(nranks) {}
 
   /// Runs fn(comm) on every rank; returns when all ranks finish.
   /// Rethrows the first rank's exception, if any.
   void run(const std::function<void(Communicator&)>& fn);
 
  private:
-  friend class Communicator;
-  Channel& channel(int src, int dst) {
-    return *channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
-                      static_cast<std::size_t>(dst)];
-  }
-
-  int n_;
-  std::vector<std::unique_ptr<Channel>> channels_;
-  std::unique_ptr<Barrier> barrier_;
+  InProcTransport transport_;
 };
 
 }  // namespace npb::msg

@@ -2,14 +2,19 @@
 
 #include <cmath>
 #include <numbers>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "common/wtime.hpp"
+#include "fault/fault.hpp"
 #include "ft/ft_impl.hpp"
 #include "msg/communicator.hpp"
+#include "msg/shard.hpp"
+#include "par/partition.hpp"
+#include "par/team.hpp"
 
 namespace npb::msg {
 namespace {
@@ -19,6 +24,16 @@ using ft_detail::fft_line;
 using ft_detail::kFtSeed;
 
 using Buf = Array1<double, Unchecked>;
+
+TeamOptions shard_team_options(const RunConfig& cfg) {
+  TeamOptions topts;
+  topts.barrier = cfg.barrier;
+  topts.warmup_spins = cfg.warmup_spins;
+  topts.schedule = cfg.schedule;
+  topts.fused = cfg.fused;
+  topts.mode = Mode::Msg;
+  return topts;
+}
 
 /// Per-rank distributed FT state.  Two layouts alternate:
 ///  - slab1: rank owns i1 in [r*n1l, (r+1)*n1l), array (n1l, n2, n3);
@@ -106,17 +121,17 @@ void transpose(Communicator& comm, Slab& s, bool forward) {
 
 }  // namespace
 
-RunResult run_ft_mpi(ProblemClass cls, int ranks) {
-  const FtParams p = ft_params(cls);
-  if (ranks < 1 || p.n1 % ranks != 0 || p.n2 % ranks != 0)
-    throw std::invalid_argument("run_ft_mpi: ranks must divide n1 and n2");
-
+RunResult run_ft_msg(const RunConfig& cfg) {
+  const FtParams p = ft_params(cfg.cls);
   const int niter = p.iterations;
-  std::vector<double> checks(static_cast<std::size_t>(2 * niter), 0.0);
-  double seconds = 0.0;
+  const int nthreads = cfg.threads;
+  const TeamOptions topts = shard_team_options(cfg);
 
-  World world(ranks);
-  world.run([&](Communicator& comm) {
+  auto width_ok = [&p](int w) {
+    return w >= 1 && p.n1 % w == 0 && p.n2 % w == 0;
+  };
+
+  auto body = [&](Communicator& comm) -> std::vector<double> {
     Slab s;
     s.n1 = p.n1;
     s.n2 = p.n2;
@@ -135,7 +150,29 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
     const Twiddle<Unchecked> tw2 = ft_detail::make_twiddle<Unchecked>(p.n2);
     const Twiddle<Unchecked> tw3 = ft_detail::make_twiddle<Unchecked>(p.n3);
     const long maxn = std::max({p.n1, p.n2, p.n3});
-    Buf sre(static_cast<std::size_t>(maxn)), sim(static_cast<std::size_t>(maxn));
+
+    // Per-shard team over the local FFT phases.  Lines write disjoint
+    // elements and each thread uses its own scratch, so any T (including
+    // the T=0 serial path) produces identical bits.
+    std::optional<TeamRef> team;
+    if (nthreads >= 1) team.emplace(nthreads, topts, nullptr);
+    std::vector<Buf> psre, psim;
+    for (int t = 0; t < std::max(1, nthreads); ++t) {
+      psre.emplace_back(static_cast<std::size_t>(maxn));
+      psim.emplace_back(static_cast<std::size_t>(maxn));
+    }
+    auto plines = [&](long nlines, auto&& fn) {
+      if (team) {
+        (*team)->run([&](int trank) {
+          const Range c = partition(0, nlines, trank, nthreads);
+          for (long o = c.lo; o < c.hi; ++o)
+            fn(o, psre[static_cast<std::size_t>(trank)],
+               psim[static_cast<std::size_t>(trank)]);
+        });
+      } else {
+        for (long o = 0; o < nlines; ++o) fn(o, psre[0], psim[0]);
+      }
+    };
 
     // Initial field: same global sequence as the shared-memory FT — the
     // slab's first element is global flat offset rank*local.
@@ -149,26 +186,32 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
     }
 
     comm.barrier();
+    fault::current().set_step(0);
     const double t0 = wtime();
 
     const auto s23 = static_cast<std::size_t>(s.n2) * static_cast<std::size_t>(s.n3);
     const auto s13 = static_cast<std::size_t>(s.n1) * static_cast<std::size_t>(s.n3);
 
     // Forward: FFT i3 and i2 locally on slab1, transpose, FFT i1 locally.
-    for (long o = 0; o < s.n1l * s.n2; ++o)
+    plines(s.n1l * s.n2, [&](long o, Buf& sre, Buf& sim) {
       fft_line(s.re, s.im, static_cast<std::size_t>(o) * static_cast<std::size_t>(s.n3),
                1, s.n3, tw3, +1, sre, sim);
-    for (long i1 = 0; i1 < s.n1l; ++i1)
-      for (long k = 0; k < s.n3; ++k)
-        fft_line(s.re, s.im,
-                 static_cast<std::size_t>(i1) * s23 + static_cast<std::size_t>(k),
-                 static_cast<std::size_t>(s.n3), s.n2, tw2, +1, sre, sim);
+    });
+    plines(s.n1l * s.n3, [&](long o, Buf& sre, Buf& sim) {
+      const long i1 = o / s.n3;
+      const long k = o % s.n3;
+      fft_line(s.re, s.im,
+               static_cast<std::size_t>(i1) * s23 + static_cast<std::size_t>(k),
+               static_cast<std::size_t>(s.n3), s.n2, tw2, +1, sre, sim);
+    });
     transpose(comm, s, true);
-    for (long j = 0; j < s.n2l; ++j)
-      for (long k = 0; k < s.n3; ++k)
-        fft_line(s.re, s.im,
-                 static_cast<std::size_t>(j) * s13 + static_cast<std::size_t>(k),
-                 static_cast<std::size_t>(s.n3), s.n1, tw1, +1, sre, sim);
+    plines(s.n2l * s.n3, [&](long o, Buf& sre, Buf& sim) {
+      const long j = o / s.n3;
+      const long k = o % s.n3;
+      fft_line(s.re, s.im,
+               static_cast<std::size_t>(j) * s13 + static_cast<std::size_t>(k),
+               static_cast<std::size_t>(s.n3), s.n1, tw1, +1, sre, sim);
+    });
 
     // Frequency state stays in slab2 layout; keep a private copy.
     const std::size_t local2 = static_cast<std::size_t>(s.n2l) * s13;
@@ -183,7 +226,10 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
     std::vector<double> e3(static_cast<std::size_t>(p.n3));
     const double c = -4.0 * p.alpha * std::numbers::pi * std::numbers::pi;
 
+    std::vector<double> checks(static_cast<std::size_t>(2 * niter), 0.0);
+
     for (int t = 1; t <= niter; ++t) {
+      fault::current().set_step(t);
       auto fill_decay = [&](std::vector<double>& e, long n) {
         for (long k = 0; k < n; ++k) {
           const long kt = k <= n / 2 ? k : k - n;
@@ -196,7 +242,7 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
       fill_decay(e3, p.n3);
 
       // evolve on slab2 layout: local j is global k2 = rank*n2l + j.
-      for (long j = 0; j < s.n2l; ++j) {
+      plines(s.n2l, [&](long j, Buf&, Buf&) {
         const long k2 = static_cast<long>(comm.rank()) * s.n2l + j;
         for (long k1 = 0; k1 < s.n1; ++k1) {
           const double f12 = e2[static_cast<std::size_t>(k2)] *
@@ -213,24 +259,29 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
                 f * vfim[base + static_cast<std::size_t>(k3)];
           }
         }
-      }
+      });
 
       // Inverse: FFT i1 locally, transpose back, FFT i2 then i3 locally.
-      for (long j = 0; j < s.n2l; ++j)
-        for (long k = 0; k < s.n3; ++k)
-          fft_line(s.re, s.im,
-                   static_cast<std::size_t>(j) * s13 + static_cast<std::size_t>(k),
-                   static_cast<std::size_t>(s.n3), s.n1, tw1, -1, sre, sim);
+      plines(s.n2l * s.n3, [&](long o, Buf& sre, Buf& sim) {
+        const long j = o / s.n3;
+        const long k = o % s.n3;
+        fft_line(s.re, s.im,
+                 static_cast<std::size_t>(j) * s13 + static_cast<std::size_t>(k),
+                 static_cast<std::size_t>(s.n3), s.n1, tw1, -1, sre, sim);
+      });
       transpose(comm, s, false);
-      for (long i1 = 0; i1 < s.n1l; ++i1)
-        for (long k = 0; k < s.n3; ++k)
-          fft_line(s.re, s.im,
-                   static_cast<std::size_t>(i1) * s23 + static_cast<std::size_t>(k),
-                   static_cast<std::size_t>(s.n3), s.n2, tw2, -1, sre, sim);
-      for (long o = 0; o < s.n1l * s.n2; ++o)
+      plines(s.n1l * s.n3, [&](long o, Buf& sre, Buf& sim) {
+        const long i1 = o / s.n3;
+        const long k = o % s.n3;
+        fft_line(s.re, s.im,
+                 static_cast<std::size_t>(i1) * s23 + static_cast<std::size_t>(k),
+                 static_cast<std::size_t>(s.n3), s.n2, tw2, -1, sre, sim);
+      });
+      plines(s.n1l * s.n2, [&](long o, Buf& sre, Buf& sim) {
         fft_line(s.re, s.im,
                  static_cast<std::size_t>(o) * static_cast<std::size_t>(s.n3), 1, s.n3,
                  tw3, -1, sre, sim);
+      });
 
       // Checksum of the globally scattered probes this rank owns.
       double cs[2] = {0.0, 0.0};
@@ -255,14 +306,26 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
       }
     }
     comm.barrier();
-    if (comm.rank() == 0) seconds = wtime() - t0;
-  });
+    const double seconds = wtime() - t0;
+    fault::current().set_step(-1);
+    std::vector<double> payload{seconds};
+    if (comm.rank() == 0)
+      payload.insert(payload.end(), checks.begin(), checks.end());
+    return payload;
+  };
+
+  const HybridOutcome h = run_hybrid(cfg, width_ok, body);
+  const std::vector<double>& p0 = h.payloads.at(0);
+  const double seconds = p0.at(0);
+  const std::vector<double> checks(p0.begin() + 1, p0.end());
 
   RunResult r;
   r.name = "FT";
-  r.cls = cls;
-  r.mode = Mode::Native;
-  r.threads = ranks;
+  r.cls = cfg.cls;
+  r.mode = Mode::Msg;
+  r.threads = cfg.threads;
+  r.procs = h.procs;
+  r.shards = h.shards;
   r.seconds = seconds;
   const double n = static_cast<double>(p.n1) * static_cast<double>(p.n2) *
                    static_cast<double>(p.n3);
@@ -270,7 +333,7 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
            (seconds * 1.0e6);
   r.checksums = checks;
   bool ref_ok = true;
-  if (const auto ref = reference_checksums("FT", cls)) {
+  if (const auto ref = reference_checksums("FT", cfg.cls)) {
     const VerifyResult v = verify_checksums(r.checksums, *ref);
     ref_ok = v.passed;
     r.reference_checked = true;
@@ -278,6 +341,16 @@ RunResult run_ft_mpi(ProblemClass cls, int ranks) {
   }
   r.verified = ref_ok;
   return r;
+}
+
+RunResult run_ft_mpi(ProblemClass cls, int ranks) {
+  RunConfig cfg;
+  cfg.cls = cls;
+  cfg.mode = Mode::Msg;
+  cfg.threads = 0;
+  cfg.msg.procs = ranks;
+  cfg.msg.transport = TransportKind::InProc;
+  return run_ft_msg(cfg);
 }
 
 }  // namespace npb::msg

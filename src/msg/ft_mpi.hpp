@@ -6,10 +6,17 @@ namespace npb::msg {
 
 /// FT over the message-passing runtime — the related-work configuration
 /// (Westminster's javampi FT): 1-D slab decomposition with a distributed
-/// transpose between the local FFT phases.  `ranks` must divide both n1 and
-/// n2 of the class.  Produces exactly the checksums of the shared-memory
-/// FT (verified against the same frozen references): the transpose moves
-/// data but every FFT line is computed by the identical serial kernel.
+/// transpose between the local FFT phases.  The rank count must divide both
+/// n1 and n2 of the class (std::invalid_argument otherwise).  Hybrid-aware:
+/// cfg.msg picks the shard count and transport, cfg.threads the per-shard
+/// team width.  FFT lines write disjoint elements and every line is the
+/// identical serial kernel, so the checksums match the shared-memory FT
+/// bit-for-bit at every thread count and on both transports.
+RunResult run_ft_msg(const RunConfig& cfg);
+
+/// Thread-sharded compatibility entry point (rank = one in-process thread,
+/// no team): equivalent to run_ft_msg with procs = ranks over the inproc
+/// transport.
 RunResult run_ft_mpi(ProblemClass cls, int ranks);
 
 }  // namespace npb::msg

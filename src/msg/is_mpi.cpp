@@ -1,35 +1,47 @@
 #include "msg/is_mpi.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "common/reference.hpp"
 #include "common/verify.hpp"
 #include "common/wtime.hpp"
+#include "fault/fault.hpp"
 #include "is/is.hpp"
 #include "is/is_impl.hpp"
 #include "msg/communicator.hpp"
+#include "msg/shard.hpp"
 #include "par/partition.hpp"
+#include "par/team.hpp"
 
 namespace npb::msg {
+namespace {
 
-RunResult run_is_mpi(ProblemClass cls, int ranks) {
-  const IsParams p = is_params(cls);
+TeamOptions shard_team_options(const RunConfig& cfg) {
+  TeamOptions topts;
+  topts.barrier = cfg.barrier;
+  topts.warmup_spins = cfg.warmup_spins;
+  topts.schedule = cfg.schedule;
+  topts.fused = cfg.fused;
+  topts.mode = Mode::Msg;
+  return topts;
+}
+
+}  // namespace
+
+RunResult run_is_msg(const RunConfig& cfg) {
+  const IsParams p = is_params(cfg.cls);
   const long nkeys = p.total_keys;
   const long max_key = p.max_key;
+  const int nthreads = cfg.threads;
+  const TeamOptions topts = shard_team_options(cfg);
 
-  std::vector<double> probe_sums(static_cast<std::size_t>(p.iterations), 0.0);
-  double key_sum = 0.0;
-  double seconds = 0.0;
-  bool sorted_ok = true, permutation_ok = true;
-
-  World world(ranks);
-  world.run([&](Communicator& comm) {
+  auto body = [&](Communicator& comm) -> std::vector<double> {
     const Range my = partition(0, nkeys, comm.rank(), comm.size());
     // Local slice of the global key sequence (4 randlc steps per key).
     std::vector<int> keys(static_cast<std::size_t>(my.size()));
     {
-      Array1<int, Unchecked> tmp(static_cast<std::size_t>(my.size()));
       double x = randlc_skip(kDefaultSeed, kDefaultMultiplier,
                              4ULL * static_cast<unsigned long long>(my.lo));
       const double k4 = static_cast<double>(max_key) / 4.0;
@@ -38,10 +50,8 @@ RunResult run_is_mpi(ProblemClass cls, int ranks) {
         s += randlc(x, kDefaultMultiplier);
         s += randlc(x, kDefaultMultiplier);
         s += randlc(x, kDefaultMultiplier);
-        tmp[static_cast<std::size_t>(i)] = static_cast<int>(k4 * s);
+        keys[static_cast<std::size_t>(i)] = static_cast<int>(k4 * s);
       }
-      for (long i = 0; i < my.size(); ++i)
-        keys[static_cast<std::size_t>(i)] = tmp[static_cast<std::size_t>(i)];
     }
 
     const std::array<long, is_detail::kProbes> probe = [&] {
@@ -52,11 +62,23 @@ RunResult run_is_mpi(ProblemClass cls, int ranks) {
       return pr;
     }();
 
+    // Per-shard team over the histogram fill: each thread counts its slice
+    // of the keys into a private histogram, merged in thread order.  Counts
+    // are small integers, so the doubles sum exactly in any association —
+    // results are identical at every thread count.
+    std::optional<TeamRef> team;
+    if (nthreads >= 1) team.emplace(nthreads, topts, nullptr);
     std::vector<double> hist(static_cast<std::size_t>(max_key));
+    std::vector<std::vector<double>> thists(
+        static_cast<std::size_t>(nthreads >= 1 ? nthreads : 0),
+        std::vector<double>(static_cast<std::size_t>(max_key)));
+
+    std::vector<double> probe_sums(static_cast<std::size_t>(p.iterations), 0.0);
 
     comm.barrier();
     const double t0 = wtime();
     for (int it = 1; it <= p.iterations; ++it) {
+      fault::current().set_step(it);
       // The two global per-iteration modifications, applied by the owners.
       auto modify = [&](long gidx, int value) {
         if (gidx >= my.lo && gidx < my.hi)
@@ -67,8 +89,24 @@ RunResult run_is_mpi(ProblemClass cls, int ranks) {
 
       // Local histogram, then a global sum (the collective replaces the
       // shared-memory version's merge phase).
-      std::fill(hist.begin(), hist.end(), 0.0);
-      for (int k : keys) hist[static_cast<std::size_t>(k)] += 1.0;
+      if (team) {
+        (*team)->run([&](int trank) {
+          auto& h = thists[static_cast<std::size_t>(trank)];
+          std::fill(h.begin(), h.end(), 0.0);
+          const Range c = partition(0, my.size(), trank, nthreads);
+          for (long i = c.lo; i < c.hi; ++i)
+            h[static_cast<std::size_t>(keys[static_cast<std::size_t>(i)])] += 1.0;
+        });
+        std::fill(hist.begin(), hist.end(), 0.0);
+        for (int trank = 0; trank < nthreads; ++trank) {
+          const auto& h = thists[static_cast<std::size_t>(trank)];
+          for (long k = 0; k < max_key; ++k)
+            hist[static_cast<std::size_t>(k)] += h[static_cast<std::size_t>(k)];
+        }
+      } else {
+        std::fill(hist.begin(), hist.end(), 0.0);
+        for (int k : keys) hist[static_cast<std::size_t>(k)] += 1.0;
+      }
       comm.allreduce_sum(hist);
       for (long k = 1; k < max_key; ++k)
         hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
@@ -84,7 +122,8 @@ RunResult run_is_mpi(ProblemClass cls, int ranks) {
         probe_sums[static_cast<std::size_t>(it - 1)] = ps;
     }
     comm.barrier();
-    if (comm.rank() == 0) seconds = wtime() - t0;
+    const double seconds = wtime() - t0;
+    fault::current().set_step(-1);
 
     // ---- untimed full verification: redistribute keys by value range ----
     // (the NPB-MPI IS pattern: bucket boundaries split max_key evenly).
@@ -120,31 +159,43 @@ RunResult run_is_mpi(ProblemClass cls, int ranks) {
     }
     const double all_ok = comm.allreduce_sum(boundary_ok);
 
+    std::vector<double> payload{seconds};
     if (comm.rank() == 0) {
-      key_sum = global_orig_sum;
+      payload.insert(payload.end(), probe_sums.begin(), probe_sums.end());
+      payload.push_back(global_orig_sum);
       // Every rank must report an ordered boundary with its left neighbour.
-      sorted_ok = all_ok >= static_cast<double>(comm.size()) - 0.5;
-      permutation_ok = global_sorted_sum == global_orig_sum;
+      payload.push_back(all_ok >= static_cast<double>(comm.size()) - 0.5 ? 1.0
+                                                                         : 0.0);
+      payload.push_back(global_sorted_sum == global_orig_sum ? 1.0 : 0.0);
     }
-  });
+    return payload;
+  };
+
+  const HybridOutcome h = run_hybrid(cfg, [](int) { return true; }, body);
+  const std::vector<double>& p0 = h.payloads.at(0);
+  const double seconds = p0.at(0);
+  const std::size_t niters = static_cast<std::size_t>(p.iterations);
+  const bool sorted_ok = p0.at(2 + niters) != 0.0;
+  const bool permutation_ok = p0.at(3 + niters) != 0.0;
 
   RunResult r;
   r.name = "IS";
-  r.cls = cls;
-  r.mode = Mode::Native;
-  r.threads = ranks;
+  r.cls = cfg.cls;
+  r.mode = Mode::Msg;
+  r.threads = cfg.threads;
+  r.procs = h.procs;
+  r.shards = h.shards;
   r.seconds = seconds;
   r.mops = static_cast<double>(p.iterations) * static_cast<double>(nkeys) /
            (seconds * 1.0e6);
-  r.checksums = probe_sums;
-  r.checksums.push_back(key_sum);
+  r.checksums.assign(p0.begin() + 1, p0.begin() + 2 + static_cast<long>(niters));
 
   const bool intrinsic = sorted_ok && permutation_ok;
   r.verify_detail = std::string("intrinsic: distributed sort ") +
                     (sorted_ok ? "ordered" : "NOT ORDERED") + ", permutation " +
                     (permutation_ok ? "preserved" : "BROKEN") + "\n";
   bool ref_ok = true;
-  if (const auto ref = reference_checksums("IS", cls)) {
+  if (const auto ref = reference_checksums("IS", cfg.cls)) {
     const VerifyResult v = verify_checksums(r.checksums, *ref);
     ref_ok = v.passed;
     r.reference_checked = true;
@@ -152,6 +203,16 @@ RunResult run_is_mpi(ProblemClass cls, int ranks) {
   }
   r.verified = intrinsic && ref_ok;
   return r;
+}
+
+RunResult run_is_mpi(ProblemClass cls, int ranks) {
+  RunConfig cfg;
+  cfg.cls = cls;
+  cfg.mode = Mode::Msg;
+  cfg.threads = 0;
+  cfg.msg.procs = ranks;
+  cfg.msg.transport = TransportKind::InProc;
+  return run_is_msg(cfg);
 }
 
 }  // namespace npb::msg

@@ -9,8 +9,15 @@ namespace npb::msg {
 /// each ranking iteration builds local histograms and allreduces them; the
 /// final full verification redistributes the keys by value range with an
 /// all-to-all-v (the NPB-MPI IS communication pattern) and checks global
-/// sortedness and permutation preservation.  Checksums equal the
-/// shared-memory IS exactly (integer workload).
+/// sortedness and permutation preservation.  Hybrid-aware: cfg.msg picks
+/// the shard count and transport, cfg.threads the per-shard team width.
+/// The workload is integer counting, so histogram merges are exact in any
+/// order — checksums equal the shared-memory IS at every P and T.
+RunResult run_is_msg(const RunConfig& cfg);
+
+/// Thread-sharded compatibility entry point (rank = one in-process thread,
+/// no team): equivalent to run_is_msg with procs = ranks over the inproc
+/// transport.
 RunResult run_is_mpi(ProblemClass cls, int ranks);
 
 }  // namespace npb::msg

@@ -1,0 +1,32 @@
+#include "msg/msg_suite.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "msg/ep_cg_mpi.hpp"
+#include "msg/ft_mpi.hpp"
+#include "msg/is_mpi.hpp"
+
+namespace npb::msg {
+
+const std::vector<BenchmarkInfo>& msg_suite() {
+  static const std::vector<BenchmarkInfo> s = {
+      {"FT", &run_ft_msg, true},
+      {"IS", &run_is_msg, false},
+      {"CG", &run_cg_msg, false},
+      {"EP", &run_ep_msg, false},
+  };
+  return s;
+}
+
+RunFn find_msg_benchmark(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  for (const auto& b : msg_suite())
+    if (upper == b.name) return b.fn;
+  return nullptr;
+}
+
+}  // namespace npb::msg

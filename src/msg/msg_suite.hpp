@@ -1,0 +1,24 @@
+#pragma once
+
+// The --mode=msg benchmark registry: which kernels have message-passing
+// drivers, resolved by the same BenchmarkInfo shape as the shared-memory
+// suite so npbrun can iterate either table with one loop.
+
+#include <string_view>
+#include <vector>
+
+#include "npb/registry.hpp"
+
+namespace npb::msg {
+
+/// The message-passing drivers (hybrid-aware: cfg.msg picks shards and
+/// transport, cfg.threads the per-shard team width), in the main suite's
+/// order: FT, IS, CG, then EP.
+const std::vector<BenchmarkInfo>& msg_suite();
+
+/// Case-insensitive lookup among the msg drivers; nullptr when the
+/// benchmark has no message-passing form (BT, SP, LU, MG — or anything
+/// unknown), so callers can reject --mode=msg combos with a usage error.
+RunFn find_msg_benchmark(std::string_view name);
+
+}  // namespace npb::msg

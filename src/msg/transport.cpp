@@ -1,0 +1,22 @@
+#include "msg/transport.hpp"
+
+namespace npb::msg {
+
+InProcTransport::InProcTransport(int nranks)
+    : n_(nranks), barrier_(make_barrier(BarrierKind::CondVar, nranks)) {
+  channels_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  for (auto& c : channels_) c = std::make_unique<Channel>();
+}
+
+void InProcTransport::send(int src, int dst, int tag,
+                           std::span<const double> data) {
+  channel(src, dst).send(tag, std::vector<double>(data.begin(), data.end()));
+}
+
+std::vector<double> InProcTransport::recv(int dst, int src, int tag) {
+  return channel(src, dst).recv(tag);
+}
+
+void InProcTransport::barrier(int /*rank*/) { barrier_->arrive_and_wait(); }
+
+}  // namespace npb::msg

@@ -1,0 +1,74 @@
+#pragma once
+
+// The byte-moving layer under Communicator.  A Transport owns the mechanics
+// of getting a tagged vector of doubles from rank src to rank dst and of
+// lining all ranks up at a barrier; Communicator builds the MPI-flavoured
+// collectives on top without knowing whether ranks are threads of this
+// process (InProcTransport) or forked worker processes exchanging bytes
+// through shared-memory rings (ShmTransport, msg/shm.hpp).
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "msg/channel.hpp"
+#include "par/barrier.hpp"
+
+namespace npb::msg {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int size() const noexcept = 0;
+
+  /// Delivers `data` under `tag` from rank `src` to rank `dst`.  Payloads
+  /// are copied (MPI buffered-send semantics; the Java MPI bindings of the
+  /// era copied too).  Blocking is transport-defined: the in-process mailbox
+  /// is unbounded, the shm rings backpressure a producer that outruns its
+  /// consumer.
+  virtual void send(int src, int dst, int tag, std::span<const double> data) = 0;
+
+  /// Blocks rank `dst` until a message from `src` with `tag` arrives and
+  /// returns its payload.  Same-(src, tag) messages arrive in send order.
+  virtual std::vector<double> recv(int dst, int src, int tag) = 0;
+
+  /// Lines up all ranks; returns when every rank has arrived.
+  virtual void barrier(int rank) = 0;
+
+  /// Largest payload, in doubles, whose send is guaranteed to complete
+  /// without the matching receiver making any progress.  Collectives whose
+  /// schedule can block symmetric peers in send at the same time (the
+  /// pairwise exchanges) split larger messages into rounds of at most this
+  /// many doubles so no cycle of full-buffer blocked senders can form.
+  /// Unbounded transports report no limit.
+  virtual std::size_t eager_limit() const noexcept {
+    return std::numeric_limits<std::size_t>::max();
+  }
+};
+
+/// The original in-process transport, extracted from World unchanged: a
+/// dense src x dst map of mutex+condvar mailboxes plus one process-local
+/// barrier.  Ranks are threads; any rank may call send/recv concurrently.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int nranks);
+
+  int size() const noexcept override { return n_; }
+  void send(int src, int dst, int tag, std::span<const double> data) override;
+  std::vector<double> recv(int dst, int src, int tag) override;
+  void barrier(int rank) override;
+
+ private:
+  Channel& channel(int src, int dst) noexcept {
+    return *channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+                      static_cast<std::size_t>(dst)];
+  }
+
+  int n_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::unique_ptr<Barrier> barrier_;
+};
+
+}  // namespace npb::msg

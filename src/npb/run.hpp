@@ -7,6 +7,7 @@
 #include "common/mode.hpp"
 #include "fault/options.hpp"
 #include "mem/options.hpp"
+#include "msg/options.hpp"
 #include "obs/obs.hpp"
 #include "par/barrier.hpp"
 #include "par/schedule.hpp"
@@ -50,6 +51,13 @@ struct RunConfig {
   /// request exactly (see TeamRef); a mismatch silently builds a private
   /// team, so a stale pool entry can change performance but never results.
   WorkerTeam* team = nullptr;
+  /// Hybrid sharding for --mode=msg runs: rank-shard count P and which
+  /// Transport carries the ranks (threads vs forked processes over shm
+  /// rings).  `threads` above is then the per-shard team width T, so one
+  /// config describes a P-process x T-thread run.  Ignored by the
+  /// shared-memory modes; a forked shard never borrows `team` (a pooled
+  /// team's threads cannot cross fork()).
+  msg::MsgOptions msg{};
 };
 
 struct RunResult {
@@ -69,6 +77,12 @@ struct RunResult {
   /// Region timers and team counters captured for this run (empty unless the
   /// run went through run_instrumented, or under NPB_OBS_DISABLED).
   obs::Snapshot obs;
+  /// Shard count of a hybrid --mode=msg run (0 for the shared-memory modes;
+  /// reports print and emit it only when positive).
+  int procs = 0;
+  /// Per-process snapshots of a hybrid shm run, shipped back over the
+  /// result pipes and merged here so one report row carries every worker.
+  std::vector<obs::ShardSnapshot> shards;
 };
 
 }  // namespace npb

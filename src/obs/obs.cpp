@@ -45,6 +45,7 @@ ObsRegistry::ObsRegistry()
   intern("fault/stuck_rank");
   intern("fault/retries");
   intern("fault/degraded_width");
+  intern("fault/lost_shard");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -168,6 +169,10 @@ Snapshot ObsRegistry::snapshot() const {
       case kRegionFaultDegradedWidth:
         snap.degraded_width_sum = st.seconds;
         snap.degraded_width_count = st.count;
+        break;
+      case kRegionFaultLostShard:
+        snap.lost_shard_sum = st.seconds;
+        snap.lost_shard_count = st.count;
         break;
       default:
         snap.regions.push_back(std::move(st));

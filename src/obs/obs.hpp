@@ -42,6 +42,10 @@
 //   fault/degraded_width  team widths adopted by graceful degradation
 //                      ("seconds" accumulates the new width per shrink;
 //                      count = shrinks)
+//   fault/lost_shard   worker processes of a hybrid shm run that died or
+//                      went silent mid-run ("seconds" accumulates the lost
+//                      rank id per loss, the stuck_rank convention; count =
+//                      losses, and the per-slot breakdown shows which shard)
 //
 // Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
 // no-ops (distinct inline namespace, so mixed translation units stay
@@ -121,6 +125,8 @@ struct Snapshot {
   std::uint64_t fault_retries_count = 0;
   double degraded_width_sum = 0.0;
   std::uint64_t degraded_width_count = 0;
+  double lost_shard_sum = 0.0;
+  std::uint64_t lost_shard_count = 0;
 
   /// Max-over-mean of per-worker iteration counts in scheduled loops: 1.0 is
   /// perfectly balanced, nranks is one rank doing everything, 0.0 means no
@@ -160,11 +166,23 @@ inline constexpr RegionId kRegionFaultWatchdogFires = 11;
 inline constexpr RegionId kRegionFaultStuckRank = 12;
 inline constexpr RegionId kRegionFaultRetries = 13;
 inline constexpr RegionId kRegionFaultDegradedWidth = 14;
-inline constexpr int kReservedRegions = 15;
+inline constexpr RegionId kRegionFaultLostShard = 15;
+inline constexpr int kReservedRegions = 16;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;
 inline constexpr int kMaxRegions = 256;
+
+/// One shard's (worker process's) instrumentation in a hybrid shm run:
+/// the rank's in-process snapshot plus its timed-phase wall seconds, shipped
+/// back over the result pipe and merged into the parent's RunResult so one
+/// JSON report carries every process's breakdown.  Defined unconditionally
+/// (like Snapshot) so RunResult keeps one layout under NPB_OBS_DISABLED.
+struct ShardSnapshot {
+  int rank = 0;
+  double seconds = 0.0;
+  Snapshot snap;
+};
 
 #ifndef NPB_OBS_DISABLED
 

@@ -43,12 +43,79 @@ void append_array(std::string& out, const std::vector<T>& v) {
   out += ']';
 }
 
+/// Emits the snapshot body shared by a run entry and each of its shards:
+/// `"team":{...},"mem":{...},"fault":{...},"regions":[...]` (no braces).
+void append_snapshot_body(std::string& out, const Snapshot& s) {
+  out += "\"team\":{\"run_count\":" + std::to_string(s.run_count);
+  out += ",\"run_span_seconds\":";
+  append_number(out, s.run_span_seconds);
+  out += ",\"dispatch_count\":" + std::to_string(s.dispatch_count);
+  out += ",\"dispatch_seconds\":";
+  append_number(out, s.dispatch_seconds);
+  out += ",\"barrier_wait_count\":" + std::to_string(s.barrier_wait_count);
+  out += ",\"barrier_wait_seconds\":";
+  append_number(out, s.barrier_wait_seconds);
+  out += ",\"pipeline_wait_count\":" + std::to_string(s.pipeline_wait_count);
+  out += ",\"pipeline_wait_seconds\":";
+  append_number(out, s.pipeline_wait_seconds);
+  out += ",\"dispatches\":" + std::to_string(s.dispatches_count);
+  out += ",\"region_count\":" + std::to_string(s.region_count);
+  out += ",\"region_span_seconds\":";
+  append_number(out, s.region_span_seconds);
+  out += ",\"loop_record_count\":" + std::to_string(s.loop_record_count);
+  out += ",\"loop_iters_total\":";
+  append_number(out, s.loop_iters_total);
+  out += ",\"loop_rank_iters\":";
+  append_array(out, s.loop_rank_iters);
+  out += ",\"loop_imbalance\":";
+  append_number(out, s.loop_imbalance());
+  out += "},\"mem\":{\"alloc_count\":" + std::to_string(s.mem_alloc_count);
+  out += ",\"bytes_allocated\":";
+  append_number(out, s.mem_bytes_allocated);
+  out += ",\"arena_hit_count\":" + std::to_string(s.mem_arena_hit_count);
+  out += ",\"arena_hit_bytes\":";
+  append_number(out, s.mem_arena_hit_bytes);
+  out += ",\"first_touch_count\":" + std::to_string(s.first_touch_count);
+  out += ",\"first_touch_seconds\":";
+  append_number(out, s.first_touch_seconds);
+  out += "},\"fault\":{\"injected\":" + std::to_string(s.fault_injected_count);
+  out += ",\"watchdog_fires\":" + std::to_string(s.watchdog_fires_count);
+  out += ",\"stuck_rank_count\":" + std::to_string(s.stuck_rank_count);
+  out += ",\"stuck_rank_sum\":";
+  append_number(out, s.stuck_rank_sum);
+  out += ",\"retries\":" + std::to_string(s.fault_retries_count);
+  out += ",\"degraded_width_count\":" + std::to_string(s.degraded_width_count);
+  out += ",\"degraded_width_sum\":";
+  append_number(out, s.degraded_width_sum);
+  out += ",\"lost_shard_count\":" + std::to_string(s.lost_shard_count);
+  out += ",\"lost_shard_sum\":";
+  append_number(out, s.lost_shard_sum);
+  out += "},\"regions\":[";
+  for (std::size_t r = 0; r < s.regions.size(); ++r) {
+    const RegionStats& st = s.regions[r];
+    if (r > 0) out += ',';
+    out += "{\"name\":\"";
+    append_escaped(out, st.name);
+    out += "\",\"seconds\":";
+    append_number(out, st.seconds);
+    out += ",\"count\":" + std::to_string(st.count);
+    out += ",\"rank_seconds\":";
+    append_array(out, st.rank_seconds);
+    out += ",\"rank_count\":";
+    append_array(out, st.rank_count);
+    out += '}';
+  }
+  out += ']';
+}
+
 }  // namespace
 
 void ObsReport::add_run(std::string benchmark, std::string cls, std::string mode,
-                        int threads, double seconds, Snapshot snap) {
+                        int threads, double seconds, Snapshot snap, int procs,
+                        std::vector<ShardSnapshot> shards) {
   entries_.push_back(Entry{std::move(benchmark), std::move(cls), std::move(mode),
-                           threads, seconds, std::move(snap)});
+                           threads, seconds, std::move(snap), procs,
+                           std::move(shards)});
 }
 
 std::string ObsReport::json() const {
@@ -65,64 +132,24 @@ std::string ObsReport::json() const {
     out += "\",\"threads\":" + std::to_string(en.threads);
     out += ",\"seconds\":";
     append_number(out, en.seconds);
-    const Snapshot& s = en.snap;
-    out += ",\"team\":{\"run_count\":" + std::to_string(s.run_count);
-    out += ",\"run_span_seconds\":";
-    append_number(out, s.run_span_seconds);
-    out += ",\"dispatch_count\":" + std::to_string(s.dispatch_count);
-    out += ",\"dispatch_seconds\":";
-    append_number(out, s.dispatch_seconds);
-    out += ",\"barrier_wait_count\":" + std::to_string(s.barrier_wait_count);
-    out += ",\"barrier_wait_seconds\":";
-    append_number(out, s.barrier_wait_seconds);
-    out += ",\"pipeline_wait_count\":" + std::to_string(s.pipeline_wait_count);
-    out += ",\"pipeline_wait_seconds\":";
-    append_number(out, s.pipeline_wait_seconds);
-    out += ",\"dispatches\":" + std::to_string(s.dispatches_count);
-    out += ",\"region_count\":" + std::to_string(s.region_count);
-    out += ",\"region_span_seconds\":";
-    append_number(out, s.region_span_seconds);
-    out += ",\"loop_record_count\":" + std::to_string(s.loop_record_count);
-    out += ",\"loop_iters_total\":";
-    append_number(out, s.loop_iters_total);
-    out += ",\"loop_rank_iters\":";
-    append_array(out, s.loop_rank_iters);
-    out += ",\"loop_imbalance\":";
-    append_number(out, s.loop_imbalance());
-    out += "},\"mem\":{\"alloc_count\":" + std::to_string(s.mem_alloc_count);
-    out += ",\"bytes_allocated\":";
-    append_number(out, s.mem_bytes_allocated);
-    out += ",\"arena_hit_count\":" + std::to_string(s.mem_arena_hit_count);
-    out += ",\"arena_hit_bytes\":";
-    append_number(out, s.mem_arena_hit_bytes);
-    out += ",\"first_touch_count\":" + std::to_string(s.first_touch_count);
-    out += ",\"first_touch_seconds\":";
-    append_number(out, s.first_touch_seconds);
-    out += "},\"fault\":{\"injected\":" + std::to_string(s.fault_injected_count);
-    out += ",\"watchdog_fires\":" + std::to_string(s.watchdog_fires_count);
-    out += ",\"stuck_rank_count\":" + std::to_string(s.stuck_rank_count);
-    out += ",\"stuck_rank_sum\":";
-    append_number(out, s.stuck_rank_sum);
-    out += ",\"retries\":" + std::to_string(s.fault_retries_count);
-    out += ",\"degraded_width_count\":" + std::to_string(s.degraded_width_count);
-    out += ",\"degraded_width_sum\":";
-    append_number(out, s.degraded_width_sum);
-    out += "},\"regions\":[";
-    for (std::size_t r = 0; r < s.regions.size(); ++r) {
-      const RegionStats& st = s.regions[r];
-      if (r > 0) out += ',';
-      out += "{\"name\":\"";
-      append_escaped(out, st.name);
-      out += "\",\"seconds\":";
-      append_number(out, st.seconds);
-      out += ",\"count\":" + std::to_string(st.count);
-      out += ",\"rank_seconds\":";
-      append_array(out, st.rank_seconds);
-      out += ",\"rank_count\":";
-      append_array(out, st.rank_count);
-      out += '}';
+    if (en.procs > 0) out += ",\"procs\":" + std::to_string(en.procs);
+    out += ',';
+    append_snapshot_body(out, en.snap);
+    if (!en.shards.empty()) {
+      out += ",\"shards\":[";
+      for (std::size_t i = 0; i < en.shards.size(); ++i) {
+        const ShardSnapshot& sh = en.shards[i];
+        if (i > 0) out += ',';
+        out += "{\"rank\":" + std::to_string(sh.rank);
+        out += ",\"seconds\":";
+        append_number(out, sh.seconds);
+        out += ',';
+        append_snapshot_body(out, sh.snap);
+        out += '}';
+      }
+      out += ']';
     }
-    out += "]}";
+    out += '}';
   }
   out += "]}";
   return out;
@@ -167,7 +194,12 @@ std::string ObsReport::csv() const {
     row(en, "fault/retries", s.fault_retries_total, s.fault_retries_count);
     row(en, "fault/degraded_width", s.degraded_width_sum,
         s.degraded_width_count);
+    row(en, "fault/lost_shard", s.lost_shard_sum, s.lost_shard_count);
     for (const RegionStats& st : s.regions) row(en, st.name, st.seconds, st.count);
+    // One summary row per worker process of a hybrid run; the full per-shard
+    // breakdown lives in the JSON emitter.
+    for (const ShardSnapshot& sh : en.shards)
+      row(en, "shard/" + std::to_string(sh.rank), sh.seconds, 1);
   }
   return out;
 }

@@ -16,13 +16,19 @@ namespace npb::obs {
 class ObsReport {
  public:
   /// Appends one run's snapshot, tagged the way bench tables tag rows.
+  /// Hybrid shm runs additionally pass the shard count (`procs`) and the
+  /// per-process snapshots shipped back over the result pipes; those merge
+  /// into the same entry so one report row carries every process.
   void add_run(std::string benchmark, std::string cls, std::string mode,
-               int threads, double seconds, Snapshot snap);
+               int threads, double seconds, Snapshot snap, int procs = 0,
+               std::vector<ShardSnapshot> shards = {});
 
   /// {"runs":[{benchmark, class, mode, threads, seconds,
   ///           team:{run_count, run_span_seconds, dispatch_seconds,
   ///                 barrier_wait_seconds, pipeline_wait_seconds, ...counts},
   ///           regions:[{name, seconds, count, rank_seconds, rank_count}]}]}
+  /// Hybrid entries also carry "procs" and a "shards" array whose elements
+  /// repeat the team/mem/fault/regions shape per worker process.
   std::string json() const;
 
   /// Header + one row per (run, region); team counters appear as regions
@@ -42,6 +48,8 @@ class ObsReport {
     int threads = 0;
     double seconds = 0.0;
     Snapshot snap;
+    int procs = 0;
+    std::vector<ShardSnapshot> shards;
   };
   std::vector<Entry> entries_;
 };

@@ -4,6 +4,7 @@
 
 #include "fault/options.hpp"
 #include "mem/mem.hpp"
+#include "msg/msg_suite.hpp"
 #include "npb/registry.hpp"
 
 namespace npb::svc {
@@ -82,7 +83,8 @@ bool parse_serve_args(int argc, const char* const* argv, CliOptions& opts,
 
 std::string usage_text() {
   return
-      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C] [--mode=native|java|vec]\n"
+      "usage: npbrun <benchmark|all> [--class=S|W|A|B|C]\n"
+      "              [--mode=native|java|vec|msg] [--procs=P] [--transport=inproc|shm]\n"
       "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
       "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
       "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
@@ -97,6 +99,13 @@ std::string usage_text() {
       "--schedule picks the loop schedule for CG/IS/MG/EP threaded loops\n"
       "(pseudo-apps keep static slabs); dynamic/guided default CHUNK to\n"
       "n/(16*threads) and MIN_CHUNK to 1.\n"
+      "--mode=msg runs the message-passing drivers (EP, CG, FT, IS only) as a\n"
+      "hybrid P-shard x N-thread job: --procs=P (1..16) picks the shard count\n"
+      "and --transport picks what carries them — inproc (default; ranks are\n"
+      "threads of this process) or shm (ranks are forked worker processes over\n"
+      "lock-free shared-memory rings, with per-shard obs merged into the\n"
+      "report and dead shards blamed under fault/lost_shard before the run\n"
+      "degrades to a narrower width).  Both flags require --mode=msg.\n"
       "--fused=on (default) runs each time step as one fused SPMD region;\n"
       "--fused=off restores one fork/join per parallel loop (checksums are\n"
       "bit-identical either way for a fixed schedule and thread count).\n"
@@ -136,6 +145,7 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
     return std::nullopt;
   }
   RunConfig& cfg = opts.cfg;
+  bool saw_msg_flag = false;
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--class=", 8) == 0) {
@@ -149,10 +159,28 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
       const auto m = parse_mode(a + 7);
       if (!m) {
         fail(error, "bad mode '" + std::string(a + 7) +
-                        "' (want native, java or vec)");
+                        "' (want native, java, vec or msg)");
         return std::nullopt;
       }
       cfg.mode = *m;
+    } else if (std::strncmp(a, "--procs=", 8) == 0) {
+      int v = 0;
+      if (!parse_flag_int(a + 8, v) || v < 1 || v > msg::kMaxShmProcs) {
+        fail(error, "bad proc count '" + std::string(a + 8) + "' (want 1.." +
+                        std::to_string(msg::kMaxShmProcs) + ")");
+        return std::nullopt;
+      }
+      cfg.msg.procs = v;
+      saw_msg_flag = true;
+    } else if (std::strncmp(a, "--transport=", 12) == 0) {
+      const auto t = msg::parse_transport(a + 12);
+      if (!t) {
+        fail(error, "bad transport '" + std::string(a + 12) +
+                        "' (want inproc or shm)");
+        return std::nullopt;
+      }
+      cfg.msg.transport = *t;
+      saw_msg_flag = true;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       if (!parse_flag_int(a + 10, cfg.threads)) {
         fail(error, "bad thread count '" + std::string(a + 10) +
@@ -235,6 +263,17 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
       fail(error, "unknown argument '" + std::string(a) + "'");
       return std::nullopt;
     }
+  }
+  if (saw_msg_flag && cfg.mode != Mode::Msg) {
+    fail(error, "--procs/--transport require --mode=msg");
+    return std::nullopt;
+  }
+  if (cfg.mode == Mode::Msg && opts.which != "all" && opts.which != "ALL" &&
+      msg::find_msg_benchmark(opts.which) == nullptr) {
+    fail(error, "benchmark '" + opts.which +
+                    "' has no message-passing driver (msg mode runs EP, CG, "
+                    "FT or IS)");
+    return std::nullopt;
   }
   return opts;
 }

@@ -69,6 +69,12 @@ std::optional<JobSpec> parse_job_spec(const json::Value& v,
                         "\" (want native, java or vec)");
         return std::nullopt;
       }
+      if (*m == Mode::Msg) {
+        fail(error,
+             "mode \"msg\" is not schedulable as a service job (it forks "
+             "worker processes; run it via npbrun --mode=msg instead)");
+        return std::nullopt;
+      }
       spec.cfg.mode = *m;
     } else if (key == "threads") {
       if (!want_count(val, "threads", error)) return std::nullopt;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "msg/options.hpp"
 #include "npb/registry.hpp"
 #include "svc/cli.hpp"
 #include "svc/jobspec.hpp"
@@ -142,6 +143,7 @@ TEST(JobSpec, StrictRejectionNamesTheProblem) {
       {"{\"benchmark\":\"cg\",\"threads\":\"two\"}", "threads"},  // bad type
       {"{\"benchmark\":\"cg\",\"class\":\"Z\"}", "class"},     // bad value
       {"{\"benchmark\":\"cg\",\"mode\":\"warp\"}", "mode"},
+      {"{\"benchmark\":\"cg\",\"mode\":\"msg\"}", "msg"},  // not schedulable
       {"{\"benchmark\":\"cg\",\"schedule\":\"fifo\"}", "schedule"},
       {"{\"benchmark\":\"cg\",\"faults\":[\"oops\"]}", "fault"},
       {"{\"benchmark\":\"cg\",\"threads\":-1}", "threads"},
@@ -201,6 +203,22 @@ TEST(Cli, ValidFlagsLandInTheConfig) {
   EXPECT_TRUE(opts->verbose);
 }
 
+TEST(Cli, MsgModeFlagsParse) {
+  const auto opts = parse_args(
+      {"ep", "--mode=msg", "--procs=4", "--threads=2", "--transport=shm"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->cfg.mode, npb::Mode::Msg);
+  EXPECT_EQ(opts->cfg.msg.procs, 4);
+  EXPECT_EQ(opts->cfg.msg.transport, npb::msg::TransportKind::Shm);
+  EXPECT_EQ(opts->cfg.threads, 2);
+
+  // Defaults: one shard over the in-process transport.
+  const auto defaults = parse_args({"cg", "--mode=msg"});
+  ASSERT_TRUE(defaults.has_value());
+  EXPECT_EQ(defaults->cfg.msg.procs, 1);
+  EXPECT_EQ(defaults->cfg.msg.transport, npb::msg::TransportKind::InProc);
+}
+
 TEST(Cli, ServeFlagsParse) {
   const auto opts = parse_args({"--serve=jobs.ndjson", "--pool=1,2,2,3",
                                 "--queue-cap=8", "--service-report=out.json"});
@@ -230,6 +248,12 @@ TEST(Cli, MalformedFlagsAreRejectedWithAMessage) {
       {"CG", "--mem-align=3"},                 // not a power of two
       {"CG", "--frobnicate"},                  // unknown flag
       {"CG", "--barrier=turnstile"},           // bad barrier
+      {"CG", "--procs=2"},                     // --procs without --mode=msg
+      {"EP", "--transport=shm"},               // --transport without --mode=msg
+      {"EP", "--mode=msg", "--procs=0"},       // shard count below 1
+      {"EP", "--mode=msg", "--procs=17"},      // shard count over the shm cap
+      {"EP", "--mode=msg", "--transport=tcp"}, // unknown transport
+      {"BT", "--mode=msg"},                    // benchmark without a msg driver
       {"--serve", "--pool=1,x"},               // bad pool width
       {"--serve", "--pool="},                  // empty pool
       {"--serve", "--pool=64"},                // width over the cap

@@ -22,6 +22,7 @@
 
 #include "common/verify.hpp"
 #include "fault/fault.hpp"
+#include "msg/msg_suite.hpp"
 #include "npb/registry.hpp"
 #include "tolerance.hpp"
 
@@ -440,6 +441,94 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, DegradedRecovery,
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });
+
+// ---- hybrid msg-vs-shared-memory matrix -------------------------------------
+// The message-passing drivers (EP, CG, FT, IS) re-derive each benchmark as
+// P rank shards x T team threads over the forked shared-memory transport.
+// Every cell of procs 1/2/4 x threads 1/2 is held against the *serial
+// shared-memory* run of the same benchmark:
+//
+//  * IS is integer counting — histogram merges are exact in any order, so
+//    every cell must be bit-identical (Tier::Exact).
+//  * EP/CG/FT reassociate cross-rank reductions (rank-ordered partial sums
+//    instead of one serial fold), so cells are held to the NPB acceptance
+//    epsilon — the tier NPB itself judges results by — and must still pass
+//    their own reference verification.
+//
+// Transport invariance (shm vs inproc, bit-identical) is pinned separately
+// in test_msg_apps; this matrix runs the shm transport, the deep path.
+
+struct MsgCell {
+  const char* name;
+  int procs;
+  int threads;
+};
+
+std::string msg_cell_name(const ::testing::TestParamInfo<MsgCell>& info) {
+  return std::string(info.param.name) + "_p" + std::to_string(info.param.procs) +
+         "_t" + std::to_string(info.param.threads);
+}
+
+std::vector<MsgCell> build_msg_matrix() {
+  constexpr const char* kMsgBenchmarks[] = {"EP", "CG", "FT", "IS"};
+  constexpr int kProcCounts[] = {1, 2, 4};
+  constexpr int kThreadCounts[] = {1, 2};
+  std::vector<MsgCell> cells;
+  for (const char* name : kMsgBenchmarks)
+    for (int procs : kProcCounts)
+      for (int th : kThreadCounts) cells.push_back({name, procs, th});
+  return cells;
+}
+
+class MsgDifferential : public ::testing::TestWithParam<MsgCell> {
+ protected:
+  static const RunResult& shared_memory_baseline(const char* name) {
+    static std::map<std::string, RunResult> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+      RunConfig cfg;
+      cfg.cls = ProblemClass::S;
+      cfg.mode = Mode::Native;
+      cfg.threads = 0;
+      it = cache.emplace(name, find_benchmark(name)(cfg)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(MsgDifferential, HybridShardChecksumsInTierOfSharedMemory) {
+  const MsgCell cell = GetParam();
+  const RunResult& base = shared_memory_baseline(cell.name);
+  ASSERT_TRUE(base.verified) << base.verify_detail;
+
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Msg;
+  cfg.threads = cell.threads;
+  cfg.msg.procs = cell.procs;
+  cfg.msg.transport = msg::TransportKind::Shm;
+  RunFn fn = msg::find_msg_benchmark(cell.name);
+  ASSERT_NE(fn, nullptr);
+  const RunResult hybrid = fn(cfg);
+
+  EXPECT_TRUE(hybrid.verified)
+      << cell.name << " procs=" << cell.procs << " threads=" << cell.threads
+      << " failed NPB verification in msg mode:\n"
+      << hybrid.verify_detail;
+  EXPECT_EQ(hybrid.procs, cell.procs);
+  const testing::Tolerance tol = std::string_view(cell.name) == "IS"
+                                     ? testing::Tolerance::exact()
+                                     : testing::Tolerance::npb_eps();
+  const testing::TierResult diff =
+      testing::compare_checksums(hybrid.checksums, base.checksums, tol);
+  EXPECT_TRUE(diff.passed)
+      << cell.name << " procs=" << cell.procs << " threads=" << cell.threads
+      << " drifted out of tier vs shared memory: " << diff.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(MsgMatrix, MsgDifferential,
+                         ::testing::ValuesIn(build_msg_matrix()),
+                         msg_cell_name);
 
 }  // namespace
 }  // namespace npb

@@ -109,6 +109,20 @@ TEST(FaultSpecParse, AllocFailRequiresAllocSite) {
   EXPECT_FALSE(parse_fault_spec("*:alloc-fail:1:*:0").has_value());
 }
 
+TEST(FaultSpecParse, KillRequiresProcSite) {
+  // SIGKILL only makes sense where a whole worker process is the blast
+  // radius, so the parser ties kill to the proc site (any other site — or
+  // the wildcard — would let it vaporize the parent).
+  const auto spec = parse_fault_spec("proc:kill:*:2:0");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->site, Site::Proc);
+  EXPECT_EQ(spec->kind, Kind::Kill);
+  EXPECT_TRUE(parse_fault_spec("proc:kill:3:1:0:persist").has_value());
+  EXPECT_FALSE(parse_fault_spec("barrier:kill:*:2:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("region:kill:1:0:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("*:kill:*:2:0").has_value());
+}
+
 TEST(FaultSpecParse, RejectsMalformedSpecs) {
   for (const char* text :
        {"", "region", "region:throw", "region:throw:1", "region:throw:1:0",

@@ -1,11 +1,16 @@
-// Unit and property tests for the in-process message-passing runtime.
+// Unit and property tests for the message-passing runtime: the in-process
+// transport (World), the Communicator collectives at awkward rank counts,
+// and the forked shared-memory transport (run_shm).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
 
+#include "fault/options.hpp"
 #include "msg/communicator.hpp"
+#include "msg/shm.hpp"
 
 namespace npb::msg {
 namespace {
@@ -176,7 +181,145 @@ TEST_P(Collectives, BarrierOrdersSideEffects) {
   EXPECT_FALSE(bad.load());
 }
 
-INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives, ::testing::Values(1, 2, 3, 5, 8));
+TEST_P(Collectives, AllgathervAssemblesRankBlocks) {
+  const int n = GetParam();
+  World w(n);
+  std::atomic<bool> bad{false};
+  w.run([&](Communicator& c) {
+    // Rank r contributes r+1 copies of the value r.
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (int t = 0; t < n; ++t)
+      offsets[static_cast<std::size_t>(t) + 1] =
+          offsets[static_cast<std::size_t>(t)] + static_cast<std::size_t>(t + 1);
+    std::vector<double> all(offsets.back(), -1.0);
+    const auto lo = offsets[static_cast<std::size_t>(c.rank())];
+    const auto cnt = static_cast<std::size_t>(c.rank() + 1);
+    for (std::size_t q = 0; q < cnt; ++q)
+      all[lo + q] = static_cast<double>(c.rank());
+    c.allgatherv(std::span<const double>(all.data() + lo, cnt),
+                 std::span<double>(all.data(), all.size()), offsets);
+    for (int src = 0; src < n; ++src)
+      for (std::size_t q = 0; q < static_cast<std::size_t>(src + 1); ++q)
+        if (all[offsets[static_cast<std::size_t>(src)] + q] !=
+            static_cast<double>(src))
+          bad = true;
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+// Non-power-of-two sizes (3, 5, 7) exercise the shifted schedules' uneven
+// wrap-around; 1 the self-loop fast paths.
+INSTANTIATE_TEST_SUITE_P(RankCounts, Collectives,
+                         ::testing::Values(1, 2, 3, 5, 7, 8));
+
+// ---- alltoallv count validation --------------------------------------------
+
+TEST(CheckedCount, AcceptsExactNonNegativeIntegers) {
+  EXPECT_EQ(Communicator::checked_count(0.0), 0u);
+  EXPECT_EQ(Communicator::checked_count(5.0), 5u);
+  EXPECT_EQ(Communicator::checked_count(1048576.0), 1048576u);
+}
+
+TEST(CheckedCount, RejectsCorruptCountPayloads) {
+  EXPECT_THROW(Communicator::checked_count(-1.0), std::length_error);
+  EXPECT_THROW(Communicator::checked_count(0.5), std::length_error);
+  EXPECT_THROW(Communicator::checked_count(3.0000001), std::length_error);
+  EXPECT_THROW(Communicator::checked_count(1.0e16), std::length_error);
+  EXPECT_THROW(Communicator::checked_count(std::nan("")), std::length_error);
+}
+
+// ---- the forked shared-memory transport ------------------------------------
+
+TEST(ShmTransport, CollectivesMatchSerialAcrossProcesses) {
+  const fault::FaultOptions fo;
+  const ShmRunOutcome out = run_shm(3, fo, [](Communicator& c) {
+    std::vector<double> r;
+    r.push_back(c.allreduce_sum(static_cast<double>(c.rank() + 1)));
+    double b = c.rank() == 1 ? 7.5 : 0.0;
+    c.broadcast(1, std::span<double>(&b, 1));
+    r.push_back(b);
+    return r;
+  });
+  ASSERT_TRUE(out.ok()) << out.error;
+  ASSERT_EQ(out.payloads.size(), 3u);
+  for (const auto& p : out.payloads) {
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 6.0);
+    EXPECT_EQ(p[1], 7.5);
+  }
+}
+
+TEST(ShmTransport, AlltoallvCrossesProcessBoundary) {
+  const fault::FaultOptions fo;
+  const ShmRunOutcome out = run_shm(4, fo, [](Communicator& c) {
+    const int n = c.size();
+    std::vector<std::vector<double>> outgoing(static_cast<std::size_t>(n));
+    for (int peer = 0; peer < n; ++peer)
+      outgoing[static_cast<std::size_t>(peer)].assign(
+          static_cast<std::size_t>(c.rank() + peer), 100.0 * c.rank() + peer);
+    const std::vector<double> in = c.alltoallv(outgoing);
+    double sum = 0.0;
+    for (double v : in) sum += v;
+    return std::vector<double>{static_cast<double>(in.size()), sum};
+  });
+  ASSERT_TRUE(out.ok()) << out.error;
+  for (int rank = 0; rank < 4; ++rank) {
+    const auto& p = out.payloads[static_cast<std::size_t>(rank)];
+    std::size_t want = 0;
+    double want_sum = 0.0;
+    for (int src = 0; src < 4; ++src) {
+      want += static_cast<std::size_t>(src + rank);
+      want_sum += static_cast<double>(src + rank) * (100.0 * src + rank);
+    }
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], static_cast<double>(want));
+    EXPECT_EQ(p[1], want_sum);
+  }
+}
+
+TEST(ShmTransport, StreamsMessagesLargerThanTheRing) {
+  // kShmRingBytes/8 doubles fit in one ring; send four rings' worth so the
+  // chunked producer/consumer handoff is exercised in both directions.
+  const std::size_t big = (kShmRingBytes / sizeof(double)) * 4 + 17;
+  const fault::FaultOptions fo;
+  const ShmRunOutcome out = run_shm(2, fo, [big](Communicator& c) {
+    std::vector<double> buf(big);
+    if (c.rank() == 0) {
+      for (std::size_t i = 0; i < big; ++i)
+        buf[i] = static_cast<double>(i % 8191);
+      c.send(1, 42, buf);
+      c.recv(1, 43, std::span<double>(buf.data(), 1));
+      return std::vector<double>{buf[0]};
+    }
+    c.recv(0, 42, buf);
+    double bad = 0.0;
+    for (std::size_t i = 0; i < big; ++i)
+      if (buf[i] != static_cast<double>(i % 8191)) bad += 1.0;
+    c.send(0, 43, std::span<const double>(&bad, 1));
+    return std::vector<double>{bad};
+  });
+  ASSERT_TRUE(out.ok()) << out.error;
+  EXPECT_EQ(out.payloads[0].at(0), 0.0);  // echoed mismatch count
+  EXPECT_EQ(out.payloads[1].at(0), 0.0);
+}
+
+TEST(ShmTransport, WorkerExceptionBecomesErrorNotHang) {
+  const fault::FaultOptions fo;
+  const ShmRunOutcome out = run_shm(2, fo, [](Communicator& c) {
+    if (c.rank() == 1) throw std::runtime_error("shard boom");
+    c.barrier();  // would deadlock if the peer's death went unnoticed
+    return std::vector<double>{1.0};
+  });
+  EXPECT_FALSE(out.ok());
+  EXPECT_NE(out.error.find("shard boom"), std::string::npos);
+}
+
+TEST(ShmTransport, RejectsOutOfRangeProcCounts) {
+  const fault::FaultOptions fo;
+  const ShardBody noop = [](Communicator&) { return std::vector<double>{}; };
+  EXPECT_THROW(run_shm(0, fo, noop), std::invalid_argument);
+  EXPECT_THROW(run_shm(kMaxShmProcs + 1, fo, noop), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace npb::msg

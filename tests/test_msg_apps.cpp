@@ -1,16 +1,23 @@
-// Integration tests for the message-passing FT and IS: they must verify
-// against the same frozen references as the shared-memory versions and be
-// invariant to the rank count.
+// Integration tests for the message-passing benchmarks: they must verify
+// against the same frozen references as the shared-memory versions, be
+// invariant to the rank count, and — in hybrid P-process x T-thread form —
+// invariant to the team width and the transport.
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "common/verify.hpp"
 #include "cg/cg.hpp"
+#include "fault/options.hpp"
 #include "ft/ft.hpp"
 #include "is/is.hpp"
 #include "msg/ep_cg_mpi.hpp"
 #include "msg/ft_mpi.hpp"
 #include "msg/is_mpi.hpp"
+#include "msg/msg_suite.hpp"
+#include "npb/registry.hpp"
+#include "tolerance.hpp"
 
 namespace npb {
 namespace {
@@ -104,6 +111,111 @@ TEST_P(CgMpiRanks, AgreesWithSharedMemoryCgBitwiseAtEqualWorkerCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranks, CgMpiRanks, ::testing::Values(1, 2, 3, 4, 6));
+
+// ---- hybrid P-process x T-thread runs --------------------------------------
+
+RunResult run_msg(const char* bench, int procs, int threads,
+                  msg::TransportKind transport) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Msg;
+  cfg.threads = threads;
+  cfg.msg.procs = procs;
+  cfg.msg.transport = transport;
+  RunFn fn = msg::find_msg_benchmark(bench);
+  EXPECT_NE(fn, nullptr) << bench;
+  return fn(cfg);
+}
+
+class HybridMsg : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HybridMsg, TeamWidthNeverChangesResults) {
+  // EP folds fixed per-block accumulators, FT's threads write disjoint
+  // lines, IS merges integer histograms — all bit-identical at any T.  CG
+  // deliberately folds dot partials in thread order (the association the
+  // shared-memory conj_grad uses, which CgMpiRanks pins bitwise at equal
+  // worker counts), so its team-width promise is the NPB epsilon tier, not
+  // bit identity.
+  const RunResult serial =
+      run_msg(GetParam(), 2, 0, msg::TransportKind::InProc);
+  const RunResult teamed =
+      run_msg(GetParam(), 2, 2, msg::TransportKind::InProc);
+  EXPECT_TRUE(serial.verified) << serial.verify_detail;
+  EXPECT_TRUE(teamed.verified) << teamed.verify_detail;
+  const bool reassociates = std::string_view(GetParam()) == "CG";
+  const auto tol = reassociates ? testing::Tolerance::npb_eps()
+                                : testing::Tolerance::exact();
+  const auto cmp =
+      testing::compare_checksums(teamed.checksums, serial.checksums, tol);
+  EXPECT_TRUE(cmp.passed) << GetParam() << ": " << cmp.detail;
+}
+
+TEST_P(HybridMsg, ShmTransportMatchesInProcBitwise) {
+  // Same ranks, same schedules, same bytes — the transport must be
+  // invisible in the numerics.  (The full P x T matrix lives in the
+  // differential suite; this is the tight per-benchmark cell.)
+  const RunResult inproc =
+      run_msg(GetParam(), 2, 1, msg::TransportKind::InProc);
+  const RunResult shm = run_msg(GetParam(), 2, 1, msg::TransportKind::Shm);
+  EXPECT_TRUE(shm.verified) << shm.verify_detail;
+  EXPECT_EQ(shm.procs, 2);
+  ASSERT_EQ(inproc.checksums.size(), shm.checksums.size());
+  for (std::size_t i = 0; i < inproc.checksums.size(); ++i)
+    EXPECT_EQ(inproc.checksums[i], shm.checksums[i]) << "checksum " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, HybridMsg,
+                         ::testing::Values("EP", "CG", "FT", "IS"));
+
+TEST(HybridMsg, ShmRunMergesOneSnapshotPerShard) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Msg;
+  cfg.msg.procs = 3;
+  cfg.msg.transport = msg::TransportKind::Shm;
+  const RunResult r =
+      run_instrumented(msg::find_msg_benchmark("IS"), cfg);
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_EQ(r.procs, 3);
+  ASSERT_EQ(r.shards.size(), 3u);
+  for (int rank = 0; rank < 3; ++rank)
+    EXPECT_EQ(r.shards[static_cast<std::size_t>(rank)].rank, rank);
+}
+
+// ---- losing a shard mid-run ------------------------------------------------
+
+TEST(MsgChaos, LostShardIsBlamedDegradedAndStillVerifies) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Msg;
+  cfg.msg.procs = 2;
+  cfg.msg.transport = msg::TransportKind::Shm;
+  const auto spec = fault::parse_fault_spec("proc:kill:*:1:0");
+  ASSERT_TRUE(spec.has_value());
+  cfg.fault.specs.push_back(*spec);
+  const RunResult r =
+      run_instrumented(msg::find_msg_benchmark("IS"), cfg);
+  // Rank 1 was SIGKILLed at its first transport crossing; the run must blame
+  // it in obs, re-fork at width 1, and still verify — never hang or crash.
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_EQ(r.procs, 1);
+  EXPECT_EQ(r.obs.lost_shard_count, 1u);
+  EXPECT_EQ(r.obs.lost_shard_sum, 1.0);  // rank id rides the sum
+  EXPECT_EQ(r.obs.degraded_width_count, 1u);
+}
+
+TEST(MsgChaos, NoDegradeTurnsALostShardIntoAnError) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Msg;
+  cfg.msg.procs = 2;
+  cfg.msg.transport = msg::TransportKind::Shm;
+  cfg.fault.allow_degraded = false;
+  const auto spec = fault::parse_fault_spec("proc:kill:*:1:0");
+  ASSERT_TRUE(spec.has_value());
+  cfg.fault.specs.push_back(*spec);
+  EXPECT_THROW(msg::run_is_msg(cfg), std::runtime_error);
+}
 
 }  // namespace
 }  // namespace npb

@@ -369,9 +369,9 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   for (char c : csv) lines += c == '\n' ? 1 : 0;
   // header + 8 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
   // loop_iters, loop_imbalance, dispatches, region_span) + 3 mem rows
-  // (bytes, arena_hit, first_touch) + 5 fault rows (injected, watchdog_fires,
-  // stuck_rank, retries, degraded_width) + 1 user region
-  EXPECT_EQ(lines, 18u);
+  // (bytes, arena_hit, first_touch) + 6 fault rows (injected, watchdog_fires,
+  // stuck_rank, retries, degraded_width, lost_shard) + 1 user region
+  EXPECT_EQ(lines, 19u);
   EXPECT_EQ(csv.rfind("benchmark,class,mode,threads,run_seconds,region,seconds,count\n", 0), 0u);
   EXPECT_NE(csv.find("team/run_span"), std::string::npos);
   EXPECT_NE(csv.find("team/barrier_wait"), std::string::npos);

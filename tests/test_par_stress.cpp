@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "mem/mem.hpp"
+#include "msg/channel.hpp"
 #include "par/pipeline.hpp"
 #include "par/schedule.hpp"
 #include "par/team.hpp"
@@ -172,6 +173,47 @@ TEST(ArenaStress, ConcurrentAcquireReleaseIsRaceFreeAndExclusive) {
 
   EXPECT_FALSE(corrupted.load())
       << "a pooled block was handed to two owners concurrently";
+}
+
+// The msg layer's Channel keeps a per-tag mailbox index and wakes with
+// notify_one when at most one receiver can be waiting.  The targeted wakeup
+// is only sound if every (tag, payload) handoff carries a happens-before
+// edge and no receiver can sleep through a send it should have consumed —
+// exactly the properties TSan plus this interleaving hammer check.  Many
+// producers post to many tags out of order while one consumer per tag
+// drains in order; plain (non-atomic) payload contents are then read on the
+// consumer side, so a missing edge is a reported race, and a lost wakeup is
+// a hang (caught by the test timeout, not a flaky pass).
+TEST(MsgChannelStress, ManyTagsManySendersTargetedWakeupsAreRaceFree) {
+  constexpr int kTags = 5;
+  constexpr int kMessagesPerTag = 400;
+  msg::Channel ch;
+  WorkerTeam team(kTags + 2, TeamOptions{BarrierKind::CondVar, 0});
+  std::atomic<bool> bad{false};
+
+  team.run([&](int rank) {
+    if (rank < kTags) {
+      // One consumer per tag: ordered delivery within a tag is part of the
+      // contract, so the payload sequence must come back monotonically.
+      for (int m = 0; m < kMessagesPerTag; ++m) {
+        const std::vector<double> got = ch.recv(rank);
+        if (got.size() != 2 || got[0] != static_cast<double>(m) ||
+            got[1] != static_cast<double>(rank))
+          bad = true;
+      }
+    } else {
+      // Two producers own disjoint tag sets (per-tag order is part of the
+      // contract, so a tag has exactly one sender) and interleave their
+      // tags message by message, keeping several consumers parked and
+      // waking concurrently at all times.
+      const int parity = rank - kTags;  // 0 -> even tags, 1 -> odd tags
+      for (int m = 0; m < kMessagesPerTag; ++m)
+        for (int tag = parity; tag < kTags; tag += 2)
+          ch.send(tag, {static_cast<double>(m), static_cast<double>(tag)});
+    }
+  });
+
+  EXPECT_FALSE(bad.load()) << "a tagged message was lost, reordered or torn";
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mem/mem.hpp"
+#include "msg/msg_suite.hpp"
 #include "npb/registry.hpp"
 #include "obs/report.hpp"
 #include "svc/cli.hpp"
@@ -111,12 +112,17 @@ int serve(const npb::svc::CliOptions& opts) {
 }
 
 int run_benchmarks(const npb::svc::CliOptions& opts) {
+  // msg mode dispatches through its own registry (EP/CG/FT/IS only; the CLI
+  // has already rejected anything else with exit 2).
+  const bool msg_mode = opts.cfg.mode == npb::Mode::Msg;
+  const auto& table = msg_mode ? npb::msg::msg_suite() : npb::suite();
+  const auto find = msg_mode ? &npb::msg::find_msg_benchmark : &npb::find_benchmark;
   std::vector<const npb::BenchmarkInfo*> todo;
   if (opts.which == "all" || opts.which == "ALL") {
-    for (const auto& b : npb::suite()) todo.push_back(&b);
+    for (const auto& b : table) todo.push_back(&b);
   } else {
-    for (const auto& b : npb::suite())
-      if (npb::find_benchmark(opts.which) == b.fn) todo.push_back(&b);
+    for (const auto& b : table)
+      if (find(opts.which) == b.fn) todo.push_back(&b);
   }
 
   // One arena per invocation: "all" runs reuse same-shape buffers across
@@ -132,11 +138,13 @@ int run_benchmarks(const npb::svc::CliOptions& opts) {
                                  : npb::run_instrumented(b->fn, opts.cfg);
     if (!opts.obs_report.empty())
       report.add_run(r.name, npb::to_string(r.cls), npb::to_string(r.mode),
-                     r.threads, r.seconds, r.obs);
+                     r.threads, r.seconds, r.obs, r.procs, r.shards);
+    char procs_buf[32] = "";
+    if (r.procs > 0) std::snprintf(procs_buf, sizeof(procs_buf), " procs=%d", r.procs);
     std::printf(
-        "%-3s class=%s mode=%-6s threads=%-2d  %8.3fs  %10.1f Mop/s  %s\n",
+        "%-3s class=%s mode=%-6s threads=%-2d%s  %8.3fs  %10.1f Mop/s  %s\n",
         r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
-        r.threads, r.seconds, r.mops,
+        r.threads, procs_buf, r.seconds, r.mops,
         r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
     if (opts.verbose || !r.verified) std::fputs(r.verify_detail.c_str(), stdout);
     if (!r.verified) ++failures;
