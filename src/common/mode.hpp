@@ -47,4 +47,32 @@ inline std::optional<Mode> parse_mode(std::string_view s) noexcept {
   return std::nullopt;
 }
 
+/// Which execution personality a WorkerTeam's threads run in.
+///
+///  - `Spmd`: the existing master-workers shape — every rank executes the
+///    same region body with deterministic chunk queues between barriers.
+///    The default, and bit-identical to every release before the task
+///    runtime existed.
+///  - `Steal`: the same threads act as a work-stealing task pool
+///    (per-rank Chase-Lev deques, fork2/par_do, steal-half victim
+///    selection — see par/task.hpp).  Execution order is nondeterministic,
+///    so workloads running under it verify by invariants (sortedness,
+///    permutation, residual) rather than bit-identity.
+enum class Runtime { Spmd, Steal };
+
+inline const char* to_string(Runtime r) noexcept {
+  switch (r) {
+    case Runtime::Spmd: return "spmd";
+    case Runtime::Steal: return "steal";
+  }
+  return "?";
+}
+
+/// Strict parse of a --runtime= flag value; nullopt on anything unknown.
+inline std::optional<Runtime> parse_runtime(std::string_view s) noexcept {
+  if (s == "spmd") return Runtime::Spmd;
+  if (s == "steal") return Runtime::Steal;
+  return std::nullopt;
+}
+
 }  // namespace npb

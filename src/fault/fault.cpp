@@ -40,6 +40,7 @@ const char* to_string(Site s) noexcept {
     case Site::Reduce: return "reduce";
     case Site::Alloc: return "alloc";
     case Site::Proc: return "proc";
+    case Site::Steal: return "steal";
   }
   return "?";
 }
@@ -93,6 +94,8 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
     spec.site = Site::Alloc;
   } else if (site == "proc") {
     spec.site = Site::Proc;
+  } else if (site == "steal") {
+    spec.site = Site::Steal;
   } else {
     return std::nullopt;
   }

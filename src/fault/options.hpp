@@ -9,8 +9,8 @@
 //
 //   site:kind:step:rank:seed[:persist]
 //
-//   site   barrier | region | collective | queue | reduce | alloc | proc | *
-//          (a runtime choke point, see fault::Site)
+//   site   barrier | region | collective | queue | reduce | alloc | proc |
+//          steal | *   (a runtime choke point, see fault::Site)
 //   kind   throw | delay(MS) | nan-poison | alloc-fail | kill
 //          (nan-poison requires site reduce; alloc-fail requires site alloc;
 //          kill requires site proc — it SIGKILLs the calling process, so it
@@ -49,10 +49,13 @@ namespace npb::fault {
 /// are compiled in: WorkerTeam::barrier() (Barrier), region-body entry in
 /// worker dispatch (Region), ParallelRegion collectives (Collective), chunk
 /// claiming loops (Queue), reduction partials (Reduce — the nan-poison
-/// site), mem::acquire (Alloc), and the shm transport's send/barrier paths
+/// site), mem::acquire (Alloc), the shm transport's send/barrier paths
 /// (Proc — crossed only inside forked hybrid worker processes, the Kill
-/// site).
-enum class Site { Barrier, Region, Collective, Queue, Reduce, Alloc, Proc };
+/// site), and the task runtime's steal attempts (Steal — every
+/// pop-empty/steal crossing of a work-stealing scope; throws from inside a
+/// fork2 join are deferred past the join so no stolen frame unwinds early,
+/// and the barrier watchdog still covers a scope whose thieves are stuck).
+enum class Site { Barrier, Region, Collective, Queue, Reduce, Alloc, Proc, Steal };
 
 enum class Kind { Throw, Delay, NanPoison, AllocFail, Kill };
 

@@ -1,0 +1,99 @@
+#pragma once
+
+// Shared driver scaffolding for the irregular suite: the Exec abstraction
+// that lets each kernel be written once and run serial, SPMD, or stolen, and
+// the run_parallel dispatcher that picks the personality from the config.
+
+#include <optional>
+
+#include "common/mode.hpp"
+#include "par/region.hpp"
+#include "par/task.hpp"
+#include "par/team.hpp"
+
+namespace npb::irr_detail {
+
+/// Execution context a kernel is written against.  With a region bound
+/// (SPMD personality) every rank runs the kernel body collectively: serial
+/// sections run on rank 0 behind a barrier and pfor/pranges are region
+/// collectives on a balancing schedule.  Without a region the kernel runs on
+/// one thread and pfor/pranges go through the task API — which forks onto
+/// the work-stealing deques inside a task_scope and degenerates to the plain
+/// serial loop outside one.  Kernels therefore contain no personality
+/// branches beyond the recursion guard (nested parallelism exists only under
+/// the task runtime; see sort.cpp).
+struct Exec {
+  ParallelRegion* rg = nullptr;
+  int rank = 0;
+
+  /// True when pfor bodies may themselves fork (task personality only —
+  /// region collectives cannot nest).
+  bool nested() const noexcept { return rg == nullptr && task::in_scope(); }
+
+  /// One-thread section.  SPMD: rank 0 runs it, a barrier publishes the
+  /// writes (callers are synced on entry because every Exec operation ends
+  /// synced).  Serial/task: a plain call on the calling thread.
+  template <class F>
+  void serial(const F& f) {
+    if (rg == nullptr) {
+      f();
+      return;
+    }
+    if (rank == 0) f();
+    rg->barrier();
+  }
+
+  /// Parallel loop body(i) over [lo, hi).  SPMD: dynamic self-scheduling so
+  /// data-dependent iteration costs rebalance (the whole point of this
+  /// suite); task: recursive fork2 splitting, stealable.
+  template <class F>
+  void pfor(long lo, long hi, const F& f) {
+    if (rg == nullptr) {
+      task::parallel_for(lo, hi, 0, f);
+      return;
+    }
+    rg->for_each(rank, Schedule::dynamic(1), lo, hi, f);
+  }
+
+  /// Parallel loop over contiguous blocks: body(lo_r, hi_r), blocks of at
+  /// most `grain` indices.
+  template <class F>
+  void pranges(long lo, long hi, long grain, const F& f) {
+    if (rg == nullptr) {
+      task::parallel_ranges(lo, hi, grain, f);
+      return;
+    }
+    rg->ranges(rank, Schedule::dynamic(grain), lo, hi,
+               [&](int, long b_lo, long b_hi) { f(b_lo, b_hi); });
+  }
+};
+
+/// Runs `kernel(Exec&)` under the personality the config selected:
+///   team == nullptr        one thread, no forking (threads == 0)
+///   Runtime::Spmd          every rank runs the kernel collectively
+///   Runtime::Steal         rank 0 runs the kernel as the root task of a
+///                          task_scope; the other ranks steal from it
+/// Either parallel personality is one fused region (one dispatch per call).
+template <class Kernel>
+void run_parallel(WorkerTeam* team, Runtime runtime, const Kernel& kernel) {
+  if (team == nullptr) {
+    Exec ex;
+    kernel(ex);
+    return;
+  }
+  if (runtime == Runtime::Steal) {
+    spmd(*team, [&](ParallelRegion& rg, int rank) {
+      rg.task_scope(rank, [&] {
+        Exec ex;
+        kernel(ex);
+      });
+    });
+    return;
+  }
+  spmd(*team, [&](ParallelRegion& rg, int rank) {
+    Exec ex{&rg, rank};
+    kernel(ex);
+  });
+}
+
+}  // namespace npb::irr_detail

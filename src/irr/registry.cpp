@@ -1,0 +1,27 @@
+#include "irr/irr.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace npb {
+
+const std::vector<BenchmarkInfo>& irr_suite() {
+  static const std::vector<BenchmarkInfo> s = {
+      {"SORT", &run_sort, false},
+      {"KNN", &run_knn, false},
+      {"GETRF", &run_getrf_irr, false},
+  };
+  return s;
+}
+
+RunFn find_irr_benchmark(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  for (const auto& b : irr_suite())
+    if (upper == b.name) return b.fn;
+  return nullptr;
+}
+
+}  // namespace npb

@@ -25,7 +25,8 @@ RunResult run_mg(const RunConfig& cfg) {
   using namespace mg_detail;
   const MgParams p = mg_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, cfg.schedule,
-                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
+                          cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 

@@ -23,6 +23,12 @@ class WorkerTeam;
 struct RunConfig {
   ProblemClass cls = ProblemClass::S;
   Mode mode = Mode::Native;
+  /// Parallel personality of the team threads: Spmd (default) keeps the
+  /// chunk-queue SPMD collectives bit-identical to every prior release;
+  /// Steal arms the work-stealing task runtime for benchmarks that have a
+  /// task formulation (the irregular suite).  Regular NPBs ignore Steal —
+  /// they have no task spawns — so both values are accepted everywhere.
+  Runtime runtime = Runtime::Spmd;
   int threads = 0;
   BarrierKind barrier = BarrierKind::CondVar;
   long warmup_spins = 0;

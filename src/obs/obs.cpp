@@ -46,6 +46,9 @@ ObsRegistry::ObsRegistry()
   intern("fault/retries");
   intern("fault/degraded_width");
   intern("fault/lost_shard");
+  intern("steal/steals");
+  intern("steal/attempts");
+  intern("steal/deque_max");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -173,6 +176,21 @@ Snapshot ObsRegistry::snapshot() const {
       case kRegionFaultLostShard:
         snap.lost_shard_sum = st.seconds;
         snap.lost_shard_count = st.count;
+        break;
+      case kRegionStealSteals:
+        snap.steal_steals_total = st.seconds;
+        snap.steal_steals_count = st.count;
+        snap.steal_rank_steals = std::move(st.rank_seconds);
+        break;
+      case kRegionStealAttempts:
+        snap.steal_attempts_total = st.seconds;
+        snap.steal_attempts_count = st.count;
+        snap.steal_rank_attempts = std::move(st.rank_seconds);
+        break;
+      case kRegionStealDequeMax:
+        snap.steal_deque_max_sum = st.seconds;
+        snap.steal_deque_max_count = st.count;
+        snap.steal_rank_deque_max = std::move(st.rank_seconds);
         break;
       default:
         snap.regions.push_back(std::move(st));

@@ -46,6 +46,15 @@
 //                      went silent mid-run ("seconds" accumulates the lost
 //                      rank id per loss, the stuck_rank convention; count =
 //                      losses, and the per-slot breakdown shows which shard)
+//   steal/steals       jobs obtained by work-stealing ("seconds" rides the
+//                      job count, per thief rank; count = scope flushes
+//                      that stole anything)
+//   steal/attempts     steal attempts, successful or not, per rank (same
+//                      count convention)
+//   steal/deque_max    deepest any rank's task deque got ("seconds"
+//                      accumulates each scope's per-rank depth watermark;
+//                      count = scopes, so value/count is the mean per-scope
+//                      peak)
 //
 // Compile with -DNPB_OBS_DISABLED to replace the whole API with inline
 // no-ops (distinct inline namespace, so mixed translation units stay
@@ -128,6 +137,20 @@ struct Snapshot {
   double lost_shard_sum = 0.0;
   std::uint64_t lost_shard_count = 0;
 
+  /// steal/*: work-stealing task-runtime activity, flushed per rank when a
+  /// task scope closes.  Job and attempt counts ride the seconds
+  /// accumulators (the loop_iters convention); the per-slot vectors keep
+  /// the per-rank breakdown (slot 0 = master/rank -1, slot r+1 = rank r).
+  double steal_steals_total = 0.0;
+  std::uint64_t steal_steals_count = 0;
+  std::vector<double> steal_rank_steals;
+  double steal_attempts_total = 0.0;
+  std::uint64_t steal_attempts_count = 0;
+  std::vector<double> steal_rank_attempts;
+  double steal_deque_max_sum = 0.0;
+  std::uint64_t steal_deque_max_count = 0;
+  std::vector<double> steal_rank_deque_max;
+
   /// Max-over-mean of per-worker iteration counts in scheduled loops: 1.0 is
   /// perfectly balanced, nranks is one rank doing everything, 0.0 means no
   /// scheduled loop recorded.  Worker slots only (slot 0 falls back in when
@@ -167,7 +190,10 @@ inline constexpr RegionId kRegionFaultStuckRank = 12;
 inline constexpr RegionId kRegionFaultRetries = 13;
 inline constexpr RegionId kRegionFaultDegradedWidth = 14;
 inline constexpr RegionId kRegionFaultLostShard = 15;
-inline constexpr int kReservedRegions = 16;
+inline constexpr RegionId kRegionStealSteals = 16;
+inline constexpr RegionId kRegionStealAttempts = 17;
+inline constexpr RegionId kRegionStealDequeMax = 18;
+inline constexpr int kReservedRegions = 19;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;

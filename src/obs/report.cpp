@@ -90,6 +90,19 @@ void append_snapshot_body(std::string& out, const Snapshot& s) {
   out += ",\"lost_shard_count\":" + std::to_string(s.lost_shard_count);
   out += ",\"lost_shard_sum\":";
   append_number(out, s.lost_shard_sum);
+  out += "},\"steal\":{\"steals\":";
+  append_number(out, s.steal_steals_total);
+  out += ",\"attempts\":";
+  append_number(out, s.steal_attempts_total);
+  out += ",\"deque_max_sum\":";
+  append_number(out, s.steal_deque_max_sum);
+  out += ",\"scope_flushes\":" + std::to_string(s.steal_deque_max_count);
+  out += ",\"rank_steals\":";
+  append_array(out, s.steal_rank_steals);
+  out += ",\"rank_attempts\":";
+  append_array(out, s.steal_rank_attempts);
+  out += ",\"rank_deque_max\":";
+  append_array(out, s.steal_rank_deque_max);
   out += "},\"regions\":[";
   for (std::size_t r = 0; r < s.regions.size(); ++r) {
     const RegionStats& st = s.regions[r];
@@ -195,6 +208,11 @@ std::string ObsReport::csv() const {
     row(en, "fault/degraded_width", s.degraded_width_sum,
         s.degraded_width_count);
     row(en, "fault/lost_shard", s.lost_shard_sum, s.lost_shard_count);
+    // steal/* value columns ride the seconds column too: stolen-job and
+    // attempt totals, and summed per-scope deque depth watermarks.
+    row(en, "steal/steals", s.steal_steals_total, s.steal_steals_count);
+    row(en, "steal/attempts", s.steal_attempts_total, s.steal_attempts_count);
+    row(en, "steal/deque_max", s.steal_deque_max_sum, s.steal_deque_max_count);
     for (const RegionStats& st : s.regions) row(en, st.name, st.seconds, st.count);
     // One summary row per worker process of a hybrid run; the full per-shard
     // breakdown lives in the JSON emitter.

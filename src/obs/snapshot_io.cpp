@@ -85,6 +85,18 @@ void serialize_snapshot(const Snapshot& snap, std::vector<unsigned char>& out) {
   put_u64(out, snap.degraded_width_count);
   put_f64(out, snap.lost_shard_sum);
   put_u64(out, snap.lost_shard_count);
+  put_f64(out, snap.steal_steals_total);
+  put_u64(out, snap.steal_steals_count);
+  put_u64(out, snap.steal_rank_steals.size());
+  for (const double v : snap.steal_rank_steals) put_f64(out, v);
+  put_f64(out, snap.steal_attempts_total);
+  put_u64(out, snap.steal_attempts_count);
+  put_u64(out, snap.steal_rank_attempts.size());
+  for (const double v : snap.steal_rank_attempts) put_f64(out, v);
+  put_f64(out, snap.steal_deque_max_sum);
+  put_u64(out, snap.steal_deque_max_count);
+  put_u64(out, snap.steal_rank_deque_max.size());
+  for (const double v : snap.steal_rank_deque_max) put_f64(out, v);
   put_u64(out, snap.regions.size());
   for (const RegionStats& st : snap.regions) {
     put_u64(out, st.name.size());
@@ -137,6 +149,18 @@ Snapshot deserialize_snapshot(const std::vector<unsigned char>& bytes,
   snap.degraded_width_count = get_u64(bytes, at);
   snap.lost_shard_sum = get_f64(bytes, at);
   snap.lost_shard_count = get_u64(bytes, at);
+  snap.steal_steals_total = get_f64(bytes, at);
+  snap.steal_steals_count = get_u64(bytes, at);
+  snap.steal_rank_steals.resize(get_len(bytes, at));
+  for (double& v : snap.steal_rank_steals) v = get_f64(bytes, at);
+  snap.steal_attempts_total = get_f64(bytes, at);
+  snap.steal_attempts_count = get_u64(bytes, at);
+  snap.steal_rank_attempts.resize(get_len(bytes, at));
+  for (double& v : snap.steal_rank_attempts) v = get_f64(bytes, at);
+  snap.steal_deque_max_sum = get_f64(bytes, at);
+  snap.steal_deque_max_count = get_u64(bytes, at);
+  snap.steal_rank_deque_max.resize(get_len(bytes, at));
+  for (double& v : snap.steal_rank_deque_max) v = get_f64(bytes, at);
   const std::uint64_t nregions = get_len(bytes, at);
   snap.regions.resize(nregions);
   for (RegionStats& st : snap.regions) {

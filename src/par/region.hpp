@@ -36,6 +36,7 @@
 #include "obs/obs.hpp"
 #include "par/partition.hpp"
 #include "par/schedule.hpp"
+#include "par/task.hpp"
 #include "par/team.hpp"
 
 namespace npb {
@@ -153,7 +154,72 @@ class ParallelRegion {
     return total;
   }
 
+  /// Work-stealing task scope (collective): between two region barriers,
+  /// rank 0 runs `root()` as the root task while every other rank becomes a
+  /// thief on the team's task pool — task::fork2 / task::parallel_for
+  /// called under `root` fork onto per-rank Chase-Lev deques instead of
+  /// running serially.  This is the task-spawning surface inside an SPMD
+  /// region: a driver can fuse regular (chunk-queue) phases and irregular
+  /// (stolen) phases of one time step under a single dispatch.
+  ///
+  /// Error contract matches the rest of the region API: an exception from
+  /// any task propagates to rank 0's join chain and out of the region (the
+  /// team barrier is poisoned so thieves unwind; the master rethrows).  A
+  /// watchdog escalation mid-scope is honored by thieves between jobs; jobs
+  /// already forked are still completed by the joining parent, so no stack
+  /// frame unwinds while a thief references it.
+  ///
+  /// Per-rank steal counters (steal/steals, steal/attempts,
+  /// steal/deque_max) flush to obs when the scope closes.
+  template <class Root>
+  void task_scope(int rank, const Root& root) {
+    task::Pool& pool = team_.task_pool();
+    if (rank == 0) pool.arm();
+    team_.barrier();  // publishes the re-armed pool
+    {
+      task::detail::ScopedWorkerCtx bind(&pool, &team_, rank);
+      if (rank == 0) {
+        std::exception_ptr err;
+        try {
+          root();
+        } catch (...) {
+          err = std::current_exception();
+        }
+        // Release the thieves even on the error path — they would
+        // otherwise spin on a finished flag nobody sets.
+        pool.finish();
+        if (err) std::rethrow_exception(err);
+      } else {
+        pool.thief_loop(team_, rank);
+      }
+    }
+    flush_steal_stats(pool, rank);
+    team_.barrier();
+  }
+
  private:
+  /// Flushes (and zeroes) one rank's steal counters into the reserved obs
+  /// regions.  Runs on the rank's own thread, so the owner-only stats and
+  /// deque depth watermark are read race-free.
+  void flush_steal_stats(task::Pool& pool, int rank) {
+    task::StealStats& st = pool.stats(rank);
+    task::StealDeque& dq = pool.deque(rank);
+    if (obs::kActive && obs::ObsRegistry::instance().enabled()) {
+      auto& reg = obs::ObsRegistry::instance();
+      if (st.steals > 0)
+        reg.record(obs::kRegionStealSteals, rank,
+                   static_cast<double>(st.steals));
+      if (st.attempts > 0)
+        reg.record(obs::kRegionStealAttempts, rank,
+                   static_cast<double>(st.attempts));
+      if (dq.max_depth() > 0)
+        reg.record(obs::kRegionStealDequeMax, rank,
+                   static_cast<double>(dq.max_depth()));
+    }
+    st = task::StealStats{};
+    dq.reset_max_depth();
+  }
+
   /// Re-arms the region's chunk queue for one scheduled pass: rank 0 resets,
   /// a barrier publishes it.  The closing barrier of the *previous* loop
   /// guarantees no rank is still claiming from the old pass.

@@ -1,0 +1,206 @@
+#include "par/task.hpp"
+
+#include "par/team.hpp"
+
+namespace npb::task {
+
+// ---------------------------------------------------------------------------
+// StealDeque
+
+namespace {
+
+long round_up_pow2(long v) noexcept {
+  long c = 1;
+  while (c < v) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+StealDeque::StealDeque(long capacity)
+    : buf_(new Buffer{round_up_pow2(capacity < 2 ? 2 : capacity), nullptr}) {
+  Buffer* b = buf_.load(std::memory_order_relaxed);
+  b->slots = std::make_unique<std::atomic<Job*>[]>(
+      static_cast<std::size_t>(b->cap));
+}
+
+StealDeque::~StealDeque() { delete buf_.load(std::memory_order_relaxed); }
+
+void StealDeque::grow(long bottom, long top) {
+  Buffer* old = buf_.load(std::memory_order_relaxed);
+  auto next = std::make_unique<Buffer>();
+  next->cap = old->cap * 2;
+  next->slots = std::make_unique<std::atomic<Job*>[]>(
+      static_cast<std::size_t>(next->cap));
+  for (long i = top; i < bottom; ++i)
+    next->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  // Publish the new buffer, then retire the old one without freeing it: a
+  // thief that read the stale pointer still dereferences valid memory, and
+  // the entries it can reach there (indices in [top, bottom) at the time it
+  // read them) were copied verbatim, never overwritten — the owner only
+  // writes at the bottom, which moved to the new buffer.  The top CAS keeps
+  // a stale read from ever being executed twice.
+  buf_.store(next.get(), std::memory_order_release);
+  retired_.emplace_back(old);
+  next.release();
+}
+
+void StealDeque::push(Job* j) {
+  const long b = bottom_.load(std::memory_order_relaxed);
+  const long t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buf_.load(std::memory_order_relaxed);
+  if (b - t >= buf->cap - 1) {
+    grow(b, t);
+    buf = buf_.load(std::memory_order_relaxed);
+  }
+  buf->at(b).store(j, std::memory_order_relaxed);
+  // seq_cst release: a thief that observes bottom > t also observes the
+  // slot write above and every job-field write before it.
+  bottom_.store(b + 1, std::memory_order_seq_cst);
+  const long depth = b + 1 - t;
+  if (depth > max_depth_) max_depth_ = depth;
+}
+
+Job* StealDeque::pop() {
+  const long b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buf_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_seq_cst);
+  long t = top_.load(std::memory_order_seq_cst);
+  if (t <= b) {
+    Job* j = buf->at(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it through the same CAS they use.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst))
+        j = nullptr;  // a thief got there first
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return j;
+  }
+  bottom_.store(b + 1, std::memory_order_seq_cst);  // was empty: restore
+  return nullptr;
+}
+
+int StealDeque::steal_some(Job** out, int max_out) {
+  long t = top_.load(std::memory_order_seq_cst);
+  long b = bottom_.load(std::memory_order_seq_cst);
+  const long avail = b - t;
+  if (avail <= 0 || max_out <= 0) return 0;
+  long want = avail - avail / 2;  // ceil(avail / 2): "steal half"
+  if (want > max_out) want = max_out;
+  int got = 0;
+  while (got < want) {
+    t = top_.load(std::memory_order_seq_cst);
+    b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) break;
+    Buffer* buf = buf_.load(std::memory_order_acquire);
+    Job* j = buf->at(t).load(std::memory_order_relaxed);
+    // Each element is claimed by its own CAS: the only linearization safe
+    // against a concurrent owner pop of the bottom element.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst))
+      break;  // lost a race (another thief or the owner's last-element pop)
+    out[got++] = j;
+  }
+  return got;
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr int kStealBatch = 8;
+
+}  // namespace
+
+Pool::Pool(int nranks, std::uint64_t seed) {
+  workers_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto w = std::make_unique<Worker>();
+    w->rng = splitmix64(seed ^ (static_cast<std::uint64_t>(r) + 1));
+    if (w->rng == 0) w->rng = 0x9e3779b97f4a7c15ULL;
+    workers_.push_back(std::move(w));
+  }
+}
+
+bool Pool::try_steal_run(int rank) {
+  Worker& me = *workers_[static_cast<std::size_t>(rank)];
+  const int n = size();
+  if (n < 2) return false;
+  // The Steal injection site: crossed once per attempt, on the thief's
+  // rank.  fork2 help loops defer the throw past the join; the top-level
+  // thief_loop lets it propagate (its deque is empty between jobs, so the
+  // unwind is safe) — worker_main then aborts the region and the master
+  // sees the InjectedFault, exactly like a Region-site throw.
+  fault::on_site(fault::Site::Steal, rank);
+  int victim = static_cast<int>(next_rand(me.rng) %
+                                static_cast<std::uint64_t>(n - 1));
+  if (victim >= rank) ++victim;  // uniform over the n-1 other ranks
+  me.stats.attempts += 1;
+  Job* loot[kStealBatch];
+  const int got =
+      workers_[static_cast<std::size_t>(victim)]->deque.steal_some(
+          loot, kStealBatch);
+  if (got == 0) return false;
+  me.stats.steals += static_cast<std::uint64_t>(got);
+  // Keep the oldest to run now; donate the rest to our own deque so they
+  // are visible to further thieves (this is what makes steal-half spread
+  // load geometrically).
+  for (int i = got - 1; i >= 1; --i) me.deque.push(loot[i]);
+  loot[0]->run();
+  return true;
+}
+
+void Pool::thief_loop(WorkerTeam& team, int rank) {
+  Worker& me = *workers_[static_cast<std::size_t>(rank)];
+  int idle = 0;
+  while (!finished()) {
+    // Honored only between jobs: a watchdog escalation (or a sibling
+    // rank's error) lands here with an empty deque and no live fork2
+    // frame, so unwinding as a quiet no-op is safe.
+    if (team.region_aborted()) return;
+    bool progressed = false;
+    if (Job* j = me.deque.pop()) {
+      j->run();
+      progressed = true;
+    } else {
+      progressed = try_steal_run(rank);
+    }
+    if (progressed) {
+      idle = 0;
+    } else {
+      detail::backoff(idle);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context + grain heuristic
+
+namespace detail {
+
+namespace {
+thread_local WorkerCtx t_ctx;
+}  // namespace
+
+WorkerCtx& ctx() noexcept { return t_ctx; }
+
+long auto_grain(long n) noexcept {
+  const WorkerCtx& c = ctx();
+  const long p = c.pool != nullptr ? c.pool->size() : 1;
+  const long g = n / (8 * p);
+  return g > 0 ? g : 1;
+}
+
+}  // namespace detail
+
+}  // namespace npb::task

@@ -1,0 +1,389 @@
+#pragma once
+
+// Work-stealing task runtime layered on the same WorkerTeam threads that run
+// the SPMD personality.  The paper's §5.1 point about Java Grande lufact —
+// an embarrassingly regular BLAS-1 loop never stresses scheduling — applies
+// to our chunk-queue SPMD shape too: it is right for the structured-grid
+// NPBs and wrong for irregular parallelism.  This layer adds the missing
+// shape, following the PBBS/parlay design:
+//
+//   - one Chase-Lev deque per rank: the owner pushes/pops LIFO at the
+//     bottom, thieves steal FIFO at the top through a CAS;
+//   - `fork2(a, b)`: run `a` inline after making `b` stealable; join by
+//     running `b` ourselves if nobody stole it, else help (pop/steal other
+//     work) until the thief finishes it.  Exceptions from either branch
+//     propagate through the join;
+//   - steal-half: a thief takes ceil(n/2) of a victim's queue as a batch of
+//     iterated single-item CASes (a single CAS over a range would race a
+//     concurrent owner pop into double execution), keeps one to run and
+//     donates the rest to its own deque;
+//   - seeded deterministic RNG per rank for victim selection (xorshift64*,
+//     mixed from the pool seed and the rank), so a steal trace is
+//     reproducible given the same interleaving;
+//   - granularity control: parallel_for splits recursively down to a grain
+//     (default n / 8·ranks); grain >= n degenerates to the serial loop,
+//     which is the property test's anchor.
+//
+// Entry point is ParallelRegion::task_scope (region.hpp): rank 0 runs the
+// root task, every other rank becomes a thief until the scope finishes.
+// Outside any scope (no team, or threads == 0), fork2/parallel_for fall
+// back to serial execution — the irregular kernels are written once against
+// this API and run in all three configurations.
+//
+// Determinism stance: stealing randomizes execution order, so results
+// reachable only under --runtime=steal verify by invariants, never
+// bit-identity.  The default Runtime::Spmd leaves every existing code path
+// untouched (the differential matrices pin that).
+//
+// Observability: per-rank counters accumulate into obs steal/steals,
+// steal/attempts and steal/deque_max at scope exit.  Fault injection:
+// Site::Steal fires on every steal attempt — inside a fork2 help loop the
+// throw is deferred until the join completes (a stolen child references the
+// parent's stack frame, so unwinding before `done` would be a use-after-
+// free), then rethrown and propagated like any task error.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace npb {
+
+class WorkerTeam;
+
+namespace task {
+
+/// One stealable unit: a type-erased closure plus join state.  Jobs are
+/// stack-allocated in the frame that forks them (fork2 never returns before
+/// the job completed, so the frame outlives every reference), or
+/// caller-owned for test harnesses driving a deque directly.
+struct Job {
+  void (*invoke)(Job*) = nullptr;
+  std::atomic<bool> done{false};
+  /// Set (before `done`) by whichever thread ran the job, when the body
+  /// threw; the forking parent rethrows it after the join.
+  std::exception_ptr error;
+
+  /// Runs the job body, capturing any exception, then publishes completion.
+  /// The release store on `done` is the edge the joining parent's acquire
+  /// load synchronizes with, making `error` safe to read after the join.
+  void run() {
+    invoke(this);
+    done.store(true, std::memory_order_release);
+  }
+};
+
+/// Chase-Lev work-stealing deque of Job pointers.  The owner thread calls
+/// push()/pop() (bottom end, LIFO); any thread may call steal_some() (top
+/// end, FIFO).  Grows by buffer doubling; retired buffers are kept until
+/// destruction because a slow thief may still be reading a stale pointer
+/// (the top CAS arbitrates ownership, so a stale read is never executed
+/// twice).  Orderings are the seq_cst formulation rather than standalone
+/// fences: TSan models atomics exactly and fences only approximately, and
+/// this deque is a first-class TSan stress target (test_par_stress).
+class StealDeque {
+ public:
+  explicit StealDeque(long capacity = 1024);
+  ~StealDeque();
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: makes `j` stealable at the bottom.
+  void push(Job* j);
+
+  /// Owner only: takes the most recently pushed job, or null when empty
+  /// (including losing the race for the last element to a thief).
+  Job* pop();
+
+  /// Any thread: steals up to ceil(size/2) jobs, capped at `max_out`,
+  /// oldest first, into `out`.  Each element is claimed by its own CAS on
+  /// top — a batch CAS over a range would double-execute against a
+  /// concurrent owner pop.  Returns the number stolen (0 when empty or
+  /// every CAS lost).
+  int steal_some(Job** out, int max_out);
+
+  /// Owner's snapshot of the current depth (exact for the owner; a racy
+  /// estimate for anyone else).
+  long size() const noexcept {
+    return bottom_.load(std::memory_order_relaxed) -
+           top_.load(std::memory_order_relaxed);
+  }
+
+  /// Deepest the deque has been since the last stat reset (owner-written,
+  /// read at scope exit on the owner's own thread).
+  long max_depth() const noexcept { return max_depth_; }
+  void reset_max_depth() noexcept { max_depth_ = 0; }
+
+ private:
+  struct Buffer {
+    long cap;  // power of two
+    std::unique_ptr<std::atomic<Job*>[]> slots;
+    std::atomic<Job*>& at(long i) noexcept { return slots[i & (cap - 1)]; }
+  };
+
+  void grow(long bottom, long top);
+
+  alignas(64) std::atomic<long> top_{0};
+  alignas(64) std::atomic<long> bottom_{0};
+  std::atomic<Buffer*> buf_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only
+  long max_depth_ = 0;                            // owner-only
+};
+
+/// Per-rank steal statistics, flushed to obs at every task_scope exit.
+struct StealStats {
+  std::uint64_t attempts = 0;  ///< steal_some calls against any victim
+  std::uint64_t steals = 0;    ///< jobs actually obtained
+};
+
+/// Per-team task pool: one deque + RNG + stats per rank.  Owned by
+/// WorkerTeam (constructed eagerly — a handful of empty deques — so the
+/// SPMD personality pays nothing but the allocation) and driven by
+/// ParallelRegion::task_scope.
+class Pool {
+ public:
+  Pool(int nranks, std::uint64_t seed);
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  StealDeque& deque(int rank) noexcept { return workers_[rank]->deque; }
+  StealStats& stats(int rank) noexcept { return workers_[rank]->stats; }
+
+  /// Re-arms the pool for one task scope (collective: rank 0 calls it
+  /// before the opening barrier of task_scope).
+  void arm() noexcept { finished_.store(false, std::memory_order_release); }
+
+  /// Root completed (or threw): releases every thief loop.
+  void finish() noexcept { finished_.store(true, std::memory_order_release); }
+  bool finished() const noexcept {
+    return finished_.load(std::memory_order_acquire);
+  }
+
+  /// One steal attempt against a seeded-random victim (!= rank): on
+  /// success runs one stolen job (donating any extra loot to rank's own
+  /// deque) and returns true.  The Site::Steal fault hook fires on every
+  /// attempt; callers in a join loop must defer the throw (see fork2).
+  bool try_steal_run(int rank);
+
+  /// Thief body for non-root ranks of a task_scope: pop-or-steal until the
+  /// scope finishes or the region aborts (watchdog escalation — the abort
+  /// is only honored between jobs, so no live fork2 frame can unwind
+  /// under a thief).
+  void thief_loop(WorkerTeam& team, int rank);
+
+ private:
+  /// xorshift64* step; per-rank streams are seeded by splitmix of
+  /// (pool seed, rank) so victim sequences are deterministic per rank.
+  static std::uint64_t next_rand(std::uint64_t& s) noexcept {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545f4914f6cdd1dULL;
+  }
+
+  struct alignas(64) Worker {
+    StealDeque deque;
+    StealStats stats;
+    std::uint64_t rng = 1;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  alignas(64) std::atomic<bool> finished_{true};
+};
+
+namespace detail {
+
+/// Thread-local binding installed for the span of a task_scope; null means
+/// "no scope" and every task primitive runs serially.
+struct WorkerCtx {
+  Pool* pool = nullptr;
+  WorkerTeam* team = nullptr;
+  int rank = -1;
+};
+
+WorkerCtx& ctx() noexcept;
+
+/// RAII install/restore of the calling thread's task context.
+class ScopedWorkerCtx {
+ public:
+  ScopedWorkerCtx(Pool* pool, WorkerTeam* team, int rank) noexcept
+      : prev_(ctx()) {
+    ctx() = WorkerCtx{pool, team, rank};
+  }
+  ~ScopedWorkerCtx() { ctx() = prev_; }
+
+  ScopedWorkerCtx(const ScopedWorkerCtx&) = delete;
+  ScopedWorkerCtx& operator=(const ScopedWorkerCtx&) = delete;
+
+ private:
+  WorkerCtx prev_;
+};
+
+template <class F>
+struct JobImpl : Job {
+  explicit JobImpl(F& f) : fn(&f) {
+    invoke = [](Job* j) {
+      auto* self = static_cast<JobImpl*>(j);
+      try {
+        (*self->fn)();
+      } catch (...) {
+        self->error = std::current_exception();
+      }
+    };
+  }
+  F* fn;
+};
+
+/// Bounded exponential backoff for join/thief spin loops.
+inline void backoff(int& idle) noexcept {
+  if (++idle > 16) std::this_thread::yield();
+}
+
+}  // namespace detail
+
+/// True when the calling thread is inside a task_scope (fork2 will actually
+/// fork; otherwise it runs both branches serially in order).
+inline bool in_scope() noexcept { return detail::ctx().pool != nullptr; }
+
+/// Fork-join of two closures: `a` runs inline on the calling thread, `b` is
+/// made stealable.  Returns after BOTH completed; rethrows the first error
+/// (left branch wins ties; a deferred Site::Steal injection from the help
+/// loop is rethrown only when both branches succeeded).  When `a` throws
+/// while `b` is still unstolen in our own deque, `b` is skipped — the same
+/// first-error-wins contract WorkerTeam::run has.
+template <class A, class B>
+void fork2(A&& a, B&& b) {
+  detail::WorkerCtx& c = detail::ctx();
+  if (c.pool == nullptr) {  // serial fallback: plain calls, natural unwind
+    a();
+    b();
+    return;
+  }
+  detail::JobImpl<std::remove_reference_t<B>> right(b);
+  StealDeque& dq = c.pool->deque(c.rank);
+  dq.push(&right);
+  std::exception_ptr first;
+  try {
+    a();
+  } catch (...) {
+    first = std::current_exception();
+  }
+  // Drain our end until we meet our own frame's push.  The deque can hold
+  // jobs ABOVE &right: a nested help loop inside a() may have stolen a
+  // batch and donated the extras to this deque, then exited once its own
+  // join completed.  Those donated jobs belong to OTHER forking frames
+  // spinning on their `done` flags, so they must be run, not dropped —
+  // run() captures any error into the job for its own parent to rethrow.
+  Job* back;
+  bool found_own = false;
+  while ((back = dq.pop()) != nullptr) {
+    if (back == &right) {
+      found_own = true;
+      break;
+    }
+    back->run();
+  }
+  std::exception_ptr deferred;
+  if (found_own) {
+    // Not stolen: run it inline (or skip it when the left branch already
+    // failed — the same first-error-wins contract WorkerTeam::run has).
+    if (!first) right.run();
+  } else {
+    // Stolen: help until the thief publishes completion.  We must NOT
+    // unwind before `done` — the thief holds a pointer into this frame —
+    // so a Site::Steal injection thrown by try_steal_run is deferred and
+    // surfaced after the join.
+    int idle = 0;
+    while (!right.done.load(std::memory_order_acquire)) {
+      bool progressed = false;
+      try {
+        if (Job* j = dq.pop()) {
+          j->run();
+          progressed = true;
+        } else {
+          progressed = c.pool->try_steal_run(c.rank);
+        }
+      } catch (...) {
+        if (!deferred) deferred = std::current_exception();
+      }
+      if (!progressed) detail::backoff(idle);
+    }
+  }
+  if (first) std::rethrow_exception(first);
+  if (right.error) std::rethrow_exception(right.error);
+  if (deferred) std::rethrow_exception(deferred);
+}
+
+/// parlay-style alias: run both closures in parallel.
+template <class A, class B>
+inline void par_do(A&& a, B&& b) {
+  fork2(std::forward<A>(a), std::forward<B>(b));
+}
+
+namespace detail {
+
+template <class Body>
+void parallel_for_rec(long lo, long hi, long grain, const Body& body) {
+  if (hi - lo > grain) {
+    const long mid = lo + (hi - lo) / 2;
+    fork2([&] { parallel_for_rec(lo, mid, grain, body); },
+          [&] { parallel_for_rec(mid, hi, grain, body); });
+    return;
+  }
+  for (long i = lo; i < hi; ++i) body(i);
+}
+
+template <class Body>
+void parallel_ranges_rec(long lo, long hi, long grain, const Body& body) {
+  if (hi - lo > grain) {
+    // Split on a chunk boundary, not the raw midpoint: leaves must start at
+    // lo + k*grain (the Schedule::dynamic(grain) chunking), so kernels that
+    // index per-chunk scratch by lo/grain see one unique row per leaf.
+    const long nchunks = (hi - lo + grain - 1) / grain;
+    const long mid = lo + (nchunks / 2) * grain;
+    fork2([&] { parallel_ranges_rec(lo, mid, grain, body); },
+          [&] { parallel_ranges_rec(mid, hi, grain, body); });
+    return;
+  }
+  if (lo < hi) body(lo, hi);
+}
+
+long auto_grain(long n) noexcept;
+
+}  // namespace detail
+
+/// Task-parallel loop: body(i) over [lo, hi), split recursively by fork2
+/// down to `grain` iterations per leaf.  grain <= 0 picks
+/// max(1, n / (8 * pool size)); grain >= n executes the loop serially in
+/// index order (bit-identical to the plain for loop — the granularity
+/// anchor the property tests pin).  No barrier: returns when every
+/// iteration this call forked has completed (fork2 joins are the sync).
+template <class Body>
+void parallel_for(long lo, long hi, long grain, const Body& body) {
+  if (hi <= lo) return;
+  if (grain <= 0) grain = detail::auto_grain(hi - lo);
+  detail::parallel_for_rec(lo, hi, grain, body);
+}
+
+/// Range-at-a-time variant: body(lo_r, hi_r) per leaf of the fork tree,
+/// for kernels that want a contiguous block (histogram blocks, column
+/// strips) rather than single indices.  Leaves are grain-aligned — every
+/// leaf starts at lo + k*grain and spans at most grain — matching the
+/// chunking of ParallelRegion::ranges with Schedule::dynamic(grain), so
+/// the two personalities partition identically.
+template <class Body>
+void parallel_ranges(long lo, long hi, long grain, const Body& body) {
+  if (hi <= lo) return;
+  if (grain <= 0) grain = detail::auto_grain(hi - lo);
+  detail::parallel_ranges_rec(lo, hi, grain, body);
+}
+
+}  // namespace task
+}  // namespace npb

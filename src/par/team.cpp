@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "par/task.hpp"
+
 namespace npb {
 namespace {
 
@@ -33,6 +35,12 @@ WorkerTeam::WorkerTeam(int nthreads, TeamOptions opts)
     : n_(nthreads),
       opts_(opts),
       barrier_(make_barrier(opts.barrier, nthreads)),
+      // Seed mixed from the width so a fixed-shape team replays the same
+      // per-rank victim sequences run to run (the steal *interleaving*
+      // stays nondeterministic; results verify by invariants).
+      task_pool_(std::make_unique<task::Pool>(
+          nthreads, 0x6e70627461736bULL ^
+                        static_cast<std::uint64_t>(nthreads))),
       scratch_(static_cast<std::size_t>(nthreads)),
       wd_injector_(&fault::current()),
       watchdog_active_(opts.watchdog_ms > 0),

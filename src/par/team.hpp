@@ -20,6 +20,10 @@
 
 namespace npb {
 
+namespace task {
+class Pool;
+}  // namespace task
+
 /// True when the calling thread is a WorkerTeam worker (i.e. we are inside a
 /// run() body or worker startup).  The mem layer uses it to keep worker-side
 /// allocations from trying to dispatch a first-touch fill onto the team they
@@ -79,6 +83,13 @@ struct TeamOptions {
   /// translation unit — but the runtime layers see the mode here: a degraded
   /// retry re-runs at the same mode, and obs/bench reports label rows by it.
   Mode mode = Mode::Native;
+  /// Execution personality of this team's threads: Spmd (default — the
+  /// chunk-queue master-workers shape, bit-identical to every prior
+  /// release) or Steal (the same threads drive per-rank work-stealing
+  /// deques through ParallelRegion::task_scope; see par/task.hpp).  The
+  /// task pool itself exists either way — a handful of empty deques — so
+  /// Spmd teams pay nothing but the allocation.
+  Runtime runtime = Runtime::Spmd;
 
   /// Two option sets are interchangeable for team reuse when every knob that
   /// shapes execution matches.  The service pool rebuilds a pooled team on a
@@ -87,7 +98,8 @@ struct TeamOptions {
   friend bool operator==(const TeamOptions& a, const TeamOptions& b) noexcept {
     return a.barrier == b.barrier && a.warmup_spins == b.warmup_spins &&
            a.schedule == b.schedule && a.fused == b.fused &&
-           a.watchdog_ms == b.watchdog_ms && a.mode == b.mode;
+           a.watchdog_ms == b.watchdog_ms && a.mode == b.mode &&
+           a.runtime == b.runtime;
   }
 };
 
@@ -191,6 +203,11 @@ class WorkerTeam {
   /// forever for a rank that already aborted.
   bool region_aborted() const noexcept { return barrier_->aborted(); }
 
+  /// The team's work-stealing task pool (one Chase-Lev deque per rank),
+  /// driven by ParallelRegion::task_scope when TeamOptions::runtime is
+  /// Steal.  Always constructed; idle under the Spmd personality.
+  task::Pool& task_pool() noexcept { return *task_pool_; }
+
  private:
   friend class ReduceScratchGuard;
   using JobFn = void (*)(void*, int);
@@ -216,6 +233,7 @@ class WorkerTeam {
   const int n_;
   const TeamOptions opts_;
   std::unique_ptr<Barrier> barrier_;
+  std::unique_ptr<task::Pool> task_pool_;
   std::vector<detail::PaddedDouble> scratch_;
   std::vector<Range> chunk_scratch_;
   std::vector<double> partial_scratch_;

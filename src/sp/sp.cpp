@@ -23,7 +23,8 @@ RunResult run_sp(const RunConfig& cfg) {
   using namespace sp_detail;
   const AppParams p = sp_params(cfg.cls);
   const TeamOptions topts{cfg.barrier, cfg.warmup_spins, Schedule{},
-                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode};
+                          cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
+                          cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "fault/options.hpp"
+#include "irr/irr.hpp"
 #include "mem/mem.hpp"
 #include "msg/msg_suite.hpp"
 #include "npb/registry.hpp"
@@ -85,7 +86,8 @@ std::string usage_text() {
   return
       "usage: npbrun <benchmark|all> [--class=S|W|A|B|C]\n"
       "              [--mode=native|java|vec|msg] [--procs=P] [--transport=inproc|shm]\n"
-      "              [--threads=N] [--barrier=condvar|spin] [--warmup] [--verbose]\n"
+      "              [--runtime=spmd|steal] [--threads=N]\n"
+      "              [--barrier=condvar|spin] [--warmup] [--verbose]\n"
       "              [--schedule=static|dynamic[,CHUNK]|guided[,MIN_CHUNK]]\n"
       "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
       "              [--huge-pages] [--fault-spec=SPEC] [--watchdog-ms=N]\n"
@@ -106,12 +108,18 @@ std::string usage_text() {
       "lock-free shared-memory rings, with per-shard obs merged into the\n"
       "report and dead shards blamed under fault/lost_shard before the run\n"
       "degrades to a narrower width).  Both flags require --mode=msg.\n"
+      "--runtime picks the parallel personality of the team threads: spmd\n"
+      "(default) is the chunk-queue SPMD translation, steal arms the\n"
+      "work-stealing task runtime — which only changes execution for the\n"
+      "irregular workloads (SORT, KNN, GETRF; run them by name); the regular\n"
+      "NPBs accept either value and run identically.  steal results verify by\n"
+      "invariants, not bit-identity, and are incompatible with --mode=msg.\n"
       "--fused=on (default) runs each time step as one fused SPMD region;\n"
       "--fused=off restores one fork/join per parallel loop (checksums are\n"
       "bit-identical either way for a fixed schedule and thread count).\n"
       "--fault-spec injects a deterministic fault (repeatable); SPEC is\n"
       "SITE:KIND:STEP:RANK:SEED[:persist] with SITE one of\n"
-      "barrier|region|collective|queue|reduce|alloc|*, KIND one of\n"
+      "barrier|region|collective|queue|reduce|alloc|steal|*, KIND one of\n"
       "throw|delay(MS)|nan-poison|alloc-fail, STEP/RANK a number or *, and\n"
       "SEED the 0-based crossing of the site the fault fires on.  Recovery:\n"
       "--max-retries per-step retries from checkpoint (default 3) with\n"
@@ -140,7 +148,8 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
 
   opts.which = argv[1];
   if (opts.which != "all" && opts.which != "ALL" &&
-      find_benchmark(opts.which) == nullptr) {
+      find_benchmark(opts.which) == nullptr &&
+      find_irr_benchmark(opts.which) == nullptr) {
     fail(error, "unknown benchmark '" + opts.which + "'");
     return std::nullopt;
   }
@@ -181,6 +190,14 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
       }
       cfg.msg.transport = *t;
       saw_msg_flag = true;
+    } else if (std::strncmp(a, "--runtime=", 10) == 0) {
+      const auto rt = parse_runtime(a + 10);
+      if (!rt) {
+        fail(error, "bad runtime '" + std::string(a + 10) +
+                        "' (want spmd or steal)");
+        return std::nullopt;
+      }
+      cfg.runtime = *rt;
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
       if (!parse_flag_int(a + 10, cfg.threads)) {
         fail(error, "bad thread count '" + std::string(a + 10) +
@@ -266,6 +283,14 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
   }
   if (saw_msg_flag && cfg.mode != Mode::Msg) {
     fail(error, "--procs/--transport require --mode=msg");
+    return std::nullopt;
+  }
+  // The msg drivers dispatch ranks through the Transport layer, which has no
+  // task personality — a steal request there would silently run spmd, so
+  // reject it instead.
+  if (cfg.runtime == Runtime::Steal && cfg.mode == Mode::Msg) {
+    fail(error, "--runtime=steal is incompatible with --mode=msg (the "
+                "message-passing drivers have no task runtime)");
     return std::nullopt;
   }
   if (cfg.mode == Mode::Msg && opts.which != "all" && opts.which != "ALL" &&

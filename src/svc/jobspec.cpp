@@ -3,6 +3,7 @@
 #include "common/classes.hpp"
 #include "common/mode.hpp"
 #include "fault/options.hpp"
+#include "irr/irr.hpp"
 #include "mem/mem.hpp"
 #include "npb/registry.hpp"
 #include "par/schedule.hpp"
@@ -48,7 +49,8 @@ std::optional<JobSpec> parse_job_spec(const json::Value& v,
     } else if (key == "benchmark") {
       if (!want_string(val, "benchmark", error)) return std::nullopt;
       spec.benchmark = val.as_string();
-      if (find_benchmark(spec.benchmark) == nullptr) {
+      if (find_benchmark(spec.benchmark) == nullptr &&
+          find_irr_benchmark(spec.benchmark) == nullptr) {
         fail(error, "unknown benchmark \"" + spec.benchmark + "\"");
         return std::nullopt;
       }
@@ -145,6 +147,15 @@ std::optional<JobSpec> parse_job_spec(const json::Value& v,
     } else if (key == "no_degrade") {
       if (!want_bool(val, "no_degrade", error)) return std::nullopt;
       spec.cfg.fault.allow_degraded = !val.as_bool();
+    } else if (key == "runtime") {
+      if (!want_string(val, "runtime", error)) return std::nullopt;
+      const auto rt = parse_runtime(val.as_string());
+      if (!rt) {
+        fail(error, "bad runtime \"" + val.as_string() +
+                        "\" (want spmd or steal)");
+        return std::nullopt;
+      }
+      spec.cfg.runtime = *rt;
     } else if (key == "warmup") {
       if (!want_bool(val, "warmup", error)) return std::nullopt;
       spec.cfg.warmup_spins = val.as_bool() ? 1000000 : 0;

@@ -5,6 +5,7 @@
 
 #include "common/wtime.hpp"
 #include "fault/fault.hpp"
+#include "irr/irr.hpp"
 #include "npb/registry.hpp"
 #include "obs/obs.hpp"
 
@@ -16,7 +17,8 @@ namespace {
 /// and every job silently falls back to a private team.
 TeamOptions team_options_for(const RunConfig& cfg) {
   return TeamOptions{cfg.barrier, cfg.warmup_spins, cfg.schedule,
-                     cfg.fused,   cfg.fault.watchdog_ms, cfg.mode};
+                     cfg.fused,   cfg.fault.watchdog_ms, cfg.mode,
+                     cfg.runtime};
 }
 
 /// Runs the driver under job-local isolation state already bound to the
@@ -25,7 +27,8 @@ TeamOptions team_options_for(const RunConfig& cfg) {
 bool execute(const JobSpec& spec, WorkerTeam* team, JobOutcome& out) {
   RunConfig cfg = spec.cfg;
   cfg.team = team;
-  const RunFn fn = find_benchmark(spec.benchmark);
+  RunFn fn = find_benchmark(spec.benchmark);
+  if (fn == nullptr) fn = find_irr_benchmark(spec.benchmark);
   if (fn == nullptr) {
     out.error = "unknown benchmark \"" + spec.benchmark + "\"";
     return false;

@@ -147,6 +147,7 @@ TEST(JobSpec, StrictRejectionNamesTheProblem) {
       {"{\"benchmark\":\"cg\",\"schedule\":\"fifo\"}", "schedule"},
       {"{\"benchmark\":\"cg\",\"faults\":[\"oops\"]}", "fault"},
       {"{\"benchmark\":\"cg\",\"threads\":-1}", "threads"},
+      {"{\"benchmark\":\"cg\",\"runtime\":\"fibers\"}", "runtime"},
       {"[\"not an object\"]", "object"},
   };
   for (const auto& c : cases) {
@@ -156,6 +157,22 @@ TEST(JobSpec, StrictRejectionNamesTheProblem) {
     EXPECT_NE(error.find(c.needle), std::string::npos)
         << c.line << " -> " << error;
   }
+}
+
+TEST(JobSpec, RuntimeKeyAndIrregularBenchmarksParse) {
+  std::string error;
+  const auto specs = parse_job_stream(
+      "{\"benchmark\":\"sort\",\"class\":\"S\",\"threads\":3,"
+      "\"runtime\":\"steal\"}\n"
+      "{\"benchmark\":\"GETRF\",\"runtime\":\"spmd\"}\n"
+      "{\"benchmark\":\"cg\",\"runtime\":\"steal\"}\n",
+      &error);
+  ASSERT_TRUE(specs.has_value()) << error;
+  ASSERT_EQ(specs->size(), 3u);
+  EXPECT_EQ((*specs)[0].cfg.runtime, npb::Runtime::Steal);
+  EXPECT_EQ((*specs)[1].cfg.runtime, npb::Runtime::Spmd);
+  EXPECT_EQ((*specs)[2].cfg.runtime, npb::Runtime::Steal)
+      << "regular NPBs accept (and ignore) the steal runtime";
 }
 
 TEST(JobSpec, StreamIsAllOrNothingWithLineNumbers) {
@@ -219,6 +236,23 @@ TEST(Cli, MsgModeFlagsParse) {
   EXPECT_EQ(defaults->cfg.msg.transport, npb::msg::TransportKind::InProc);
 }
 
+TEST(Cli, RuntimeFlagAndIrregularBenchmarksParse) {
+  const auto steal = parse_args({"sort", "--class=S", "--runtime=steal"});
+  ASSERT_TRUE(steal.has_value());
+  EXPECT_EQ(steal->which, "sort");
+  EXPECT_EQ(steal->cfg.runtime, npb::Runtime::Steal);
+
+  const auto spmd = parse_args({"KNN", "--runtime=spmd"});
+  ASSERT_TRUE(spmd.has_value());
+  EXPECT_EQ(spmd->cfg.runtime, npb::Runtime::Spmd);
+
+  // Default is the SPMD personality; regular NPBs accept both spellings.
+  const auto dflt = parse_args({"getrf"});
+  ASSERT_TRUE(dflt.has_value());
+  EXPECT_EQ(dflt->cfg.runtime, npb::Runtime::Spmd);
+  EXPECT_TRUE(parse_args({"CG", "--runtime=steal"}).has_value());
+}
+
 TEST(Cli, ServeFlagsParse) {
   const auto opts = parse_args({"--serve=jobs.ndjson", "--pool=1,2,2,3",
                                 "--queue-cap=8", "--service-report=out.json"});
@@ -257,6 +291,10 @@ TEST(Cli, MalformedFlagsAreRejectedWithAMessage) {
       {"--serve", "--pool=1,x"},               // bad pool width
       {"--serve", "--pool="},                  // empty pool
       {"--serve", "--pool=64"},                // width over the cap
+      {"CG", "--runtime=fibers"},              // unknown runtime
+      {"CG", "--runtime="},                    // empty runtime
+      {"EP", "--mode=msg", "--runtime=steal"}, // no task runtime under msg
+      {"SORT", "--mode=msg"},                  // irr has no msg driver
       {"--serve", "--queue-cap=0"},            // below minimum
       {"--serve", "--threads=2"},              // run flag in serve mode
   };
@@ -308,6 +346,7 @@ TEST(CliFuzz, MutatedFlagsNeverCrashAndNeverHalfParse) {
   const std::vector<std::string> seeds = {
       "--class=S",        "--mode=native",  "--threads=2",
       "--schedule=guided,2", "--fused=on",  "--barrier=spin",
+      "--runtime=steal",
       "--mem-align=64",   "--fault-spec=region:throw:2:1:0",
       "--watchdog-ms=10", "--max-retries=3", "--backoff-ms=1",
       "--obs-report=o.json", "--serve=jobs", "--pool=1,2,3",

@@ -370,14 +370,18 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   // header + 8 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
   // loop_iters, loop_imbalance, dispatches, region_span) + 3 mem rows
   // (bytes, arena_hit, first_touch) + 6 fault rows (injected, watchdog_fires,
-  // stuck_rank, retries, degraded_width, lost_shard) + 1 user region
-  EXPECT_EQ(lines, 19u);
+  // stuck_rank, retries, degraded_width, lost_shard) + 3 steal rows
+  // (steals, attempts, deque_max) + 1 user region
+  EXPECT_EQ(lines, 22u);
   EXPECT_EQ(csv.rfind("benchmark,class,mode,threads,run_seconds,region,seconds,count\n", 0), 0u);
   EXPECT_NE(csv.find("team/run_span"), std::string::npos);
   EXPECT_NE(csv.find("team/barrier_wait"), std::string::npos);
   EXPECT_NE(csv.find("team/dispatches"), std::string::npos);
   EXPECT_NE(csv.find("team/region_span"), std::string::npos);
   EXPECT_NE(csv.find("team/loop_iters"), std::string::npos);
+  EXPECT_NE(csv.find("steal/steals"), std::string::npos);
+  EXPECT_NE(csv.find("steal/attempts"), std::string::npos);
+  EXPECT_NE(csv.find("steal/deque_max"), std::string::npos);
   EXPECT_NE(csv.find("team/loop_imbalance"), std::string::npos);
   EXPECT_NE(csv.find("mem/bytes"), std::string::npos);
   EXPECT_NE(csv.find("mem/arena_hit"), std::string::npos);

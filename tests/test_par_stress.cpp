@@ -13,12 +13,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "mem/mem.hpp"
 #include "msg/channel.hpp"
 #include "par/pipeline.hpp"
 #include "par/schedule.hpp"
+#include "par/task.hpp"
 #include "par/team.hpp"
 
 namespace npb {
@@ -214,6 +216,70 @@ TEST(MsgChannelStress, ManyTagsManySendersTargetedWakeupsAreRaceFree) {
   });
 
   EXPECT_FALSE(bad.load()) << "a tagged message was lost, reordered or torn";
+}
+
+// ---- StealDeque: owner vs concurrent thieves ------------------------------
+
+// The Chase-Lev deque under its real access pattern: one owner thread
+// pushing waves of jobs and draining its own LIFO end while several thief
+// threads hammer the FIFO end with steal_some.  Every job must execute
+// exactly once — a lost top-CAS that double-hands a job, or a pop/steal
+// race on the last element, shows up as a hit count != 1; a missing
+// happens-before edge on the buffer shows up under the TSan preset.
+TEST(StressStealDeque, OwnerAndThievesClaimEveryJobExactlyOnce) {
+  constexpr int kThieves = 3;
+  constexpr int kWaves = 200;
+  constexpr int kJobsPerWave = 64;
+  constexpr int kTotal = kWaves * kJobsPerWave;
+
+  struct StressJob : task::Job {
+    std::atomic<int>* hits = nullptr;
+    std::atomic<long>* executed = nullptr;
+  };
+  std::vector<StressJob> jobs(kTotal);
+  std::vector<std::atomic<int>> hits(kTotal);
+  std::atomic<long> executed{0};
+  for (int i = 0; i < kTotal; ++i) {
+    jobs[static_cast<std::size_t>(i)].hits =
+        &hits[static_cast<std::size_t>(i)];
+    jobs[static_cast<std::size_t>(i)].executed = &executed;
+    jobs[static_cast<std::size_t>(i)].invoke = [](task::Job* j) {
+      auto* self = static_cast<StressJob*>(j);
+      self->hits->fetch_add(1, std::memory_order_relaxed);
+      self->executed->fetch_add(1, std::memory_order_relaxed);
+    };
+  }
+
+  task::StealDeque dq(/*capacity=*/8);  // force growth under contention
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      task::Job* loot[4];
+      while (!stop.load(std::memory_order_acquire)) {
+        const int got = dq.steal_some(loot, 4);
+        for (int i = 0; i < got; ++i) loot[i]->run();
+        if (got == 0) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Owner: push a wave, drain own end (thieves eat the old half), repeat.
+  for (int w = 0; w < kWaves; ++w) {
+    for (int i = 0; i < kJobsPerWave; ++i)
+      dq.push(&jobs[static_cast<std::size_t>(w * kJobsPerWave + i)]);
+    while (task::Job* j = dq.pop()) j->run();
+  }
+  while (executed.load(std::memory_order_acquire) < kTotal)
+    std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (int i = 0; i < kTotal; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+        << "job " << i << " executed a wrong number of times";
+  EXPECT_EQ(dq.size(), 0);
+  EXPECT_GT(dq.max_depth(), 0);
 }
 
 }  // namespace

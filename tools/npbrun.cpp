@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "irr/irr.hpp"
 #include "mem/mem.hpp"
 #include "msg/msg_suite.hpp"
 #include "npb/registry.hpp"
@@ -27,6 +28,9 @@ void usage(const std::string& error) {
   std::fputs(npb::svc::usage_text().c_str(), stderr);
   std::fputs("benchmarks:", stderr);
   for (const auto& b : npb::suite()) std::fprintf(stderr, " %s", b.name);
+  std::fputs("\nirregular workloads (run by name; excluded from \"all\"):",
+             stderr);
+  for (const auto& b : npb::irr_suite()) std::fprintf(stderr, " %s", b.name);
   std::fputs("\n", stderr);
 }
 
@@ -119,10 +123,14 @@ int run_benchmarks(const npb::svc::CliOptions& opts) {
   const auto find = msg_mode ? &npb::msg::find_msg_benchmark : &npb::find_benchmark;
   std::vector<const npb::BenchmarkInfo*> todo;
   if (opts.which == "all" || opts.which == "ALL") {
+    // "all" stays the classic NPB sweep; irregular workloads run by name.
     for (const auto& b : table) todo.push_back(&b);
   } else {
     for (const auto& b : table)
       if (find(opts.which) == b.fn) todo.push_back(&b);
+    if (todo.empty() && !msg_mode)
+      for (const auto& b : npb::irr_suite())
+        if (npb::find_irr_benchmark(opts.which) == b.fn) todo.push_back(&b);
   }
 
   // One arena per invocation: "all" runs reuse same-shape buffers across
