@@ -26,6 +26,7 @@ RunResult run_bt(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("BT", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Java

@@ -28,6 +28,7 @@ RunResult run_cg(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("CG", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const CgOutput o = cfg.mode == Mode::Java

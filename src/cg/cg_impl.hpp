@@ -449,13 +449,18 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts,
         x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
     }
   } else {
-    // One outer iteration is the retry unit: x is the only state that
+    // One outer iteration is the retry unit: x is the only array that
     // survives an iteration (z, r, pvec, q are rebuilt from it), so the
-    // checkpoint is a single vector and a faulted iteration replays from
-    // the x it started with.  Master-side accumulation (zeta_sum) happens
-    // after step() returns, so retries never double-count.
+    // checkpoint is a single vector plus the iteration-carried scalars —
+    // sc, zeta and the running zeta_sum.  Those scalars are registered as
+    // spans and their accumulation happens inside the step body, so a
+    // retried step rolls them back (no double-count) and a durable resume
+    // restores them alongside x.
     fault::Checkpoint ckpt;
     ckpt.add(x.data(), x.size() * sizeof(double));
+    ckpt.add(&sc, sizeof sc);
+    ckpt.add(&zeta, sizeof zeta);
+    ckpt.add(&out.zeta_sum, sizeof out.zeta_sum);
     fault::StepRunner steps(**team_storage, topts, ckpt);
     const auto healthy = [&] { return sc.healthy(); };
     for (int outer = 1; outer <= p.niter; ++outer) {
@@ -488,6 +493,8 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts,
               sc.zz = zz_all;
             }
           });
+          zeta = p.shift + 1.0 / sc.pq;
+          out.zeta_sum += zeta;
         }, healthy);
       } else {
         // Forked: one dispatch per parallel loop — the per-loop fork/join
@@ -513,10 +520,10 @@ CgOutput cg_run(const CgParams& p, int threads, const TeamOptions& topts,
             for (long i = lo; i < hi; ++i)
               x[static_cast<std::size_t>(i)] = znorm * z[static_cast<std::size_t>(i)];
           });
+          zeta = p.shift + 1.0 / sc.pq;
+          out.zeta_sum += zeta;
         }, healthy);
       }
-      zeta = p.shift + 1.0 / sc.pq;
-      out.zeta_sum += zeta;
     }
   }
   out.seconds = wtime() - t0;

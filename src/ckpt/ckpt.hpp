@@ -1,0 +1,197 @@
+#pragma once
+
+// Durable checkpoint/restart — the crash-consistent half of the recovery
+// story.  The in-memory fault::Checkpoint already makes a time step the
+// retry unit while the process survives; this layer gives that same span
+// set a serialized on-disk form so a SIGKILLed npbrun (or a crashed service
+// job) resumes from the last completed step instead of losing the run:
+//
+//   header   magic "NPBCKPT1", format version, benchmark name, problem
+//            class, mode, runtime, team width, step number, per-span byte
+//            table, CRC32C over the whole header
+//   payload  the registered spans back to back, CRC32C over all of them
+//
+// Writes are atomic and verified: serialize to `<file>.tmp`, fsync, read
+// the temp file back and re-validate every CRC, then rename over the final
+// path and fsync the directory.  A readback whose CRC fails (the ckpt:
+// corrupt fault's choke point, or a real medium error) discards the temp
+// file and keeps the previous good checkpoint — a corrupted flush is a
+// *failed step* that the StepRunner retries, never a poisoned resume
+// source.  Resume validates magic, version, header CRC, every metadata
+// field and the span layout against the running configuration, then the
+// payload CRC, before a single byte lands in a live array; any mismatch is
+// a CkptError naming the offending field.
+//
+// A Session is installed per benchmark run (ScopedCkptSession in the driver
+// wrappers, carried in a threadctx slot like the fault injector) and
+// consumed by fault::StepRunner: flush after every `--ckpt-every` completed
+// steps, skip steps up to the restored one after `--resume`, and convert a
+// SIGINT/SIGTERM (ckpt::request_interrupt) into a final flush plus a thrown
+// ckpt::Interrupted so the CLI can exit resumable.
+//
+// Layering: depends on common (crc32c, threadctx) and obs only; the fault
+// layer links against it.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckpt/options.hpp"
+#include "common/threadctx.hpp"
+
+namespace npb::ckpt {
+
+/// A read-only view of one registered span, in registration order.
+struct SpanView {
+  const void* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// A writable view for restore.
+struct MutSpanView {
+  void* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// Any checkpoint validation or I/O failure: truncated or corrupt file,
+/// stale version, metadata that does not match the running configuration,
+/// unreachable directory.  Unrecoverable by retry — the CLI maps it to
+/// exit 3.
+class CkptError : public std::runtime_error {
+ public:
+  explicit CkptError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by StepRunner after the final flush that answers a SIGINT/SIGTERM
+/// (or the halt_after_step test knob): the run stopped cleanly at a step
+/// boundary and is resumable.  The CLI maps it to exit 4.
+class Interrupted : public std::runtime_error {
+ public:
+  explicit Interrupted(long step)
+      : std::runtime_error("interrupted after step " + std::to_string(step) +
+                           " (resumable with --resume)"),
+        step_(step) {}
+  long step() const noexcept { return step_; }
+
+ private:
+  long step_;
+};
+
+/// Async-signal-safe interrupt flag: the CLI's SIGINT/SIGTERM handler sets
+/// it, StepRunner polls it once per step (one relaxed load).
+void request_interrupt() noexcept;
+bool interrupt_requested() noexcept;
+void clear_interrupt() noexcept;
+
+/// The identity a checkpoint is bound to.  Every field is validated on
+/// resume: restoring CG state into an EP run, a class S file into a class W
+/// run, or a width-2 snapshot into a width-3 team must fail loudly, never
+/// silently verify the wrong thing.
+struct Meta {
+  std::string benchmark;     ///< registry name, e.g. "CG"
+  char cls = '?';            ///< problem class letter
+  std::uint8_t mode = 0;     ///< npb::Mode as an integer
+  std::uint8_t runtime = 0;  ///< npb::Runtime as an integer
+  std::int32_t threads = 0;  ///< configured team width
+};
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Serializes `spans` at `step` under `meta` into the on-disk byte image
+/// (header + header CRC + payload + payload CRC).  Exposed for the format
+/// fuzz tests.
+std::vector<unsigned char> encode(const Meta& meta, long step,
+                                  const std::vector<SpanView>& spans);
+
+/// Validates a byte image end to end against `expected` and the span
+/// layout, throwing CkptError on the first mismatch; on success returns the
+/// recorded step and, when `restore` is non-null, copies the payload into
+/// the spans.  `restore` null is the readback-verification mode.
+long decode(const std::vector<unsigned char>& bytes, const Meta& expected,
+            const std::vector<MutSpanView>* restore);
+
+/// One benchmark run's durable checkpoint state: the bound Meta, the file
+/// path, the flush cadence, and the not-yet-consumed resume request.
+class Session {
+ public:
+  /// `opts.active()` must hold.  The save path is `<dir>/<bench>-<cls>.ckpt`
+  /// (the registry benchmark name); an explicit `opts.resume_path` overrides
+  /// the load side only.
+  Session(Meta meta, const CkptOptions& opts);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const Meta& meta() const noexcept { return meta_; }
+  /// Empty when the session is resume-only (no directory configured).
+  const std::string& save_path() const noexcept { return save_path_; }
+  const std::string& load_path() const noexcept { return load_path_; }
+  bool resume_pending() const noexcept { return resume_pending_; }
+  bool can_save() const noexcept { return !save_path_.empty(); }
+  long halt_after_step() const noexcept { return opts_.halt_after_step; }
+  bool should_flush(long step) const noexcept {
+    return can_save() && opts_.every > 0 &&
+           step % static_cast<long>(opts_.every) == 0;
+  }
+
+  /// Loads, validates and restores the pending resume checkpoint into
+  /// `spans`; records ckpt/restored and returns the restored step.  Throws
+  /// CkptError on any validation failure (and when nothing is pending).
+  long consume_resume(const std::vector<MutSpanView>& spans);
+
+  /// Durably commits a checkpoint of `spans` at `step`: temp file, fsync,
+  /// readback CRC verification, atomic rename, directory fsync.  Records
+  /// ckpt/saved and returns true on commit; a readback whose validation
+  /// fails (bit rot, or `inject_corrupt` — the ckpt:corrupt fault flips one
+  /// payload bit after the CRCs are computed) discards the temp file,
+  /// records ckpt/crc_fail and returns false, keeping the last good
+  /// checkpoint.  Environmental failures (unwritable directory) throw
+  /// CkptError.
+  bool flush(long step, const std::vector<SpanView>& spans,
+             bool inject_corrupt);
+
+ private:
+  Meta meta_;
+  CkptOptions opts_;
+  std::string save_path_;
+  std::string load_path_;
+  bool resume_pending_ = false;
+};
+
+/// The session governing the calling thread (installed by ScopedCkptSession,
+/// inherited by team workers through the threadctx snapshot), or null.
+inline Session* current() noexcept {
+  return static_cast<Session*>(threadctx::current().ckpt_session);
+}
+
+/// Installs a Session for the current scope when the options are active;
+/// inactive options install nothing and cost nothing.  One per benchmark
+/// run, in the driver wrapper, next to ScopedFaultSession.
+class ScopedCkptSession {
+ public:
+  ScopedCkptSession(Meta meta, const CkptOptions& opts) {
+    if (!opts.active()) return;
+    session_ = new Session(std::move(meta), opts);
+    threadctx::Slots next = threadctx::current();
+    next.ckpt_session = session_;
+    prev_ = threadctx::exchange(next);
+    installed_ = true;
+  }
+  ~ScopedCkptSession() {
+    if (installed_) threadctx::exchange(prev_);
+    delete session_;
+  }
+
+  ScopedCkptSession(const ScopedCkptSession&) = delete;
+  ScopedCkptSession& operator=(const ScopedCkptSession&) = delete;
+
+ private:
+  Session* session_ = nullptr;
+  threadctx::Slots prev_{};
+  bool installed_ = false;
+};
+
+}  // namespace npb::ckpt

@@ -1,0 +1,54 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace npb::crc {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+struct Tables {
+  // table[k][b]: the CRC contribution of byte value b at lane k of an
+  // 8-byte slice (slicing-by-8).
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t c = b;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) != 0 ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][b] = c;
+    }
+    for (std::uint32_t b = 0; b < 256; ++b)
+      for (std::size_t k = 1; k < 8; ++k)
+        t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  const auto& t = kTables.t;
+  while (len >= 8) {
+    // Fold the current CRC into the first 4 bytes, then slice all 8.
+    const std::uint32_t lo =
+        crc ^ (static_cast<std::uint32_t>(p[0]) |
+               static_cast<std::uint32_t>(p[1]) << 8 |
+               static_cast<std::uint32_t>(p[2]) << 16 |
+               static_cast<std::uint32_t>(p[3]) << 24);
+    crc = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+}  // namespace npb::crc

@@ -1,0 +1,23 @@
+#pragma once
+
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the integrity
+// primitive under the durable checkpoint format (src/ckpt) and the shm
+// transport's message frames (src/msg).  Software slicing-by-8: no ISA
+// assumptions, ~1 B/cycle, deterministic across every build the repo ships.
+//
+// The incremental form composes: crc32c(b, crc32c(a)) == crc32c(a ++ b) with
+// `seed` carrying the running value, so multi-span payloads (checkpoint
+// spans, frame header + payload) checksum without concatenation.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace npb::crc {
+
+/// One-shot or incremental CRC32C over `len` bytes at `data`.  Pass the
+/// previous return value as `seed` to continue a running checksum; the
+/// default seed 0 starts a fresh one.  Empty input returns the seed.
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0) noexcept;
+
+}  // namespace npb::crc

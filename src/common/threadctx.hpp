@@ -28,6 +28,7 @@ namespace npb::threadctx {
 struct Slots {
   const void* mem_context = nullptr;  ///< npb::mem::detail::Context
   void* fault_injector = nullptr;     ///< npb::fault::Injector
+  void* ckpt_session = nullptr;       ///< npb::ckpt::Session
 };
 
 namespace detail {

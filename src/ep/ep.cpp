@@ -28,6 +28,7 @@ RunResult run_ep(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("EP", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   // EP's hot loop is the branchy rejection-sampling kernel — nothing to lane-

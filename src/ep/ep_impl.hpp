@@ -112,11 +112,17 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts,
     std::vector<BlockAccum> partial;
     std::vector<Range> chunks;
     alignas(64) std::atomic<std::size_t> cursor{0};
-    // EP is one shot, so the whole computation is one retry step.  No
-    // checkpoint spans: the accumulators below are (re)built per attempt
-    // from the width actually running, and the master-side combine happens
-    // only after the step succeeded.
+    // EP is one shot, so the whole computation is one retry step.  The
+    // combined output fields are the only carried state: the per-rank
+    // accumulators below are (re)built per attempt from the width actually
+    // running, and the deterministic combine happens at the end of the step
+    // body — registered as checkpoint spans so a retry rolls the combine
+    // back and a durable resume restores the finished totals.
     fault::Checkpoint ckpt;
+    ckpt.add(&out.sx, sizeof out.sx);
+    ckpt.add(&out.sy, sizeof out.sy);
+    ckpt.add(&out.accepted, sizeof out.accepted);
+    ckpt.add(out.q.data(), out.q.size() * sizeof(double));
     fault::StepRunner steps(base_team, topts, ckpt);
     steps.step(1, [&](WorkerTeam& team, int nt) {
       cursor.store(0, std::memory_order_relaxed);
@@ -157,15 +163,15 @@ EpOutput ep_run(int log2_pairs, int threads, const TeamOptions& topts,
       } else {
         team.run(rank_body);
       }
+      // Deterministic combine: rank order (Static) or chunk order.
+      for (const BlockAccum& acc : partial) {
+        out.sx += acc.sx;
+        out.sy += acc.sy;
+        out.accepted += acc.accepted;
+        for (int l = 0; l < kAnnuli; ++l) out.q[static_cast<std::size_t>(l)] +=
+            acc.q[static_cast<std::size_t>(l)];
+      }
     });
-    // Deterministic combine: rank order (Static) or chunk order.
-    for (const BlockAccum& acc : partial) {
-      out.sx += acc.sx;
-      out.sy += acc.sy;
-      out.accepted += acc.accepted;
-      for (int l = 0; l < kAnnuli; ++l) out.q[static_cast<std::size_t>(l)] +=
-          acc.q[static_cast<std::size_t>(l)];
-    }
   }
 
   out.seconds = wtime() - t0;

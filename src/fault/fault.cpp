@@ -41,6 +41,7 @@ const char* to_string(Site s) noexcept {
     case Site::Alloc: return "alloc";
     case Site::Proc: return "proc";
     case Site::Steal: return "steal";
+    case Site::Ckpt: return "ckpt";
   }
   return "?";
 }
@@ -52,6 +53,7 @@ const char* to_string(Kind k) noexcept {
     case Kind::NanPoison: return "nan-poison";
     case Kind::AllocFail: return "alloc-fail";
     case Kind::Kill: return "kill";
+    case Kind::Corrupt: return "corrupt";
   }
   return "?";
 }
@@ -96,6 +98,8 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
     spec.site = Site::Proc;
   } else if (site == "steal") {
     spec.site = Site::Steal;
+  } else if (site == "ckpt") {
+    spec.site = Site::Ckpt;
   } else {
     return std::nullopt;
   }
@@ -109,6 +113,8 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
     spec.kind = Kind::AllocFail;
   } else if (kind == "kill") {
     spec.kind = Kind::Kill;
+  } else if (kind == "corrupt") {
+    spec.kind = Kind::Corrupt;
   } else if (kind.size() > 7 && kind.substr(0, 6) == "delay(" &&
              kind.back() == ')') {
     spec.kind = Kind::Delay;
@@ -126,6 +132,14 @@ std::optional<FaultSpec> parse_fault_spec(std::string_view text) {
   // only inside forked shm workers) keeps an in-process run from shooting
   // the test binary itself.
   if (spec.kind == Kind::Kill && (spec.any_site || spec.site != Site::Proc))
+    return std::nullopt;
+  // corrupt flips a bit at an integrity choke point, of which there are
+  // exactly two: the durable checkpoint flush (ckpt) and the shm message
+  // frame (proc).  Conversely the ckpt site expresses nothing else.
+  if (spec.kind == Kind::Corrupt &&
+      (spec.any_site || (spec.site != Site::Ckpt && spec.site != Site::Proc)))
+    return std::nullopt;
+  if (spec.site == Site::Ckpt && spec.kind != Kind::Corrupt)
     return std::nullopt;
 
   const std::string_view step = next_field(rest);
@@ -276,6 +290,21 @@ bool Injector::alloc_slow() {
     if (!crossed(*cs)) continue;
     record_injected(rank);
     if (rank >= 0) note_failed(rank);
+    return true;
+  }
+  return false;
+}
+
+bool Injector::corrupt_slow(Site site, int rank) {
+  if (step_.load(std::memory_order_acquire) < 0) return false;
+  for (CompiledSpec* cs : specs_) {
+    if (cs->spec.kind != Kind::Corrupt) continue;
+    if (!matches(*cs, site, rank)) continue;
+    if (!crossed(*cs)) continue;
+    record_injected(rank);
+    // No note_failed here: the corruption is not yet a failure — the CRC
+    // machinery downstream must turn it into a detected one (and blames
+    // the rank itself for the shm frame case).
     return true;
   }
   return false;

@@ -14,9 +14,10 @@
 // reaches the spec's seed (once by default, at every later crossing too
 // under :persist).
 //
-// Layering: this library depends only on obs and the standard library.  The
-// par runtime links against it and calls the hooks; retry.hpp (header-only)
-// builds the checkpoint/retry/degradation story on top of par.
+// Layering: this translation unit depends only on obs and the standard
+// library.  The par runtime links against it and calls the hooks; retry.hpp
+// (header-only) builds the checkpoint/retry/degradation story on top of par
+// and the durable ckpt library.
 
 #include <atomic>
 #include <cstdint>
@@ -89,6 +90,15 @@ class Injector {
     return alloc_slow();
   }
 
+  /// Corrupt hook: true when a matching Kind::Corrupt spec fires at `site`
+  /// (Ckpt for the durable flush, Proc for an shm frame) on `rank` — the
+  /// caller then flips one bit in its about-to-be-committed bytes and the
+  /// integrity layer must detect it.
+  bool should_corrupt(Site site, int rank) {
+    if (!armed()) return false;
+    return corrupt_slow(site, rank);
+  }
+
   /// Ranks blamed for injected/watchdog-detected failures since the last
   /// clear_failed() — the degradation step's shrink count.
   void note_failed(int rank) noexcept;
@@ -135,6 +145,7 @@ class Injector {
   void on_site_slow(Site site, int rank);
   double poison_slow(int rank, double value);
   bool alloc_slow();
+  bool corrupt_slow(Site site, int rank);
 
   std::atomic<bool> armed_{false};
   std::atomic<long> step_{-1};
@@ -209,5 +220,8 @@ inline double poison(int rank, double value) {
   return current().poison(rank, value);
 }
 inline bool should_fail_alloc() { return current().should_fail_alloc(); }
+inline bool should_corrupt(Site site, int rank) {
+  return current().should_corrupt(site, rank);
+}
 
 }  // namespace npb::fault

@@ -10,12 +10,16 @@
 //   site:kind:step:rank:seed[:persist]
 //
 //   site   barrier | region | collective | queue | reduce | alloc | proc |
-//          steal | *   (a runtime choke point, see fault::Site)
-//   kind   throw | delay(MS) | nan-poison | alloc-fail | kill
+//          steal | ckpt | *   (a runtime choke point, see fault::Site)
+//   kind   throw | delay(MS) | nan-poison | alloc-fail | kill | corrupt
 //          (nan-poison requires site reduce; alloc-fail requires site alloc;
 //          kill requires site proc — it SIGKILLs the calling process, so it
 //          is tied to the only site crossed exclusively by the forked shm
-//          worker processes of a hybrid run, never by an in-process rank)
+//          worker processes of a hybrid run, never by an in-process rank;
+//          corrupt requires site ckpt or proc — it flips one bit in the
+//          durable checkpoint payload between serialization and commit, or
+//          in an shm message frame between CRC stamping and the ring write,
+//          and the integrity machinery must *detect* it, never verify it)
 //   step   time-step number the spec is armed for, or * for any step.
 //          Injection only ever happens inside a driver-declared step (see
 //          fault::StepRunner); setup and verification phases never inject.
@@ -37,6 +41,12 @@
 //   region:throw:4:2:0:persist  rank 2 throws entering step 4, every retry
 //   proc:kill:*:2:0             shard 2's worker process SIGKILLs itself at
 //                               its first proc-site crossing inside a step
+//   ckpt:corrupt:*:0:0          the first durable checkpoint flush commits
+//                               a bit-flipped payload; readback CRC must
+//                               reject it and the step retries
+//   proc:corrupt:*:1:0          shard 1's first shm send of a step carries
+//                               a bit-flipped payload; the receiver's frame
+//                               CRC must blame rank 1
 
 #include <optional>
 #include <string>
@@ -51,13 +61,15 @@ namespace npb::fault {
 /// claiming loops (Queue), reduction partials (Reduce — the nan-poison
 /// site), mem::acquire (Alloc), the shm transport's send/barrier paths
 /// (Proc — crossed only inside forked hybrid worker processes, the Kill
-/// site), and the task runtime's steal attempts (Steal — every
+/// site), the task runtime's steal attempts (Steal — every
 /// pop-empty/steal crossing of a work-stealing scope; throws from inside a
 /// fork2 join are deferred past the join so no stolen frame unwinds early,
-/// and the barrier watchdog still covers a scope whose thieves are stuck).
-enum class Site { Barrier, Region, Collective, Queue, Reduce, Alloc, Proc, Steal };
+/// and the barrier watchdog still covers a scope whose thieves are stuck),
+/// and the durable checkpoint flush (Ckpt — crossed once per committed
+/// StepRunner flush, the Corrupt kind's in-process choke point).
+enum class Site { Barrier, Region, Collective, Queue, Reduce, Alloc, Proc, Steal, Ckpt };
 
-enum class Kind { Throw, Delay, NanPoison, AllocFail, Kill };
+enum class Kind { Throw, Delay, NanPoison, AllocFail, Kill, Corrupt };
 
 inline constexpr int kAnyRank = -2;
 inline constexpr long kAnyStep = -2;
@@ -97,7 +109,8 @@ std::string to_string(const FaultSpec& spec);
 /// Parses one `site:kind:step:rank:seed[:persist]` spec; nullopt on any
 /// malformed field (unknown site/kind, non-numeric step/rank/seed, a
 /// nan-poison away from the reduce site, an alloc-fail away from alloc, a
-/// kill away from proc).
+/// kill away from proc, a corrupt away from ckpt/proc, or a ckpt site with
+/// any kind but corrupt).
 std::optional<FaultSpec> parse_fault_spec(std::string_view spec);
 
 }  // namespace npb::fault

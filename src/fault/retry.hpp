@@ -24,6 +24,14 @@
 // scratch from the pool, so retries are allocation-free after the first
 // attempt.
 //
+// The same registered spans double as the durable checkpoint's payload:
+// when a ckpt::ScopedCkptSession is installed (--ckpt-dir/--resume),
+// StepRunner flushes them to disk every --ckpt-every steps through the
+// session (CRC32C-framed, fsynced, atomically renamed), skips steps a
+// resumed checkpoint already covers, and honours SIGINT/SIGTERM and the
+// session's halt-after-step knob by taking a final flush and throwing
+// ckpt::Interrupted.
+//
 // When one width keeps failing (a :persist spec pinned to a rank — the model
 // of a deterministically bad CPU), StepRunner degrades: it shrinks the team
 // by the number of blamed ranks (Injector::failed_ranks, fed by injection
@@ -37,6 +45,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
@@ -45,12 +54,23 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
+#include "common/crc32c.hpp"
 #include "fault/fault.hpp"
 #include "mem/mem.hpp"
 #include "obs/obs.hpp"
 #include "par/team.hpp"
 
 namespace npb::fault {
+
+/// Retries and (when allowed) width degradation both failed to complete a
+/// step — or recovery state itself failed integrity checks.  npbrun maps
+/// this to the unrecoverable exit code.
+class RecoveryExhausted : public std::runtime_error {
+ public:
+  explicit RecoveryExhausted(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// The set of memory spans that make up one step's restartable state.
 /// Register each mutable array once before the step loop; save()/restore()
@@ -82,18 +102,49 @@ class Checkpoint {
     return total;
   }
 
-  /// Copies every span into its shadow (acquiring shadows on first use).
+  /// The spans as read-only views in registration order — exactly what a
+  /// durable ckpt::Session::flush serializes.
+  std::vector<ckpt::SpanView> views() const {
+    std::vector<ckpt::SpanView> v;
+    v.reserve(spans_.size());
+    for (const Span& s : spans_) v.push_back(ckpt::SpanView{s.p, s.bytes});
+    return v;
+  }
+
+  /// The spans as writable views — the restore targets of --resume.
+  std::vector<ckpt::MutSpanView> mut_views() const {
+    std::vector<ckpt::MutSpanView> v;
+    v.reserve(spans_.size());
+    for (const Span& s : spans_) v.push_back(ckpt::MutSpanView{s.p, s.bytes});
+    return v;
+  }
+
+  /// Copies every span into its shadow (acquiring shadows on first use) and
+  /// stamps a CRC32C over the snapshot, so a later restore() can prove the
+  /// shadow was not corrupted in the meantime.
   void save() {
     for (Span& s : spans_) {
       if (s.shadow.p == nullptr) s.shadow = mem::acquire(s.bytes, 64);
       std::memcpy(s.shadow.p, s.p, s.bytes);
+      s.crc = crc::crc32c(s.shadow.p, s.bytes);
     }
   }
 
   /// Copies every shadow back over its span.  save() must have run first.
+  /// Each shadow is CRC-verified before the copy: rolling corrupted state
+  /// back would *become* the silent wrongness this subsystem exists to
+  /// prevent, so a mismatch is unrecoverable by construction.
   void restore() {
     for (Span& s : spans_) {
-      if (s.shadow.p != nullptr) std::memcpy(s.p, s.shadow.p, s.bytes);
+      if (s.shadow.p == nullptr) continue;
+      if (crc::crc32c(s.shadow.p, s.bytes) != s.crc) {
+        if (obs::kActive && obs::ObsRegistry::instance().enabled())
+          obs::ObsRegistry::instance().record(obs::kRegionCkptCrcFail, -1, 1.0);
+        throw RecoveryExhausted(
+            "carried-state shadow failed CRC verification; refusing to "
+            "restore corrupted checkpoint state");
+      }
+      std::memcpy(s.p, s.shadow.p, s.bytes);
     }
   }
 
@@ -102,6 +153,7 @@ class Checkpoint {
     void* p;
     std::size_t bytes;
     mem::Allocation shadow;
+    std::uint32_t crc = 0;
   };
   std::vector<Span> spans_;
 };
@@ -115,8 +167,15 @@ class StepRunner {
  public:
   /// `team` is the full-width team; `topts` are its options (reused verbatim
   /// for degraded teams, watchdog included); `ckpt` holds the step state.
+  /// A durable ckpt::Session installed on the constructing thread (see
+  /// ScopedCkptSession in the benchmark wrappers) is picked up here and
+  /// drives --resume restoration and --ckpt-every flushes transparently.
   StepRunner(WorkerTeam& team, const TeamOptions& topts, Checkpoint& ckpt)
-      : base_(team), topts_(topts), ckpt_(ckpt), width_(team.size()) {}
+      : base_(team),
+        topts_(topts),
+        ckpt_(ckpt),
+        width_(team.size()),
+        session_(ckpt::current()) {}
 
   /// Current team width (shrinks on degradation; floor 1).
   int width() const noexcept { return width_; }
@@ -143,11 +202,21 @@ class StepRunner {
     // Fast path: no save, no gating.  A running watchdog keeps the retry
     // machinery engaged even without injection specs, so a genuinely hung
     // rank (the watchdog's real-world case) still gets restore-and-retry
-    // instead of propagating RegionAborted out of the run.
-    if (!inj.armed() && topts_.watchdog_ms <= 0) {
+    // instead of propagating RegionAborted out of the run.  A durable
+    // checkpoint session always takes the slow path — it needs the shadow
+    // snapshot as the serialization source and the resume-skip gate.
+    if (session_ == nullptr && !inj.armed() && topts_.watchdog_ms <= 0) {
       body(team(), width_);
+      if (ckpt::interrupt_requested()) throw ckpt::Interrupted(step_no);
       return;
     }
+    // Resume restoration is lazy — done at the first step() call, after the
+    // driver's setup has shaped every registered span — and idempotent via
+    // resume_pending().  Steps the checkpoint already covers are skipped
+    // outright; the restored arrays carry their full effect.
+    if (session_ != nullptr && session_->resume_pending())
+      resume_step_ = session_->consume_resume(ckpt_.mut_views());
+    if (step_no <= resume_step_) return;
     ckpt_.save();
     int attempts = 0;
     for (;;) {
@@ -156,6 +225,15 @@ class StepRunner {
       try {
         body(team(), width_);
         failed = !healthy();
+        if (!failed && session_ != nullptr && session_->should_flush(step_no)) {
+          // Still inside the injection window: a ckpt:corrupt spec decides
+          // here whether this flush commits a bit-flipped payload.  flush()
+          // readback-verifies before rename, so a corrupted flush is
+          // detected (false), blamed in obs, and retried like any fault —
+          // while the previous durable checkpoint stays intact.
+          const bool corrupt = inj.should_corrupt(Site::Ckpt, 0);
+          failed = !session_->flush(step_no, ckpt_.views(), corrupt);
+        }
       } catch (const RegionAborted&) {
         failed = true;  // watchdog escalation: the region unwound cleanly
       } catch (const InjectedFault&) {
@@ -166,6 +244,7 @@ class StepRunner {
       inj.set_step(-1);  // close the injection window before any recovery
       if (!failed) {
         inj.clear_failed();  // survived blame (e.g. washed-out poison)
+        finish_step(step_no);  // may throw Interrupted after a final flush
         return;
       }
       ++attempts;
@@ -184,13 +263,28 @@ class StepRunner {
   }
 
  private:
+  /// A step just completed (and its cadenced flush, if any, committed).
+  /// Stop here — with a final off-cadence durable flush so nothing done is
+  /// lost — when a SIGINT/SIGTERM arrived or the session's halt_after_step
+  /// (the crash-test knob) is reached.
+  void finish_step(long step_no) {
+    const bool halted = session_ != nullptr &&
+                        session_->halt_after_step() != ckpt::kNoStep &&
+                        step_no >= session_->halt_after_step();
+    if (!halted && !ckpt::interrupt_requested()) return;
+    if (session_ != nullptr && session_->can_save() &&
+        !session_->should_flush(step_no))
+      session_->flush(step_no, ckpt_.views(), false);
+    throw ckpt::Interrupted(step_no);
+  }
+
   /// Retries at this width are exhausted: shrink by the blamed-rank count
   /// (every injection site and the watchdog call note_failed) and retry at
   /// the smaller width.  Unattributed failures shrink by one.
   void degrade(long step_no) {
     Injector& inj = current();
     if (!inj.allow_degraded() || width_ <= 1)
-      throw std::runtime_error(
+      throw RecoveryExhausted(
           "fault recovery exhausted at step " + std::to_string(step_no) +
           ": " + std::to_string(inj.max_retries()) + " retries at width " +
           std::to_string(width_) +
@@ -211,6 +305,8 @@ class StepRunner {
   const TeamOptions topts_;
   Checkpoint& ckpt_;
   int width_;
+  ckpt::Session* session_;        ///< durable session, or nullptr
+  long resume_step_ = ckpt::kNoStep;  ///< steps <= this replay from disk
   std::unique_ptr<WorkerTeam> degraded_;
 };
 

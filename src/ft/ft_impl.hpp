@@ -268,14 +268,21 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts,
   Array1<double, P> e3(static_cast<std::size_t>(p.n3));
   const double c = -4.0 * p.alpha * std::numbers::pi * std::numbers::pi;
 
-  // One time step is the retry unit, and FT's steps carry no mutable state:
-  // the frequency field vf is read-only during the loop, the decay tables
-  // and the working copy w are fully rewritten each step (evolve writes
-  // every element before the in-place inverse transform).  So the
-  // checkpoint registers no spans and a retry simply re-runs the step.
+  // One time step is the retry unit, and FT's steps carry almost no mutable
+  // state: the frequency field vf is read-only during the loop, the decay
+  // tables and the working copy w are fully rewritten each step (evolve
+  // writes every element before the in-place inverse transform).  The one
+  // carried accumulator is the per-step checksum pair, so the team path
+  // pre-sizes it, computes it inside the step body, and registers it as the
+  // only span — a retry rolls it back and a durable resume restores every
+  // replayed step's checksum.
   fault::Checkpoint ckpt;
   std::optional<fault::StepRunner> steps;
-  if (team != nullptr) steps.emplace(*team, topts, ckpt);
+  if (team != nullptr) {
+    out.checksums.assign(2 * static_cast<std::size_t>(p.iterations), 0.0);
+    ckpt.add(out.checksums.data(), out.checksums.size() * sizeof(double));
+    steps.emplace(*team, topts, ckpt);
+  }
 
   for (int t = 1; t <= p.iterations; ++t) {
     auto fill_decay = [&](Array1<double, P>& e, long n) {
@@ -305,6 +312,22 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts,
           }
         }
     };
+    // Checksum 1024 scattered elements of the step's evolved field.
+    auto checksum = [&](double& cre, double& cim) {
+      obs::ScopedTimer ot(r_checksum);
+      cre = 0.0;
+      cim = 0.0;
+      for (long j = 1; j <= 1024; ++j) {
+        const auto i1 = static_cast<std::size_t>((5 * j) % p.n1);
+        const auto i2 = static_cast<std::size_t>((3 * j) % p.n2);
+        const auto i3 = static_cast<std::size_t>(j % p.n3);
+        const std::size_t at =
+            (i1 * static_cast<std::size_t>(p.n2) + i2) * static_cast<std::size_t>(p.n3) +
+            i3;
+        cre += wre[at];
+        cim += wim[at];
+      }
+    };
     if (team == nullptr) {
       fill_decay(e1, p.n1);
       fill_decay(e2, p.n2);
@@ -313,8 +336,14 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts,
         obs::ScopedTimer ot(r_evolve);
         evolve(0, p.n1);
       }
-      obs::ScopedTimer ot(r_fft);
-      st.fft3d(wre, wim, -1, nullptr);
+      {
+        obs::ScopedTimer ot(r_fft);
+        st.fft3d(wre, wim, -1, nullptr);
+      }
+      double cre = 0.0, cim = 0.0;
+      checksum(cre, cim);
+      out.checksums.push_back(cre);
+      out.checksums.push_back(cim);
     } else {
       steps->step(t, [&](WorkerTeam& tm, int nt) {
         if (topts.fused) {
@@ -352,27 +381,17 @@ FtOutput ft_run(const FtParams& p, int threads, const TeamOptions& topts,
               evolve(rg.lo, rg.hi);
             });
           }
-          obs::ScopedTimer ot(r_fft);
-          st.fft3d(wre, wim, -1, &tm);
+          {
+            obs::ScopedTimer ot(r_fft);
+            st.fft3d(wre, wim, -1, &tm);
+          }
         }
+        double cre = 0.0, cim = 0.0;
+        checksum(cre, cim);
+        out.checksums[2 * static_cast<std::size_t>(t - 1)] = cre;
+        out.checksums[2 * static_cast<std::size_t>(t - 1) + 1] = cim;
       });
     }
-
-    // Checksum 1024 scattered elements.
-    obs::ScopedTimer ot(r_checksum);
-    double cre = 0.0, cim = 0.0;
-    for (long j = 1; j <= 1024; ++j) {
-      const auto i1 = static_cast<std::size_t>((5 * j) % p.n1);
-      const auto i2 = static_cast<std::size_t>((3 * j) % p.n2);
-      const auto i3 = static_cast<std::size_t>(j % p.n3);
-      const std::size_t at =
-          (i1 * static_cast<std::size_t>(p.n2) + i2) * static_cast<std::size_t>(p.n3) +
-          i3;
-      cre += wre[at];
-      cim += wim[at];
-    }
-    out.checksums.push_back(cre);
-    out.checksums.push_back(cim);
   }
   out.seconds = wtime() - t0;
 

@@ -26,6 +26,7 @@ RunResult run_is(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("IS", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   // IS is integer bucket/counting work with no floating-point inner loop, so

@@ -151,13 +151,18 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
         hist[static_cast<std::size_t>(k)] += hist[static_cast<std::size_t>(k - 1)];
     };
 
-    // One ranking iteration is the retry unit.  The keys array is the only
-    // state a step mutates that the next step reads (the two per-iteration
-    // key modifications accumulate); hist and the private histograms are
-    // rebuilt from scratch every iteration, so the checkpoint is just keys
-    // and the probe sums are pushed only after the step succeeded.
+    // One ranking iteration is the retry unit.  The keys array carries the
+    // accumulated per-iteration key modifications; hist and the per-probe
+    // sums are registered too because the post-loop full_verify reads the
+    // final histogram and the verification sums every iteration's probe —
+    // after a durable resume skips replayed iterations they only exist in
+    // the checkpoint.  The private histograms are rebuilt from scratch
+    // every iteration and stay unregistered.
+    out.probe_sums.assign(static_cast<std::size_t>(iterations), 0.0);
     fault::Checkpoint ckpt;
     ckpt.add(keys.data(), keys.size() * sizeof(int));
+    ckpt.add(hist.data(), hist.size() * sizeof(int));
+    ckpt.add(out.probe_sums.data(), out.probe_sums.size() * sizeof(double));
     fault::StepRunner steps(team, topts, ckpt);
     const double t0 = wtime();
     for (int it = 1; it <= iterations; ++it) {
@@ -190,11 +195,11 @@ IsOutput is_run(const long nkeys, const long max_key, const int iterations,
                           [&](int, long lo, long hi) { merge_buckets(lo, hi, nt); });
           scan();
         }
+        double ps = 0.0;
+        for (long pi : probe)
+          ps += hist[static_cast<std::size_t>(keys[static_cast<std::size_t>(pi)])];
+        out.probe_sums[static_cast<std::size_t>(it - 1)] = ps;
       });
-      double ps = 0.0;
-      for (long pi : probe)
-        ps += hist[static_cast<std::size_t>(keys[static_cast<std::size_t>(pi)])];
-      out.probe_sums.push_back(ps);
     }
     out.seconds = wtime() - t0;
   }

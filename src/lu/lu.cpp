@@ -26,6 +26,7 @@ RunResult run_lu(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("LU", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   // LU's SSOR sweeps carry a point-to-point dependence through every 5x5
@@ -51,6 +52,10 @@ RunResult run_lu_hp(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  // Distinct checkpoint identity: LU-HP's hyperplane sweeps carry the same
+  // u field but a different execution shape, so its files never collide
+  // with run_lu's in a shared --ckpt-dir.
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("LU-HP", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const AppOutput o = cfg.mode == Mode::Java

@@ -28,6 +28,7 @@ RunResult run_mg(const RunConfig& cfg) {
                           cfg.fused, cfg.fault.watchdog_ms, cfg.mode,
                           cfg.runtime};
   const fault::ScopedFaultSession fault_scope(cfg.fault);
+  const ckpt::ScopedCkptSession ckpt_scope(ckpt_meta("MG", cfg), cfg.ckpt);
   const mem::ScopedMemConfig mem_scope(cfg.mem);
 
   const MgOutput o = cfg.mode == Mode::Java

@@ -51,6 +51,20 @@ HybridOutcome run_hybrid(const RunConfig& cfg,
   int lost_total = 0;
   for (;;) {
     ShmRunOutcome res = run_shm(width, cfg.fault, body);
+    if (!res.crc_blamed.empty()) {
+      // Detected wire corruption: record the blamed senders (msg/crc_fail,
+      // stuck_rank convention — the rank id rides the value) and fold them
+      // into the lost-shard path below.  A rank whose bytes rot is as
+      // untrustworthy as one that crashed; shrinking past it is the only
+      // recovery that cannot re-admit the corruption.
+      auto& reg = obs::ObsRegistry::instance();
+      for (const int r : res.crc_blamed) {
+        reg.record(obs::kRegionMsgCrcFail, r, static_cast<double>(r));
+        bool seen = false;
+        for (const int l : res.lost_ranks) seen = seen || l == r;
+        if (!seen) res.lost_ranks.push_back(r);
+      }
+    }
     if (!res.lost_ranks.empty()) {
       auto& reg = obs::ObsRegistry::instance();
       for (const int r : res.lost_ranks) {

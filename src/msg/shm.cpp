@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -26,6 +27,7 @@
 #include <ctime>
 #endif
 
+#include "common/crc32c.hpp"
 #include "fault/fault.hpp"
 #include "msg/transport.hpp"
 #include "obs/snapshot_io.hpp"
@@ -153,10 +155,27 @@ void ring_read(Ring& r, const Header& hdr, unsigned char* out, std::size_t len) 
   }
 }
 
-/// Wire framing ahead of each message's doubles.
+/// Wire framing ahead of each message's doubles.  Both CRCs are CRC32C:
+/// payload_crc covers the count doubles that follow the frame, header_crc
+/// covers everything before itself — so neither a garbled frame nor a
+/// garbled payload can be consumed as data.
 struct MsgFrame {
   std::int64_t tag;
   std::uint64_t count;
+  std::uint32_t payload_crc;
+  std::uint32_t header_crc;
+};
+
+/// A received frame or payload failed CRC verification.  Carries the sender
+/// rank (the ring names it) so the supervisor can blame the corrupt source
+/// rather than the honest receiver that detected it.
+struct FrameCrcError : std::runtime_error {
+  int src;
+  explicit FrameCrcError(int src_rank)
+      : std::runtime_error("shm: message from rank " +
+                           std::to_string(src_rank) +
+                           " failed CRC verification"),
+        src(src_rank) {}
 };
 
 /// The forked-process transport: rank r's endpoint over the segment's rings.
@@ -186,7 +205,25 @@ class ShmTransport final : public Transport {
     beat();
     fault::on_site(fault::Site::Proc, rank_);
     Ring& r = ring(src, dst);
-    const MsgFrame frame{tag, data.size()};
+    MsgFrame frame{tag, data.size(), 0, 0};
+    frame.payload_crc = crc::crc32c(data.data(), data.size() * sizeof(double));
+    frame.header_crc = crc::crc32c(&frame, offsetof(MsgFrame, header_crc));
+    // A proc:corrupt spec models bit rot between CRC stamping and the ring
+    // write: one bit flips in what actually hits the wire, the CRCs stay
+    // stale, and the receiver must detect the mismatch and blame this rank.
+    if (fault::should_corrupt(fault::Site::Proc, rank_)) {
+      if (data.empty()) {
+        frame.payload_crc ^= 0x10;  // header_crc no longer matches
+      } else {
+        std::vector<double> tainted(data.begin(), data.end());
+        auto* bytes = reinterpret_cast<unsigned char*>(tainted.data());
+        bytes[tainted.size() * sizeof(double) / 2] ^= 0x10;
+        ring_write(r, *hdr_, reinterpret_cast<const unsigned char*>(&frame),
+                   sizeof frame);
+        ring_write(r, *hdr_, bytes, tainted.size() * sizeof(double));
+        return;
+      }
+    }
     ring_write(r, *hdr_, reinterpret_cast<const unsigned char*>(&frame), sizeof frame);
     ring_write(r, *hdr_, reinterpret_cast<const unsigned char*>(data.data()),
                data.size() * sizeof(double));
@@ -206,11 +243,17 @@ class ShmTransport final : public Transport {
     for (;;) {
       MsgFrame frame;
       ring_read(r, *hdr_, reinterpret_cast<unsigned char*>(&frame), sizeof frame);
+      // Header first: a garbled count must never drive the payload read.
+      if (crc::crc32c(&frame, offsetof(MsgFrame, header_crc)) != frame.header_crc)
+        throw FrameCrcError(src);
       if (frame.count > kMaxWireDoubles)
         throw std::runtime_error("shm: corrupt message frame");
       std::vector<double> payload(frame.count);
       ring_read(r, *hdr_, reinterpret_cast<unsigned char*>(payload.data()),
                 payload.size() * sizeof(double));
+      if (crc::crc32c(payload.data(), payload.size() * sizeof(double)) !=
+          frame.payload_crc)
+        throw FrameCrcError(src);
       if (frame.tag == tag) return payload;
       by_tag[static_cast<int>(frame.tag)].push_back(std::move(payload));
     }
@@ -336,6 +379,15 @@ void write_all(int fd, const std::vector<unsigned char>& bytes) {
     blob.insert(blob.end(), snap_bytes.begin(), snap_bytes.end());
     write_all(fd, blob);
     _exit(0);
+  } catch (const FrameCrcError& e) {
+    // Status-2 blob: corrupt bytes detected on the wire.  The parent blames
+    // the *sender* rank carried here, not this (honest) receiver.
+    blob.clear();
+    put_u32(blob, kBlobMagic);
+    put_u32(blob, 2);
+    put_u32(blob, static_cast<std::uint32_t>(e.src));
+    write_all(fd, blob);
+    _exit(3);
   } catch (const std::exception& e) {
     blob.clear();
     put_u32(blob, kBlobMagic);
@@ -550,6 +602,19 @@ ShmRunOutcome run_shm(int nprocs, const fault::FaultOptions& fault_opts,
     const bool framed = get_u32(k.blob, at, magic) && magic == kBlobMagic &&
                         get_u32(k.blob, at, status);
     if (code == 3) {
+      if (framed && status == 2) {
+        std::uint32_t blamed = 0;
+        if (get_u32(k.blob, at, blamed) &&
+            blamed < static_cast<std::uint32_t>(nprocs)) {
+          bool seen = false;
+          for (const int b : out.crc_blamed) seen = seen || b == static_cast<int>(blamed);
+          if (!seen) out.crc_blamed.push_back(static_cast<int>(blamed));
+        } else if (out.error.empty()) {
+          out.error = "shard " + std::to_string(r) +
+                      " reported a CRC failure with a garbled blame blob";
+        }
+        continue;
+      }
       std::uint64_t len = 0;
       if (framed && status == 1 && get_u64(k.blob, at, len) &&
           k.blob.size() - at >= len) {

@@ -7,7 +7,9 @@
 // The parent supervises: it reaps exits, watches per-rank heartbeats, and
 // converts a crashed or silent worker into a `lost_ranks` entry instead of a
 // hang — the raw material for the shard layer's degrade-and-retry loop
-// (msg/shard.hpp).
+// (msg/shard.hpp).  Every message is CRC32C framed, header and payload; a
+// receiver that sees a mismatch aborts the run with the *sender* blamed in
+// `crc_blamed`, so corrupt bytes can cost a retry but never verify.
 //
 // Parking uses raw FUTEX_WAIT/FUTEX_WAKE *without* FUTEX_PRIVATE_FLAG —
 // libstdc++'s atomic wait uses private futexes, which never cross a process
@@ -45,10 +47,16 @@ struct ShmRunOutcome {
   std::vector<obs::ShardSnapshot> shards;
   /// Ranks whose worker process died or went heartbeat-silent mid-run.
   std::vector<int> lost_ranks;
+  /// Sender ranks a receiver's frame-CRC verification blamed for corrupt
+  /// bytes on the wire (every send is CRC32C framed; a mismatch aborts the
+  /// run and lands the *sender* here, never a silently wrong payload).
+  std::vector<int> crc_blamed;
   /// First error a worker reported cleanly (its body threw), if any.
   std::string error;
 
-  bool ok() const noexcept { return lost_ranks.empty() && error.empty(); }
+  bool ok() const noexcept {
+    return lost_ranks.empty() && crc_blamed.empty() && error.empty();
+  }
 };
 
 /// Forks `nprocs` workers, runs `body` on each over the shm transport, and

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
+#include "ckpt/options.hpp"
 #include "common/classes.hpp"
 #include "common/mode.hpp"
 #include "fault/options.hpp"
@@ -52,6 +54,12 @@ struct RunConfig {
   /// (--max-retries, degradation).  Default-constructed = disarmed; the
   /// benchmark hot paths then pay one relaxed load per hook.
   fault::FaultOptions fault{};
+  /// Durable checkpoint/restart policy: --ckpt-dir enables flushes of the
+  /// step-carried state every --ckpt-every steps, --resume restores the
+  /// newest checkpoint and continues from the step after it.  Inactive by
+  /// default; requires a threaded (threads >= 1) shared-memory run — the
+  /// CLI rejects serial and msg-mode combinations up front.
+  ckpt::CkptOptions ckpt{};
   /// Pooled team to run on (service scheduler checkout), or null to build a
   /// private team.  Borrowed only when its width and TeamOptions match the
   /// request exactly (see TeamRef); a mismatch silently builds a private
@@ -65,6 +73,15 @@ struct RunConfig {
   /// team's threads cannot cross fork()).
   msg::MsgOptions msg{};
 };
+
+/// The durable-checkpoint identity of one run: everything a --resume must
+/// match before restoring bytes into live arrays.  Each driver wrapper
+/// passes its registry name and the run's config (see ScopedCkptSession).
+inline ckpt::Meta ckpt_meta(const char* name, const RunConfig& cfg) {
+  return ckpt::Meta{name, to_string(cfg.cls)[0],
+                    static_cast<std::uint8_t>(cfg.mode),
+                    static_cast<std::uint8_t>(cfg.runtime), cfg.threads};
+}
 
 struct RunResult {
   std::string name;

@@ -49,6 +49,10 @@ ObsRegistry::ObsRegistry()
   intern("steal/steals");
   intern("steal/attempts");
   intern("steal/deque_max");
+  intern("ckpt/saved");
+  intern("ckpt/restored");
+  intern("ckpt/crc_fail");
+  intern("msg/crc_fail");
 }
 
 ObsRegistry& ObsRegistry::instance() {
@@ -191,6 +195,22 @@ Snapshot ObsRegistry::snapshot() const {
         snap.steal_deque_max_sum = st.seconds;
         snap.steal_deque_max_count = st.count;
         snap.steal_rank_deque_max = std::move(st.rank_seconds);
+        break;
+      case kRegionCkptSaved:
+        snap.ckpt_saved_total = st.seconds;
+        snap.ckpt_saved_count = st.count;
+        break;
+      case kRegionCkptRestored:
+        snap.ckpt_restored_step_sum = st.seconds;
+        snap.ckpt_restored_count = st.count;
+        break;
+      case kRegionCkptCrcFail:
+        snap.ckpt_crc_fail_total = st.seconds;
+        snap.ckpt_crc_fail_count = st.count;
+        break;
+      case kRegionMsgCrcFail:
+        snap.msg_crc_fail_rank_sum = st.seconds;
+        snap.msg_crc_fail_count = st.count;
         break;
       default:
         snap.regions.push_back(std::move(st));

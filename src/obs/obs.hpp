@@ -46,6 +46,19 @@
 //                      went silent mid-run ("seconds" accumulates the lost
 //                      rank id per loss, the stuck_rank convention; count =
 //                      losses, and the per-slot breakdown shows which shard)
+//   ckpt/saved         durable checkpoints flushed by StepRunner via the
+//                      ckpt session (1.0 per committed flush)
+//   ckpt/restored      resumes that restored carried state from a durable
+//                      checkpoint ("seconds" accumulates the restored step
+//                      number per resume; count = resumes)
+//   ckpt/crc_fail      checkpoint integrity failures: a flushed payload
+//                      whose readback CRC32C mismatched (the write was
+//                      discarded, the last good checkpoint kept) or a
+//                      corrupted in-memory shadow (1.0 per detection)
+//   msg/crc_fail       shm transport frames whose CRC32C check failed
+//                      ("seconds" accumulates the blamed sender rank per
+//                      detection, the stuck_rank convention; count =
+//                      detections)
 //   steal/steals       jobs obtained by work-stealing ("seconds" rides the
 //                      job count, per thief rank; count = scope flushes
 //                      that stole anything)
@@ -137,6 +150,17 @@ struct Snapshot {
   double lost_shard_sum = 0.0;
   std::uint64_t lost_shard_count = 0;
 
+  /// ckpt/* and msg/crc_fail: durable checkpoint/restart activity and
+  /// transport integrity detections (same value-rides-seconds convention).
+  double ckpt_saved_total = 0.0;
+  std::uint64_t ckpt_saved_count = 0;
+  double ckpt_restored_step_sum = 0.0;
+  std::uint64_t ckpt_restored_count = 0;
+  double ckpt_crc_fail_total = 0.0;
+  std::uint64_t ckpt_crc_fail_count = 0;
+  double msg_crc_fail_rank_sum = 0.0;
+  std::uint64_t msg_crc_fail_count = 0;
+
   /// steal/*: work-stealing task-runtime activity, flushed per rank when a
   /// task scope closes.  Job and attempt counts ride the seconds
   /// accumulators (the loop_iters convention); the per-slot vectors keep
@@ -193,7 +217,11 @@ inline constexpr RegionId kRegionFaultLostShard = 15;
 inline constexpr RegionId kRegionStealSteals = 16;
 inline constexpr RegionId kRegionStealAttempts = 17;
 inline constexpr RegionId kRegionStealDequeMax = 18;
-inline constexpr int kReservedRegions = 19;
+inline constexpr RegionId kRegionCkptSaved = 19;
+inline constexpr RegionId kRegionCkptRestored = 20;
+inline constexpr RegionId kRegionCkptCrcFail = 21;
+inline constexpr RegionId kRegionMsgCrcFail = 22;
+inline constexpr int kReservedRegions = 23;
 
 /// Worker ranks 0..kMaxRanks-1 get their own slot; higher ranks are dropped.
 inline constexpr int kMaxRanks = 32;

@@ -90,6 +90,14 @@ void append_snapshot_body(std::string& out, const Snapshot& s) {
   out += ",\"lost_shard_count\":" + std::to_string(s.lost_shard_count);
   out += ",\"lost_shard_sum\":";
   append_number(out, s.lost_shard_sum);
+  out += "},\"ckpt\":{\"saved\":" + std::to_string(s.ckpt_saved_count);
+  out += ",\"restored\":" + std::to_string(s.ckpt_restored_count);
+  out += ",\"restored_step_sum\":";
+  append_number(out, s.ckpt_restored_step_sum);
+  out += ",\"crc_fail\":" + std::to_string(s.ckpt_crc_fail_count);
+  out += "},\"msg\":{\"crc_fail\":" + std::to_string(s.msg_crc_fail_count);
+  out += ",\"crc_fail_rank_sum\":";
+  append_number(out, s.msg_crc_fail_rank_sum);
   out += "},\"steal\":{\"steals\":";
   append_number(out, s.steal_steals_total);
   out += ",\"attempts\":";
@@ -208,6 +216,12 @@ std::string ObsReport::csv() const {
     row(en, "fault/degraded_width", s.degraded_width_sum,
         s.degraded_width_count);
     row(en, "fault/lost_shard", s.lost_shard_sum, s.lost_shard_count);
+    // ckpt/* and msg/crc_fail: flush/resume counts ride the seconds column
+    // (restored rides the resumed step number, msg/crc_fail the blamed rank).
+    row(en, "ckpt/saved", s.ckpt_saved_total, s.ckpt_saved_count);
+    row(en, "ckpt/restored", s.ckpt_restored_step_sum, s.ckpt_restored_count);
+    row(en, "ckpt/crc_fail", s.ckpt_crc_fail_total, s.ckpt_crc_fail_count);
+    row(en, "msg/crc_fail", s.msg_crc_fail_rank_sum, s.msg_crc_fail_count);
     // steal/* value columns ride the seconds column too: stolen-job and
     // attempt totals, and summed per-scope deque depth watermarks.
     row(en, "steal/steals", s.steal_steals_total, s.steal_steals_count);

@@ -85,6 +85,14 @@ void serialize_snapshot(const Snapshot& snap, std::vector<unsigned char>& out) {
   put_u64(out, snap.degraded_width_count);
   put_f64(out, snap.lost_shard_sum);
   put_u64(out, snap.lost_shard_count);
+  put_f64(out, snap.ckpt_saved_total);
+  put_u64(out, snap.ckpt_saved_count);
+  put_f64(out, snap.ckpt_restored_step_sum);
+  put_u64(out, snap.ckpt_restored_count);
+  put_f64(out, snap.ckpt_crc_fail_total);
+  put_u64(out, snap.ckpt_crc_fail_count);
+  put_f64(out, snap.msg_crc_fail_rank_sum);
+  put_u64(out, snap.msg_crc_fail_count);
   put_f64(out, snap.steal_steals_total);
   put_u64(out, snap.steal_steals_count);
   put_u64(out, snap.steal_rank_steals.size());
@@ -149,6 +157,14 @@ Snapshot deserialize_snapshot(const std::vector<unsigned char>& bytes,
   snap.degraded_width_count = get_u64(bytes, at);
   snap.lost_shard_sum = get_f64(bytes, at);
   snap.lost_shard_count = get_u64(bytes, at);
+  snap.ckpt_saved_total = get_f64(bytes, at);
+  snap.ckpt_saved_count = get_u64(bytes, at);
+  snap.ckpt_restored_step_sum = get_f64(bytes, at);
+  snap.ckpt_restored_count = get_u64(bytes, at);
+  snap.ckpt_crc_fail_total = get_f64(bytes, at);
+  snap.ckpt_crc_fail_count = get_u64(bytes, at);
+  snap.msg_crc_fail_rank_sum = get_f64(bytes, at);
+  snap.msg_crc_fail_count = get_u64(bytes, at);
   snap.steal_steals_total = get_f64(bytes, at);
   snap.steal_steals_count = get_u64(bytes, at);
   snap.steal_rank_steals.resize(get_len(bytes, at));

@@ -92,6 +92,7 @@ std::string usage_text() {
       "              [--fused=on|off] [--mem-align=BYTES] [--first-touch]\n"
       "              [--huge-pages] [--fault-spec=SPEC] [--watchdog-ms=N]\n"
       "              [--max-retries=N] [--backoff-ms=N] [--no-degrade]\n"
+      "              [--ckpt-dir=DIR] [--ckpt-every=N] [--resume[=PATH]]\n"
       "              [--obs-report=FILE]\n"
       "       npbrun --serve[=JOBS.ndjson] [--pool=W,W,...] [--queue-cap=N]\n"
       "              [--service-report=FILE] [--verbose]\n"
@@ -117,15 +118,26 @@ std::string usage_text() {
       "--fused=on (default) runs each time step as one fused SPMD region;\n"
       "--fused=off restores one fork/join per parallel loop (checksums are\n"
       "bit-identical either way for a fixed schedule and thread count).\n"
-      "--fault-spec injects a deterministic fault (repeatable); SPEC is\n"
+      "--fault-spec injects deterministic faults (repeatable, and one flag\n"
+      "may carry several comma-separated SPECs); SPEC is\n"
       "SITE:KIND:STEP:RANK:SEED[:persist] with SITE one of\n"
-      "barrier|region|collective|queue|reduce|alloc|steal|*, KIND one of\n"
-      "throw|delay(MS)|nan-poison|alloc-fail, STEP/RANK a number or *, and\n"
-      "SEED the 0-based crossing of the site the fault fires on.  Recovery:\n"
+      "barrier|region|collective|queue|reduce|alloc|proc|steal|ckpt|*, KIND\n"
+      "one of throw|delay(MS)|nan-poison|alloc-fail|kill|corrupt, STEP/RANK a\n"
+      "number or *, and SEED the 0-based crossing of the site the fault fires\n"
+      "on (kill needs site proc; corrupt needs site ckpt or proc).  Recovery:\n"
       "--max-retries per-step retries from checkpoint (default 3) with\n"
       "--backoff-ms linear backoff (default 1), then team-shrink degradation\n"
       "unless --no-degrade.  --watchdog-ms aborts a barrier stuck longer than\n"
       "N ms so the step retries instead of hanging.\n"
+      "--ckpt-dir enables durable checkpointing: every Nth step\n"
+      "(--ckpt-every, default 1) the in-memory restart checkpoint is written\n"
+      "to DIR/<BENCH>-<CLASS>.ckpt — CRC32C-sealed, fsynced, atomically\n"
+      "renamed.  --resume (with --ckpt-dir, or --resume=PATH) validates the\n"
+      "file end-to-end and continues the named benchmark from the saved step;\n"
+      "the result must verify exactly as an uninterrupted run.  SIGINT or\n"
+      "SIGTERM flushes a final checkpoint plus the partial obs report first.\n"
+      "Exit codes: 0 verified, 1 verification failed, 2 usage error, 3 could\n"
+      "not run or recover, 4 interrupted but checkpointed (resumable).\n"
       "--serve reads one JSON job spec per line (file or stdin), runs them\n"
       "concurrently on a pooled team runtime, and emits a service JSON\n"
       "(per-job results + latency/utilization aggregates).\n";
@@ -155,6 +167,7 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
   }
   RunConfig& cfg = opts.cfg;
   bool saw_msg_flag = false;
+  bool saw_ckpt_every = false;
   for (int i = 2; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--class=", 8) == 0) {
@@ -226,17 +239,31 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
         return std::nullopt;
       }
     } else if (std::strncmp(a, "--fault-spec=", 13) == 0) {
-      const auto spec = fault::parse_fault_spec(a + 13);
-      if (!spec) {
-        fail(error,
-             "bad fault spec '" + std::string(a + 13) +
-                 "'\n(want SITE:KIND:STEP:RANK:SEED[:persist], e.g. "
-                 "region:throw:3:1:0 or barrier:delay(50):*:0:2;\n"
-                 " nan-poison requires site reduce, alloc-fail requires "
-                 "site alloc)");
-        return std::nullopt;
+      // One spec, or a comma-separated list (a spec's own grammar is all
+      // colons, so the comma is unambiguous).  Strict: any malformed entry
+      // — including an empty one from a stray comma — rejects the flag.
+      const std::string list(a + 13);
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t comma = list.find(',', start);
+        const std::string one =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        const auto spec = fault::parse_fault_spec(one);
+        if (!spec) {
+          fail(error,
+               "bad fault spec '" + one +
+                   "'\n(want SITE:KIND:STEP:RANK:SEED[:persist], e.g. "
+                   "region:throw:3:1:0 or barrier:delay(50):*:0:2;\n"
+                   " nan-poison requires site reduce, alloc-fail site alloc, "
+                   "kill site proc,\n corrupt site ckpt or proc; several "
+                   "specs may be comma-separated)");
+          return std::nullopt;
+        }
+        cfg.fault.specs.push_back(*spec);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
       }
-      cfg.fault.specs.push_back(*spec);
     } else if (std::strncmp(a, "--watchdog-ms=", 14) == 0) {
       int v = 0;
       if (!parse_flag_int(a + 14, v)) {
@@ -258,6 +285,31 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
       }
     } else if (std::strcmp(a, "--no-degrade") == 0) {
       cfg.fault.allow_degraded = false;
+    } else if (std::strncmp(a, "--ckpt-dir=", 11) == 0) {
+      if (a[11] == '\0') {
+        fail(error, "--ckpt-dir needs a directory path");
+        return std::nullopt;
+      }
+      cfg.ckpt.dir = a + 11;
+    } else if (std::strncmp(a, "--ckpt-every=", 13) == 0) {
+      int v = 0;
+      if (!parse_flag_int(a + 13, v) || v < 1) {
+        fail(error, "bad checkpoint cadence '" + std::string(a + 13) +
+                        "' (want a step count >= 1)");
+        return std::nullopt;
+      }
+      cfg.ckpt.every = v;
+      saw_ckpt_every = true;
+    } else if (std::strcmp(a, "--resume") == 0) {
+      cfg.ckpt.resume = true;
+    } else if (std::strncmp(a, "--resume=", 9) == 0) {
+      if (a[9] == '\0') {
+        fail(error, "--resume= needs a checkpoint file path (or use bare "
+                    "--resume with --ckpt-dir)");
+        return std::nullopt;
+      }
+      cfg.ckpt.resume = true;
+      cfg.ckpt.resume_path = a + 9;
     } else if (std::strncmp(a, "--mem-align=", 12) == 0) {
       const auto al = mem::parse_alignment(a + 12);
       if (!al) {
@@ -299,6 +351,42 @@ std::optional<CliOptions> parse_npbrun_args(int argc, const char* const* argv,
                     "' has no message-passing driver (msg mode runs EP, CG, "
                     "FT or IS)");
     return std::nullopt;
+  }
+  // Durable checkpointing only exists where a StepRunner runs: a threaded
+  // shared-memory NPB.  Reject the silent no-op combinations up front.
+  const bool saw_ckpt =
+      !cfg.ckpt.dir.empty() || cfg.ckpt.resume || saw_ckpt_every;
+  if (saw_ckpt) {
+    if (saw_ckpt_every && cfg.ckpt.dir.empty()) {
+      fail(error, "--ckpt-every requires --ckpt-dir");
+      return std::nullopt;
+    }
+    if (cfg.ckpt.resume && cfg.ckpt.resume_path.empty() &&
+        cfg.ckpt.dir.empty()) {
+      fail(error, "--resume needs --ckpt-dir to locate the checkpoint (or an "
+                  "explicit --resume=PATH)");
+      return std::nullopt;
+    }
+    if (cfg.threads < 1) {
+      fail(error, "checkpointing requires a threaded run (--threads=N with "
+                  "N >= 1); the serial path has no step runner");
+      return std::nullopt;
+    }
+    if (cfg.mode == Mode::Msg) {
+      fail(error, "checkpointing is incompatible with --mode=msg (shards "
+                  "carry their state in per-process memory)");
+      return std::nullopt;
+    }
+    if (find_irr_benchmark(opts.which) != nullptr) {
+      fail(error, "checkpointing is not supported for the irregular "
+                  "workloads (run one of the eight NPBs)");
+      return std::nullopt;
+    }
+    if (cfg.ckpt.resume && (opts.which == "all" || opts.which == "ALL")) {
+      fail(error, "--resume needs a single named benchmark, not 'all' (one "
+                  "checkpoint file describes one run)");
+      return std::nullopt;
+    }
   }
   return opts;
 }

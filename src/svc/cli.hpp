@@ -13,6 +13,16 @@
 
 namespace npb::svc {
 
+/// npbrun's exit-code taxonomy, pinned by test_cli and documented in the
+/// README.  Wrappers and CI distinguish "the numbers were wrong" (1) from
+/// "the run could not be carried out" (3) from "interrupted but resumable"
+/// (4); a usage error (2) never starts a run at all.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitVerifyFailed = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitUnrecoverable = 3;
+inline constexpr int kExitInterrupted = 4;
+
 struct CliOptions {
   enum class Action {
     RunBenchmarks,  ///< classic one-shot mode: run `which` with `cfg`

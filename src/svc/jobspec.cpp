@@ -159,6 +159,22 @@ std::optional<JobSpec> parse_job_spec(const json::Value& v,
     } else if (key == "warmup") {
       if (!want_bool(val, "warmup", error)) return std::nullopt;
       spec.cfg.warmup_spins = val.as_bool() ? 1000000 : 0;
+    } else if (key == "ckpt_dir") {
+      if (!want_string(val, "ckpt_dir", error)) return std::nullopt;
+      if (val.as_string().empty()) {
+        fail(error, "key \"ckpt_dir\" must not be empty");
+        return std::nullopt;
+      }
+      spec.cfg.ckpt.dir = val.as_string();
+    } else if (key == "ckpt_every") {
+      if (!val.is_int() || val.as_int() < 1) {
+        fail(error, "key \"ckpt_every\" must be an integer >= 1");
+        return std::nullopt;
+      }
+      spec.cfg.ckpt.every = static_cast<int>(val.as_int());
+    } else if (key == "resume") {
+      if (!want_bool(val, "resume", error)) return std::nullopt;
+      spec.cfg.ckpt.resume = val.as_bool();
     } else {
       fail(error, "unknown key \"" + key + "\"");
       return std::nullopt;
@@ -166,6 +182,16 @@ std::optional<JobSpec> parse_job_spec(const json::Value& v,
   }
   if (!have_benchmark) {
     fail(error, "missing required key \"benchmark\"");
+    return std::nullopt;
+  }
+  if (spec.cfg.ckpt.dir.empty() &&
+      (spec.cfg.ckpt.resume || spec.cfg.ckpt.every != 1)) {
+    fail(error, "\"ckpt_every\"/\"resume\" require \"ckpt_dir\"");
+    return std::nullopt;
+  }
+  if (!spec.cfg.ckpt.dir.empty() &&
+      find_irr_benchmark(spec.benchmark) != nullptr) {
+    fail(error, "checkpointing is not supported for the irregular workloads");
     return std::nullopt;
   }
   return spec;

@@ -268,6 +268,54 @@ TEST(Cli, ServeFlagsParse) {
   EXPECT_TRUE(stdin_mode->serve_input.empty());
 }
 
+TEST(Cli, CkptFlagsParse) {
+  const auto opts =
+      parse_args({"CG", "--threads=2", "--ckpt-dir=ck", "--ckpt-every=3"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->cfg.ckpt.dir, "ck");
+  EXPECT_EQ(opts->cfg.ckpt.every, 3);
+  EXPECT_FALSE(opts->cfg.ckpt.resume);
+
+  const auto resume =
+      parse_args({"CG", "--threads=2", "--ckpt-dir=ck", "--resume"});
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_TRUE(resume->cfg.ckpt.resume);
+  EXPECT_TRUE(resume->cfg.ckpt.resume_path.empty());
+
+  // --resume=PATH needs no --ckpt-dir: the explicit file is the load side.
+  const auto from_path =
+      parse_args({"CG", "--threads=2", "--resume=ck/CG-S.ckpt"});
+  ASSERT_TRUE(from_path.has_value());
+  EXPECT_TRUE(from_path->cfg.ckpt.resume);
+  EXPECT_EQ(from_path->cfg.ckpt.resume_path, "ck/CG-S.ckpt");
+}
+
+TEST(Cli, ExitCodeTaxonomyIsPinned) {
+  // External contract: README table, CI scripts, and wrappers key off these.
+  EXPECT_EQ(npb::svc::kExitOk, 0);
+  EXPECT_EQ(npb::svc::kExitVerifyFailed, 1);
+  EXPECT_EQ(npb::svc::kExitUsage, 2);
+  EXPECT_EQ(npb::svc::kExitUnrecoverable, 3);
+  EXPECT_EQ(npb::svc::kExitInterrupted, 4);
+}
+
+TEST(Cli, CommaSeparatedFaultSpecsParseStrictly) {
+  const auto opts = parse_args(
+      {"CG", "--fault-spec=region:throw:2:1:0,barrier:delay(5):*:0:0",
+       "--fault-spec=reduce:nan-poison:*:0:0"});
+  ASSERT_TRUE(opts.has_value());
+  ASSERT_EQ(opts->cfg.fault.specs.size(), 3u);
+  EXPECT_EQ(opts->cfg.fault.specs[0].site, npb::fault::Site::Region);
+  EXPECT_EQ(opts->cfg.fault.specs[1].site, npb::fault::Site::Barrier);
+  EXPECT_EQ(opts->cfg.fault.specs[2].site, npb::fault::Site::Reduce);
+
+  // One bad token poisons the whole flag: trailing comma, empty element,
+  // or a malformed spec anywhere in the list.
+  EXPECT_FALSE(parse_args({"CG", "--fault-spec=region:throw:2:1:0,"}));
+  EXPECT_FALSE(parse_args({"CG", "--fault-spec=,region:throw:2:1:0"}));
+  EXPECT_FALSE(parse_args({"CG", "--fault-spec=region:throw:2:1:0,bogus"}));
+}
+
 TEST(Cli, MalformedFlagsAreRejectedWithAMessage) {
   const std::vector<std::vector<std::string>> bad = {
       {"QQ"},                                  // unknown benchmark
@@ -297,6 +345,17 @@ TEST(Cli, MalformedFlagsAreRejectedWithAMessage) {
       {"SORT", "--mode=msg"},                  // irr has no msg driver
       {"--serve", "--queue-cap=0"},            // below minimum
       {"--serve", "--threads=2"},              // run flag in serve mode
+      {"CG", "--ckpt-dir="},                   // empty checkpoint dir
+      {"CG", "--ckpt-every=2"},                // cadence without a dir
+      {"CG", "--threads=2", "--ckpt-dir=ck", "--ckpt-every=0"},  // cadence < 1
+      {"CG", "--threads=2", "--resume"},       // resume with nothing to load
+      {"CG", "--resume="},                     // empty resume path
+      {"CG", "--ckpt-dir=ck"},                 // ckpt on the serial path
+      {"EP", "--mode=msg", "--threads=1", "--ckpt-dir=ck"},  // ckpt under msg
+      {"SORT", "--threads=2", "--ckpt-dir=ck"},  // ckpt on irregular workload
+      {"all", "--threads=2", "--ckpt-dir=ck", "--resume"},  // resume needs one
+      {"CG", "--fault-spec=ckpt:throw:*:0:0"},   // ckpt site is corrupt-only
+      {"CG", "--fault-spec=*:corrupt:*:0:0"},    // corrupt needs a named site
   };
   for (const auto& args : bad) {
     std::string error;
@@ -351,6 +410,8 @@ TEST(CliFuzz, MutatedFlagsNeverCrashAndNeverHalfParse) {
       "--watchdog-ms=10", "--max-retries=3", "--backoff-ms=1",
       "--obs-report=o.json", "--serve=jobs", "--pool=1,2,3",
       "--queue-cap=4",    "--service-report=s.json",
+      "--ckpt-dir=ck",    "--ckpt-every=2",  "--resume=ck/CG-S.ckpt",
+      "--fault-spec=ckpt:corrupt:*:0:0,proc:kill:*:1:0",
   };
   std::uint64_t state = 0x9e3779b97f4a7c15ULL;
   int rejected = 0;

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
 #include "common/verify.hpp"
 #include "fault/fault.hpp"
 #include "msg/msg_suite.hpp"
@@ -529,6 +530,124 @@ TEST_P(MsgDifferential, HybridShardChecksumsInTierOfSharedMemory) {
 INSTANTIATE_TEST_SUITE_P(MsgMatrix, MsgDifferential,
                          ::testing::ValuesIn(build_msg_matrix()),
                          msg_cell_name);
+
+// ---- durable checkpoint/restart bit-identity --------------------------------
+// The crash-recovery promise: a run killed at step k and resumed from its
+// durable checkpoint must finish with checksums *bit-identical* to an
+// uninterrupted run of the same configuration — the resumed half re-runs the
+// same partition and reduction order from exactly the restored state.  The
+// kill is modeled deterministically by the session's halt-after-step knob,
+// which takes the same final flush a SIGINT would and throws
+// ckpt::Interrupted at the same step boundary.  Halt steps sit mid-run for
+// the iterative benchmarks (CG 15 iterations, IS 10, MG 4) and after EP's
+// single step (resume then goes straight to verification from restored
+// state).  A second battery pins the detection promise of the ckpt:corrupt
+// fault: a flush whose payload rots after CRC stamping is caught by readback
+// verification (ckpt/crc_fail), retried, and the run still verifies —
+// corruption may cost a retry, never a silently wrong checkpoint.
+
+struct CkptCell {
+  const char* name;
+  int threads;
+  long halt;
+};
+
+std::string ckpt_cell_name(const ::testing::TestParamInfo<CkptCell>& info) {
+  return std::string(info.param.name) + "_t" +
+         std::to_string(info.param.threads);
+}
+
+std::vector<CkptCell> build_ckpt_matrix() {
+  struct Bench {
+    const char* name;
+    long halt;
+  };
+  constexpr Bench kBenches[] = {{"EP", 1}, {"CG", 7}, {"MG", 2}, {"IS", 5}};
+  constexpr int kThreadCounts[] = {1, 2, 3};
+  std::vector<CkptCell> cells;
+  for (const Bench& b : kBenches)
+    for (int th : kThreadCounts) {
+      if (NPB_UNDER_SANITIZER && th != 2) continue;
+      cells.push_back({b.name, th, b.halt});
+    }
+  return cells;
+}
+
+class CkptDifferential : public ::testing::TestWithParam<CkptCell> {};
+
+TEST_P(CkptDifferential, KilledAndResumedRunBitIdenticalToUninterrupted) {
+  const CkptCell cell = GetParam();
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Native;
+  cfg.threads = cell.threads;
+  RunFn fn = find_benchmark(cell.name);
+  ASSERT_NE(fn, nullptr);
+  const RunResult clean = fn(cfg);
+  ASSERT_TRUE(clean.verified) << clean.verify_detail;
+
+  const std::string dir = ::testing::TempDir() + "npb_diff_ckpt_" +
+                          cell.name + "_t" + std::to_string(cell.threads);
+  RunConfig killed = cfg;
+  killed.ckpt.dir = dir;
+  killed.ckpt.halt_after_step = cell.halt;
+  bool interrupted = false;
+  try {
+    (void)fn(killed);
+  } catch (const ckpt::Interrupted& e) {
+    interrupted = true;
+    EXPECT_EQ(e.step(), cell.halt);
+  }
+  ASSERT_TRUE(interrupted)
+      << cell.name << " ran to completion instead of halting at step "
+      << cell.halt;
+
+  RunConfig resume = cfg;
+  resume.ckpt.dir = dir;
+  resume.ckpt.resume = true;
+  const RunResult resumed = run_instrumented(fn, resume);
+  EXPECT_TRUE(resumed.verified)
+      << cell.name << " failed verification after resume:\n"
+      << resumed.verify_detail;
+  EXPECT_GE(resumed.obs.ckpt_restored_count, 1u)
+      << cell.name << " did not restore from the checkpoint";
+  EXPECT_EQ(resumed.obs.ckpt_restored_step_sum, static_cast<double>(cell.halt));
+  ASSERT_EQ(resumed.checksums.size(), clean.checksums.size());
+  for (std::size_t i = 0; i < resumed.checksums.size(); ++i)
+    EXPECT_EQ(resumed.checksums[i], clean.checksums[i])
+        << cell.name << " threads=" << cell.threads << ": checksum " << i
+        << " diverged after kill-at-" << cell.halt << "-and-resume";
+}
+
+TEST_P(CkptDifferential, CorruptFlushIsDetectedRetriedAndStillVerifies) {
+  const CkptCell cell = GetParam();
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Native;
+  cfg.threads = cell.threads;
+  cfg.ckpt.dir = ::testing::TempDir() + "npb_diff_ckpt_corrupt_" + cell.name +
+                 "_t" + std::to_string(cell.threads);
+  const auto spec = fault::parse_fault_spec("ckpt:corrupt:*:0:0");
+  ASSERT_TRUE(spec.has_value());
+  cfg.fault.specs.push_back(*spec);
+  cfg.fault.backoff_ms = 0;
+  RunFn fn = find_benchmark(cell.name);
+  ASSERT_NE(fn, nullptr);
+  const RunResult r = run_instrumented(fn, cfg);
+  EXPECT_TRUE(r.verified)
+      << cell.name << " failed to recover from a corrupt flush:\n"
+      << r.verify_detail;
+  // The corruption must be *detected* (readback CRC, blamed in obs), the
+  // step retried, and later flushes must have committed clean.
+  EXPECT_GE(r.obs.ckpt_crc_fail_count, 1u)
+      << cell.name << ": injected ckpt corruption was never detected";
+  EXPECT_GE(r.obs.ckpt_saved_count, 1u);
+  EXPECT_GE(r.obs.fault_injected_count, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CkptMatrix, CkptDifferential,
+                         ::testing::ValuesIn(build_ckpt_matrix()),
+                         ckpt_cell_name);
 
 }  // namespace
 }  // namespace npb

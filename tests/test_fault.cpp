@@ -123,6 +123,44 @@ TEST(FaultSpecParse, KillRequiresProcSite) {
   EXPECT_FALSE(parse_fault_spec("*:kill:*:2:0").has_value());
 }
 
+TEST(FaultSpecParse, CorruptRequiresCkptOrProcSite) {
+  // Bit rot is only modeled where a CRC stands guard: the checkpoint payload
+  // (readback verification) and the shm message frames (receiver-side CRC).
+  // A wildcard site would also hit guards that cannot detect it — rejected.
+  const auto ck = parse_fault_spec("ckpt:corrupt:*:0:0");
+  ASSERT_TRUE(ck.has_value());
+  EXPECT_EQ(ck->site, Site::Ckpt);
+  EXPECT_EQ(ck->kind, Kind::Corrupt);
+  const auto pr = parse_fault_spec("proc:corrupt:*:1:0");
+  ASSERT_TRUE(pr.has_value());
+  EXPECT_EQ(pr->site, Site::Proc);
+  EXPECT_EQ(pr->kind, Kind::Corrupt);
+  EXPECT_TRUE(parse_fault_spec("proc:corrupt:2:1:0:persist").has_value());
+  EXPECT_FALSE(parse_fault_spec("*:corrupt:*:0:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("barrier:corrupt:*:0:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("region:corrupt:1:0:0").has_value());
+}
+
+TEST(FaultSpecParse, CkptSiteOnlyAcceptsCorrupt) {
+  // The checkpoint flush is not a place to throw or sleep — the only fault
+  // that means anything there is payload corruption.
+  EXPECT_FALSE(parse_fault_spec("ckpt:throw:*:0:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("ckpt:delay(5):*:0:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("ckpt:kill:*:0:0").has_value());
+  EXPECT_FALSE(parse_fault_spec("ckpt:nan-poison:*:0:0").has_value());
+}
+
+TEST(FaultSpecParse, CorruptAndCkptRoundTripThroughToString) {
+  for (const char* text : {"ckpt:corrupt:*:0:0", "proc:corrupt:3:1:2",
+                           "proc:corrupt:*:1:0:persist"}) {
+    const auto a = parse_fault_spec(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    const auto b = parse_fault_spec(fault::to_string(*a));
+    ASSERT_TRUE(b.has_value()) << fault::to_string(*a);
+    EXPECT_EQ(fault::to_string(*a), fault::to_string(*b));
+  }
+}
+
 TEST(FaultSpecParse, RejectsMalformedSpecs) {
   for (const char* text :
        {"", "region", "region:throw", "region:throw:1", "region:throw:1:0",
@@ -195,6 +233,21 @@ TEST(Injector, SeedCountsMatchingCrossings) {
   EXPECT_THROW(fault::on_site(Site::Queue, 1), InjectedFault);  // occurrence 2
   inj.set_step(-1);
   inj.clear_failed();
+}
+
+TEST(Injector, ShouldCorruptFiresAtSeededCrossingWithoutFailingRanks) {
+  const ScopedFaultSession session(options_for({"ckpt:corrupt:*:0:1"}));
+  Injector& inj = Injector::instance();
+  inj.set_step(1);
+  EXPECT_FALSE(fault::should_corrupt(Site::Ckpt, 0));  // occurrence 0
+  EXPECT_FALSE(fault::should_corrupt(Site::Proc, 0));  // other site: no count
+  EXPECT_TRUE(fault::should_corrupt(Site::Ckpt, 0));   // occurrence 1
+  EXPECT_FALSE(fault::should_corrupt(Site::Ckpt, 0));  // one-shot: spent
+  EXPECT_EQ(inj.injected(), 1u);
+  // Corruption is not a failure at injection time — detection downstream
+  // (readback CRC, frame CRC) decides what fails and who gets blamed.
+  EXPECT_EQ(inj.failed_ranks(), 0);
+  inj.set_step(-1);
 }
 
 TEST(Injector, DelaySleepsInsteadOfThrowing) {

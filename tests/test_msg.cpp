@@ -8,6 +8,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "fault/fault.hpp"
 #include "fault/options.hpp"
 #include "msg/communicator.hpp"
 #include "msg/shm.hpp"
@@ -312,6 +313,50 @@ TEST(ShmTransport, WorkerExceptionBecomesErrorNotHang) {
   });
   EXPECT_FALSE(out.ok());
   EXPECT_NE(out.error.find("shard boom"), std::string::npos);
+}
+
+TEST(ShmTransport, CorruptFrameIsDetectedAndBlamesTheSender) {
+  // proc:corrupt models bit rot between CRC stamping and the ring write in
+  // rank 1's first in-step send.  The receiver's frame verification must
+  // catch it and the outcome must blame the *sender* — never deliver the
+  // rotten payload as data.
+  fault::FaultOptions fo;
+  const auto spec = fault::parse_fault_spec("proc:corrupt:*:1:0");
+  ASSERT_TRUE(spec.has_value());
+  fo.specs.push_back(*spec);
+  const ShmRunOutcome out = run_shm(2, fo, [](Communicator& c) {
+    fault::current().set_step(1);
+    const double sum = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    fault::current().set_step(-1);
+    return std::vector<double>{sum};
+  });
+  EXPECT_FALSE(out.ok());
+  ASSERT_EQ(out.crc_blamed.size(), 1u);
+  EXPECT_EQ(out.crc_blamed[0], 1);
+}
+
+TEST(ShmTransport, CorruptEmptyFrameIsCaughtByTheHeaderCrc) {
+  // Zero-payload messages (e.g. an alltoallv leg with nothing for a peer)
+  // have no payload bytes to rot, so the injection flips the frame's
+  // payload-CRC field instead — which the header CRC covers.  Detection
+  // must not depend on a payload existing.
+  fault::FaultOptions fo;
+  const auto spec = fault::parse_fault_spec("proc:corrupt:*:0:0");
+  ASSERT_TRUE(spec.has_value());
+  fo.specs.push_back(*spec);
+  const ShmRunOutcome out = run_shm(2, fo, [](Communicator& c) {
+    fault::current().set_step(1);
+    if (c.rank() == 0) {
+      c.send(1, 7, {});  // empty frame: header + stamped CRC of zero bytes
+    } else {
+      c.recv(0, 7, {});
+    }
+    fault::current().set_step(-1);
+    return std::vector<double>{1.0};
+  });
+  EXPECT_FALSE(out.ok());
+  ASSERT_EQ(out.crc_blamed.size(), 1u);
+  EXPECT_EQ(out.crc_blamed[0], 0);
 }
 
 TEST(ShmTransport, RejectsOutOfRangeProcCounts) {

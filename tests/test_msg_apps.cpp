@@ -204,6 +204,29 @@ TEST(MsgChaos, LostShardIsBlamedDegradedAndStillVerifies) {
   EXPECT_EQ(r.obs.degraded_width_count, 1u);
 }
 
+TEST(MsgChaos, CorruptFrameIsBlamedShrunkPastAndStillVerifies) {
+  RunConfig cfg;
+  cfg.cls = ProblemClass::S;
+  cfg.mode = Mode::Msg;
+  cfg.msg.procs = 2;
+  cfg.msg.transport = msg::TransportKind::Shm;
+  const auto spec = fault::parse_fault_spec("proc:corrupt:*:1:0");
+  ASSERT_TRUE(spec.has_value());
+  cfg.fault.specs.push_back(*spec);
+  const RunResult r =
+      run_instrumented(msg::find_msg_benchmark("IS"), cfg);
+  // Rank 1's first in-step send rotted on the wire; the receiver's frame CRC
+  // must detect it (msg/crc_fail, sender rank riding the value), the run
+  // must shrink past the untrustworthy sender exactly like a crashed shard,
+  // and the retried width-1 run must still verify — the corruption may cost
+  // a retry, never a silently wrong result.
+  EXPECT_TRUE(r.verified) << r.verify_detail;
+  EXPECT_EQ(r.procs, 1);
+  EXPECT_GE(r.obs.msg_crc_fail_count, 1u);
+  EXPECT_EQ(r.obs.msg_crc_fail_rank_sum, 1.0);  // blamed sender rides the sum
+  EXPECT_EQ(r.obs.degraded_width_count, 1u);
+}
+
 TEST(MsgChaos, NoDegradeTurnsALostShardIntoAnError) {
   RunConfig cfg;
   cfg.cls = ProblemClass::S;

@@ -370,9 +370,10 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   // header + 8 team rows (run_span, dispatch, barrier_wait, pipeline_wait,
   // loop_iters, loop_imbalance, dispatches, region_span) + 3 mem rows
   // (bytes, arena_hit, first_touch) + 6 fault rows (injected, watchdog_fires,
-  // stuck_rank, retries, degraded_width, lost_shard) + 3 steal rows
+  // stuck_rank, retries, degraded_width, lost_shard) + 4 integrity rows
+  // (ckpt/saved, ckpt/restored, ckpt/crc_fail, msg/crc_fail) + 3 steal rows
   // (steals, attempts, deque_max) + 1 user region
-  EXPECT_EQ(lines, 22u);
+  EXPECT_EQ(lines, 26u);
   EXPECT_EQ(csv.rfind("benchmark,class,mode,threads,run_seconds,region,seconds,count\n", 0), 0u);
   EXPECT_NE(csv.find("team/run_span"), std::string::npos);
   EXPECT_NE(csv.find("team/barrier_wait"), std::string::npos);
@@ -386,6 +387,10 @@ TEST(ObsReport, CsvHasHeaderAndOneRowPerRegionPlusTeamCounters) {
   EXPECT_NE(csv.find("mem/bytes"), std::string::npos);
   EXPECT_NE(csv.find("mem/arena_hit"), std::string::npos);
   EXPECT_NE(csv.find("mem/first_touch"), std::string::npos);
+  EXPECT_NE(csv.find("ckpt/saved"), std::string::npos);
+  EXPECT_NE(csv.find("ckpt/restored"), std::string::npos);
+  EXPECT_NE(csv.find("ckpt/crc_fail"), std::string::npos);
+  EXPECT_NE(csv.find("msg/crc_fail"), std::string::npos);
 }
 
 // ---- scheduled-loop iteration counters -------------------------------------

@@ -4,14 +4,21 @@
 // concurrently on the pooled team runtime and emits a service-level JSON.
 //
 // Argument parsing lives in src/svc/cli.{hpp,cpp} (so the test suite can
-// fuzz it in-process); this file is the thin I/O shell.  Exit status: 2 on
-// any malformed argument or job spec (strictly validated, never a silent
-// default), 1 when any run fails verification or any job fails, 0 otherwise.
+// fuzz it in-process); this file is the thin I/O shell.  Exit status follows
+// the taxonomy in svc/cli.hpp: 0 all runs verified, 1 a run or job failed
+// verification, 2 malformed argument or job spec (strictly validated, never
+// a silent default), 3 a run could not be carried out or recovered, 4
+// interrupted by SIGINT/SIGTERM at a step boundary with the final
+// checkpoint and a partial obs report flushed (resumable with --resume).
 
+#include <csignal>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
+#include "ckpt/ckpt.hpp"
+#include "fault/retry.hpp"
 #include "irr/irr.hpp"
 #include "mem/mem.hpp"
 #include "msg/msg_suite.hpp"
@@ -22,6 +29,15 @@
 #include "svc/scheduler.hpp"
 
 namespace {
+
+// SIGINT/SIGTERM ask the step runner for a clean stop (final checkpoint,
+// partial obs report, exit 4).  The handler then restores the default
+// disposition, so a second signal kills immediately — the escape hatch when
+// a step is wedged.
+extern "C" void on_interrupt_signal(int sig) {
+  npb::ckpt::request_interrupt();
+  std::signal(sig, SIG_DFL);
+}
 
 void usage(const std::string& error) {
   if (!error.empty()) std::fprintf(stderr, "%s\n", error.c_str());
@@ -138,29 +154,70 @@ int run_benchmarks(const npb::svc::CliOptions& opts) {
   npb::mem::Arena arena;
   const npb::mem::ScopedArena arena_scope(&arena);
 
+  std::signal(SIGINT, &on_interrupt_signal);
+  std::signal(SIGTERM, &on_interrupt_signal);
+  npb::ckpt::clear_interrupt();
+
+  // Adds the interrupted/failed benchmark's obs counters (ckpt/saved and
+  // friends) to the report so a partial report still explains what happened.
+  const auto add_partial = [&](npb::obs::ObsReport& report,
+                               const npb::BenchmarkInfo* b) {
+    if (opts.obs_report.empty()) return;
+    report.add_run(b->name, npb::to_string(opts.cfg.cls),
+                   npb::to_string(opts.cfg.mode), opts.cfg.threads, 0.0,
+                   npb::obs::ObsRegistry::instance().snapshot(), 0, {});
+  };
+
   npb::obs::ObsReport report;
   int failures = 0;
+  int exit_code = npb::svc::kExitOk;
   for (const auto* b : todo) {
-    const npb::RunResult r = opts.obs_report.empty()
-                                 ? b->fn(opts.cfg)
-                                 : npb::run_instrumented(b->fn, opts.cfg);
-    if (!opts.obs_report.empty())
-      report.add_run(r.name, npb::to_string(r.cls), npb::to_string(r.mode),
-                     r.threads, r.seconds, r.obs, r.procs, r.shards);
-    char procs_buf[32] = "";
-    if (r.procs > 0) std::snprintf(procs_buf, sizeof(procs_buf), " procs=%d", r.procs);
-    std::printf(
-        "%-3s class=%s mode=%-6s threads=%-2d%s  %8.3fs  %10.1f Mop/s  %s\n",
-        r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
-        r.threads, procs_buf, r.seconds, r.mops,
-        r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
-    if (opts.verbose || !r.verified) std::fputs(r.verify_detail.c_str(), stdout);
-    if (!r.verified) ++failures;
+    try {
+      const npb::RunResult r = opts.obs_report.empty()
+                                   ? b->fn(opts.cfg)
+                                   : npb::run_instrumented(b->fn, opts.cfg);
+      if (!opts.obs_report.empty())
+        report.add_run(r.name, npb::to_string(r.cls), npb::to_string(r.mode),
+                       r.threads, r.seconds, r.obs, r.procs, r.shards);
+      char procs_buf[32] = "";
+      if (r.procs > 0)
+        std::snprintf(procs_buf, sizeof(procs_buf), " procs=%d", r.procs);
+      std::printf(
+          "%-3s class=%s mode=%-6s threads=%-2d%s  %8.3fs  %10.1f Mop/s  %s\n",
+          r.name.c_str(), npb::to_string(r.cls), npb::to_string(r.mode),
+          r.threads, procs_buf, r.seconds, r.mops,
+          r.verified ? "VERIFICATION SUCCESSFUL" : "VERIFICATION FAILED");
+      if (opts.verbose || !r.verified)
+        std::fputs(r.verify_detail.c_str(), stdout);
+      if (!r.verified) ++failures;
+    } catch (const npb::ckpt::Interrupted& e) {
+      std::fprintf(stderr, "%s: %s\n", b->name, e.what());
+      add_partial(report, b);
+      exit_code = npb::svc::kExitInterrupted;
+      break;
+    } catch (const npb::fault::RecoveryExhausted& e) {
+      std::fprintf(stderr, "%s: recovery exhausted: %s\n", b->name, e.what());
+      add_partial(report, b);
+      exit_code = npb::svc::kExitUnrecoverable;
+      break;
+    } catch (const npb::ckpt::CkptError& e) {
+      std::fprintf(stderr, "%s: checkpoint error: %s\n", b->name, e.what());
+      add_partial(report, b);
+      exit_code = npb::svc::kExitUnrecoverable;
+      break;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", b->name, e.what());
+      add_partial(report, b);
+      exit_code = npb::svc::kExitUnrecoverable;
+      break;
+    }
   }
   if (!opts.obs_report.empty() && report.write(opts.obs_report))
-    std::fprintf(stderr, "obs report (%zu runs) -> %s\n", report.size(),
+    std::fprintf(stderr, "obs report (%zu runs%s) -> %s\n", report.size(),
+                 exit_code == npb::svc::kExitOk ? "" : ", partial",
                  opts.obs_report.c_str());
-  return failures == 0 ? 0 : 1;
+  if (exit_code != npb::svc::kExitOk) return exit_code;
+  return failures == 0 ? npb::svc::kExitOk : npb::svc::kExitVerifyFailed;
 }
 
 }  // namespace
@@ -170,7 +227,7 @@ int main(int argc, char** argv) {
   const auto opts = npb::svc::parse_npbrun_args(argc, argv, &error);
   if (!opts) {
     usage(error);
-    return 2;
+    return npb::svc::kExitUsage;
   }
   return opts->action == npb::svc::CliOptions::Action::Serve
              ? serve(*opts)
